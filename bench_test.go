@@ -1,0 +1,340 @@
+// Repository-level benchmarks: one family per experiment of EXPERIMENTS.md
+// (and hence per reproduced figure/artifact of the paper). Run with
+//
+//	go test -bench=. -benchmem .
+//
+// The experiment harness (cmd/crosse-experiments) prints the same
+// measurements as formatted tables with parameter sweeps; these benchmarks
+// are the testing.B counterparts for regression tracking.
+package crosse
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+
+	"crosse/internal/core"
+	"crosse/internal/dataset"
+	"crosse/internal/engine"
+	"crosse/internal/fdw"
+	"crosse/internal/kb"
+	"crosse/internal/rdf"
+	"crosse/internal/sesql"
+	"crosse/internal/sparql"
+	"crosse/internal/sqlval"
+)
+
+// --- shared fixtures ---
+
+func benchFixture(b *testing.B, landfills, extraKB int) *core.Enricher {
+	b.Helper()
+	db := engine.Open()
+	cfg := dataset.DefaultConfig()
+	cfg.Landfills = landfills
+	if err := dataset.Populate(db, cfg); err != nil {
+		b.Fatal(err)
+	}
+	p := kb.NewPlatform()
+	if err := p.RegisterUser("alice"); err != nil {
+		b.Fatal(err)
+	}
+	ocfg := dataset.DefaultOntology()
+	ocfg.ExtraTriples = extraKB
+	if _, err := dataset.PopulateOntology(p, "alice", ocfg); err != nil {
+		b.Fatal(err)
+	}
+	if err := dataset.RegisterDangerQuery(p); err != nil {
+		b.Fatal(err)
+	}
+	return core.New(db, p, nil)
+}
+
+// --- E2 / Fig. 5: SESQL parser ---
+
+func BenchmarkSESQLParse(b *testing.B) {
+	queries := map[string]string{
+		"PlainSQL":        `SELECT elem_name, landfill_name FROM elem_contained WHERE landfill_name = 'a'`,
+		"SchemaExtension": `SELECT a, b FROM t ENRICH SCHEMAEXTENSION(a, p)`,
+		"BoolExtension":   `SELECT a FROM t ENRICH BOOLSCHEMAEXTENSION(a, p, C)`,
+		"ReplaceConstant": `SELECT a FROM t WHERE ${a = X:c1} ENRICH REPLACECONSTANT(c1, X, q)`,
+		"ReplaceVariable": `SELECT a FROM t WHERE ${a <> b:c1} ENRICH REPLACEVARIABLE(c1, b, p)`,
+		"Example46":       `SELECT e1.l AS x, e2.l AS y FROM t AS e1, t AS e2 WHERE ${e1.a <> e2.a:c1} AND e1.a = e2.a ENRICH REPLACEVARIABLE(c1, e2.a, p)`,
+	}
+	for name, q := range queries {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sesql.Parse(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E3 / Fig. 4: triple store ---
+
+func BenchmarkTripleStoreInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	triples := make([]rdf.Triple, 1<<16)
+	for i := range triples {
+		triples[i] = rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://x/s%d", rng.Intn(10000))),
+			P: rdf.NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(20))),
+			O: rdf.NewIRI(fmt.Sprintf("http://x/o%d", rng.Intn(50000))),
+		}
+	}
+	b.ResetTimer()
+	st := rdf.NewStore()
+	for i := 0; i < b.N; i++ {
+		st.Add(triples[i%len(triples)])
+	}
+}
+
+func BenchmarkTripleStoreLookup(b *testing.B) {
+	for _, size := range []int{1000, 10000, 100000} {
+		st := rdf.NewStore()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < size; i++ {
+			st.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://x/s%d", rng.Intn(size/10+1))),
+				P: rdf.NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(20))),
+				O: rdf.NewIRI(fmt.Sprintf("http://x/o%d", i)),
+			})
+		}
+		probe := rdf.Pattern{S: rdf.NewIRI("http://x/s1")}
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st.Match(probe)
+			}
+		})
+	}
+}
+
+// --- E4 / Fig. 6: full pipeline per enrichment strategy ---
+
+func BenchmarkPipeline(b *testing.B) {
+	enr := benchFixture(b, 200, 0)
+	queries := map[string]string{
+		"SchemaExtension": `SELECT elem_name, landfill_name FROM elem_contained
+ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`,
+		"SchemaReplacement": `SELECT name, city FROM landfill
+ENRICH SCHEMAREPLACEMENT(city, inCountry)`,
+		"BoolSchemaExtension": `SELECT elem_name, landfill_name FROM elem_contained
+ENRICH BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)`,
+		"BoolSchemaReplacement": `SELECT name, city FROM landfill
+ENRICH BOOLSCHEMAREPLACEMENT(city, inCountry, country_00)`,
+		"ReplaceConstant": `SELECT landfill_name FROM elem_contained
+WHERE ${elem_name = HazardousWaste:c1}
+ENRICH REPLACECONSTANT(c1, HazardousWaste, dangerQuery)`,
+		"ReplaceVariable": `SELECT landfill_name FROM elem_contained
+WHERE ${elem_name = 'element_000':c1}
+ENRICH REPLACEVARIABLE(c1, elem_name, oreAssemblage)`,
+	}
+	for name, q := range queries {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := enr.Query("alice", q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E5: enrichment vs baselines ---
+
+func BenchmarkEnrichVsBaseline(b *testing.B) {
+	enr := benchFixture(b, 200, 0)
+
+	b.Run("PlainSQL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := enr.DB.Query(`SELECT elem_name, landfill_name FROM elem_contained`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SESQLExtension", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := enr.Query("alice", `SELECT elem_name, landfill_name FROM elem_contained
+ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Hand-written: knowledge manually exported to a relational table.
+	if _, err := enr.DB.Exec(`CREATE TABLE danger (elem TEXT, level TEXT)`); err != nil {
+		b.Fatal(err)
+	}
+	view, err := enr.Platform.View("alice")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, _ := enr.DB.Catalog().Table("danger")
+	view.ForEach(rdf.Pattern{P: dataset.IRI("dangerLevel")}, func(t rdf.Triple) bool {
+		name := t.S.Value[len(core.DefaultIRIPrefix):]
+		_ = tab.Insert([]sqlval.Value{sqlval.NewString(name), sqlval.NewString(t.O.Value)})
+		return true
+	})
+	b.Run("HandWrittenJoin", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := enr.DB.Query(`SELECT e.elem_name, e.landfill_name, d.level
+FROM elem_contained e LEFT JOIN danger d ON e.elem_name = d.elem`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E6: KB scaling ---
+
+func BenchmarkKBScaling(b *testing.B) {
+	const q = `SELECT elem_name, landfill_name FROM elem_contained
+ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`
+	for _, extra := range []int{0, 10000, 100000} {
+		enr := benchFixture(b, 100, extra)
+		b.Run(fmt.Sprintf("extraKB%d", extra), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := enr.Query("alice", q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E7: FDW federation ---
+
+func BenchmarkFDW(b *testing.B) {
+	remote := engine.Open()
+	cfg := dataset.DefaultConfig()
+	cfg.Landfills = 500
+	if err := dataset.Populate(remote, cfg); err != nil {
+		b.Fatal(err)
+	}
+	local, err := remote.Catalog().Table("elem_contained")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	srv := fdw.NewServer(remote.Catalog())
+	a, c := net.Pipe()
+	go srv.ServeConn(a)
+	client := fdw.NewClient(c)
+	defer client.Close()
+	ft, err := client.ForeignTable("elem_contained", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := sqlval.NewString(dataset.LandfillName(0))
+
+	b.Run("LocalScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = local.Scan(func([]sqlval.Value) bool { return true })
+		}
+	})
+	b.Run("RemoteScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ft.Scan(func([]sqlval.Value) bool { return true }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("RemotePushdown", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ft.ScanEq("landfill_name", probe, func([]sqlval.Value) bool { return true }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E8: crowdsourcing fan-out ---
+
+func BenchmarkBeliefImport(b *testing.B) {
+	for _, statements := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("statements%d", statements), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := kb.NewPlatform()
+				_ = p.RegisterUser("expert")
+				for j := 0; j < statements; j++ {
+					_, _ = p.Insert("expert", rdf.Triple{
+						S: dataset.IRI(fmt.Sprintf("e%d", j)),
+						P: dataset.IRI("dangerLevel"),
+						O: rdf.NewLiteral("high"),
+					})
+				}
+				_ = p.RegisterUser("peer")
+				b.StartTimer()
+				if _, err := p.ImportFrom("peer", "expert", nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E9: relational engine ---
+
+func BenchmarkSQL(b *testing.B) {
+	db := engine.Open()
+	cfg := dataset.DefaultConfig()
+	cfg.Landfills = 800
+	if err := dataset.Populate(db, cfg); err != nil {
+		b.Fatal(err)
+	}
+	queries := map[string]string{
+		"Scan":      `SELECT COUNT(*) FROM elem_contained`,
+		"Filter":    `SELECT COUNT(*) FROM elem_contained WHERE elem_name = 'element_000'`,
+		"HashJoin":  `SELECT COUNT(*) FROM elem_contained e, landfill l WHERE e.landfill_name = l.name`,
+		"GroupBy":   `SELECT elem_name, COUNT(*), AVG(amount) FROM elem_contained GROUP BY elem_name`,
+		"OrderTopK": `SELECT elem_name, amount FROM elem_contained ORDER BY amount DESC LIMIT 10`,
+	}
+	for name, q := range queries {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E10: SPARQL engine ---
+
+func BenchmarkSPARQL(b *testing.B) {
+	const ns = core.DefaultIRIPrefix
+	st := rdf.NewStore()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20000; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("%selem%d", ns, i))
+		if i%10 == 0 {
+			st.Add(rdf.Triple{S: s, P: rdf.NewIRI(ns + "isA"), O: rdf.NewIRI(ns + "Hazard")})
+		}
+		st.Add(rdf.Triple{S: s, P: rdf.NewIRI(ns + "level"),
+			O: rdf.NewTypedLiteral(fmt.Sprint(rng.Intn(10)), rdf.XSDInteger)})
+	}
+	for i := 0; i < 60; i++ {
+		st.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("%sclass%d", ns, i)),
+			P: rdf.NewIRI(ns + "sub"),
+			O: rdf.NewIRI(fmt.Sprintf("%sclass%d", ns, i+1)),
+		})
+	}
+	queries := map[string]string{
+		"BGPJoin": `SELECT ?x ?l WHERE { ?x <` + ns + `isA> <` + ns + `Hazard> . ?x <` + ns + `level> ?l }`,
+		"Filter":  `SELECT ?x WHERE { ?x <` + ns + `level> ?l . FILTER (?l > 7) }`,
+		"PathTC":  `SELECT ?c WHERE { <` + ns + `class0> <` + ns + `sub>+ ?c }`,
+	}
+	for name, q := range queries {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sparql.Eval(st, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Command crosse-server runs the CroSSE platform as an HTTP service: the
+// main platform (relational databank), the semantic platform (per-user
+// knowledge bases) and the REST integration between them — the deployment
+// shape of Fig. 1/Fig. 2.
+//
+// Usage:
+//
+//	crosse-server                        # sample data on :8080
+//	crosse-server -addr :9090 -scale 500 # synthetic databank, custom port
+//	crosse-server -attach host:port      # also attach a remote FDW node
+//	crosse-server -mapping map.xml       # custom resource mapping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"crosse/internal/core"
+	"crosse/internal/dataset"
+	"crosse/internal/engine"
+	"crosse/internal/fdw"
+	"crosse/internal/kb"
+	"crosse/internal/rest"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		scale   = flag.Int("scale", 200, "synthetic databank size (landfills)")
+		attach  = flag.String("attach", "", "FDW server address to attach as foreign tables")
+		mapping = flag.String("mapping", "", "resource mapping XML file")
+	)
+	flag.Parse()
+
+	db := engine.Open()
+	cfg := dataset.DefaultConfig()
+	cfg.Landfills = *scale
+	if err := dataset.Populate(db, cfg); err != nil {
+		log.Fatalf("populate databank: %v", err)
+	}
+
+	platform := kb.NewPlatform()
+	if err := dataset.RegisterDangerQuery(platform); err != nil {
+		log.Fatalf("register dangerQuery: %v", err)
+	}
+
+	var m *core.Mapping
+	if *mapping != "" {
+		f, err := os.Open(*mapping)
+		if err != nil {
+			log.Fatalf("open mapping: %v", err)
+		}
+		m, err = core.LoadMapping(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("parse mapping: %v", err)
+		}
+	}
+
+	enricher := core.New(db, platform, m)
+	enricher.Activity = core.NewActivity() // feeds /api/peers?by=activity
+	platform.SetConceptChecker(core.NewConceptChecker(db, enricher.Mapping))
+
+	if *attach != "" {
+		client, err := fdw.Dial(*attach)
+		if err != nil {
+			log.Fatalf("attach %s: %v", *attach, err)
+		}
+		n, err := client.Attach(db.Catalog(), "remote_")
+		if err != nil {
+			log.Fatalf("import foreign schema: %v", err)
+		}
+		log.Printf("attached %d foreign table(s) from %s (prefix remote_)", n, *attach)
+	}
+
+	srv := rest.NewServer(enricher)
+	log.Printf("CroSSE platform on %s (databank: %d landfills)", *addr, *scale)
+	fmt.Println("try: curl -s localhost" + *addr + "/api/tables")
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

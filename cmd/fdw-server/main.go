@@ -1,0 +1,44 @@
+// Command fdw-server runs a standalone remote data node: a synthetic
+// national landfill registry exposed over the FDW wire protocol, playing
+// the role of the external databanks the SmartGround platform federates
+// (the paper's postgres_fdw data sources).
+//
+// Usage:
+//
+//	fdw-server                      # :7070, default registry size
+//	fdw-server -addr :7171 -scale 1000 -seed 7
+package main
+
+import (
+	"flag"
+	"log"
+
+	"crosse/internal/dataset"
+	"crosse/internal/engine"
+	"crosse/internal/fdw"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":7070", "listen address")
+		scale = flag.Int("scale", 500, "registry size (landfills)")
+		seed  = flag.Int64("seed", 99, "generator seed")
+	)
+	flag.Parse()
+
+	db := engine.Open()
+	cfg := dataset.DefaultConfig()
+	cfg.Landfills = *scale
+	cfg.Seed = *seed
+	if err := dataset.Populate(db, cfg); err != nil {
+		log.Fatalf("populate registry: %v", err)
+	}
+
+	srv := fdw.NewServer(db.Catalog())
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("FDW data node on %s exposing %v", bound, db.Catalog().Names())
+	select {} // serve forever
+}

@@ -1,0 +1,22 @@
+// Package crosse is a from-scratch Go reproduction of "Contextually-Enriched
+// Querying of Integrated Data Sources" (Cavallo, Di Mauro, Pasteris, Sapino,
+// Candan — ICDE 2018): the CroSSE platform and its SESQL query language,
+// in which a relational databank is enriched at query time with per-user
+// crowdsourced RDF context.
+//
+// The root package only anchors the repository-level benchmarks
+// (bench_test.go); the system lives under internal/:
+//
+//	internal/core     the Fig. 6 enrichment pipeline (the paper's contribution)
+//	internal/sesql    the SESQL language front-end (Fig. 5 grammar)
+//	internal/kb       crowdsourced knowledge bases (Fig. 4 schema)
+//	internal/sparql   SPARQL subset engine
+//	internal/rdf      indexed triple store
+//	internal/engine   embedded relational database (SQL parser + executor)
+//	internal/fdw      foreign-data-wrapper federation (postgres_fdw role)
+//	internal/rest     HTTP/JSON integration API
+//	internal/dataset  synthetic SmartGround databank + ontologies
+//	internal/experiments  the measurement study (EXPERIMENTS.md)
+//
+// See README.md for a tour and DESIGN.md for the reproduction inventory.
+package crosse

@@ -1,0 +1,103 @@
+// Discovery demonstrates the paper's peer-networking and preview services
+// (Sec. I-B.b and I-B.c): a community of researchers annotates the
+// databank; the platform discovers peers with similar contexts, recommends
+// knowledge "explored and used by others within similar contexts", ranks
+// query results by personal relevance, and extracts concept snippets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crosse/internal/core"
+	"crosse/internal/engine"
+	"crosse/internal/kb"
+	"crosse/internal/preview"
+	"crosse/internal/rdf"
+	"crosse/internal/recommend"
+)
+
+func smg(l string) rdf.Term { return rdf.NewIRI(core.DefaultIRIPrefix + l) }
+
+func main() {
+	db := engine.Open()
+	if _, err := db.ExecScript(`
+		CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT);
+		INSERT INTO elem_contained VALUES
+			('Mercury', 'a'), ('Lead', 'a'), ('Asbestos', 'a'),
+			('Zinc', 'b'), ('Gold', 'b'), ('Mercury', 'b');
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	platform := kb.NewPlatform()
+	for _, u := range []string{"anna", "berta", "chiara"} {
+		if err := platform.RegisterUser(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Anna and Berta work on pollutant elements; Chiara on geography.
+	insert := func(user, s, p, o string) string {
+		id, err := platform.Insert(user, rdf.Triple{S: smg(s), P: smg(p), O: smg(o)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+	a1 := insert("anna", "Mercury", "isA", "Pollutant")
+	a2 := insert("anna", "Lead", "isA", "Pollutant")
+	insert("anna", "Mercury", "foundWith", "Lead")
+	insert("berta", "Asbestos", "isA", "Pollutant")
+	insert("chiara", "Torino", "inCountry", "Italy")
+
+	// Berta has already imported some of Anna's knowledge → similar context.
+	for _, id := range []string{a1, a2} {
+		if err := platform.Import("berta", id); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- peer discovery ---
+	fmt.Println("Peer discovery for berta (belief overlap):")
+	for _, p := range recommend.PeersByBeliefs(platform, "berta", 3) {
+		fmt.Printf("  %-8s similarity %.2f\n", p.User, p.Score)
+	}
+	fmt.Println("\nPeer discovery for chiara (interest profile — no shared beliefs):")
+	peers := recommend.PeersByInterests(platform, "chiara", 3)
+	if len(peers) == 0 {
+		fmt.Println("  (no peers share chiara's interests yet)")
+	}
+
+	// --- recommendations from the peer network ---
+	fmt.Println("\nKnowledge recommended to anna (held by her similar peers):")
+	for _, r := range recommend.RecommendStatements(platform, "anna", 5) {
+		fmt.Printf("  %v  (score %.2f, via %v)\n", r.Statement.Triple, r.Score, r.Via)
+	}
+
+	// --- context-aware ranking and highlighting ---
+	enricher := core.New(db, platform, nil)
+	res, err := enricher.Query("anna", `SELECT elem_name, landfill_name FROM elem_contained`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	view, err := platform.View("anna")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranked := preview.Rank(res, view, enricher.Mapping)
+	fmt.Println("\nAnna's results, ranked by her context (score = facts she holds):")
+	for i, row := range ranked.Result.Rows {
+		fmt.Printf("  %5.1f  %s @ %s\n", ranked.Scores[i], row[0], row[1])
+	}
+
+	// --- snippets (content preview) ---
+	fmt.Println("\nSnippet for 'Mercury' in anna's context:")
+	for _, f := range preview.Snippet(view, enricher.Mapping, "Mercury", 5) {
+		dir := "→"
+		if !f.Outgoing {
+			dir = "←"
+		}
+		fmt.Printf("  %s %s %s\n", dir, f.Property, f.Value)
+	}
+}

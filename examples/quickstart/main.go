@@ -1,0 +1,57 @@
+// Quickstart: the smallest end-to-end CroSSE program. Build a databank,
+// register a user, annotate the data with personal context, and run a
+// SESQL query that combines both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crosse/internal/core"
+	"crosse/internal/engine"
+	"crosse/internal/kb"
+	"crosse/internal/rdf"
+)
+
+func main() {
+	// 1. The main platform: a relational databank.
+	db := engine.Open()
+	if _, err := db.ExecScript(`
+		CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT);
+		INSERT INTO elem_contained VALUES
+			('Mercury', 'a'), ('Lead', 'a'), ('Zinc', 'a');
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The semantic platform: per-user contextual knowledge.
+	platform := kb.NewPlatform()
+	if err := platform.RegisterUser("alice"); err != nil {
+		log.Fatal(err)
+	}
+	smg := func(local string) rdf.Term { return rdf.NewIRI(core.DefaultIRIPrefix + local) }
+	for _, t := range []rdf.Triple{
+		{S: smg("Mercury"), P: smg("dangerLevel"), O: rdf.NewLiteral("high")},
+		{S: smg("Lead"), P: smg("dangerLevel"), O: rdf.NewLiteral("high")},
+		{S: smg("Zinc"), P: smg("dangerLevel"), O: rdf.NewLiteral("low")},
+	} {
+		if _, err := platform.Insert("alice", t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 3. The Semantic Query Module ties them together.
+	enricher := core.New(db, platform, nil)
+
+	// 4. A SESQL query: plain SQL plus an ENRICH clause.
+	res, err := enricher.Query("alice", `
+		SELECT elem_name, landfill_name
+		FROM elem_contained
+		WHERE landfill_name = 'a'
+		ENRICH
+		SCHEMAEXTENSION(elem_name, dangerLevel)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(engine.FormatTable(res))
+}

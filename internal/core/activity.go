@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// Activity records each user's interaction profile — which ontology
+// properties her enriched queries engage — so the peer-discovery services
+// can find "individuals with similar interests or who have similar goals"
+// from query behaviour (Sec. I-B.b), not only from stored knowledge.
+// Attach one to an Enricher and every enriched query updates it.
+type Activity struct {
+	mu      sync.RWMutex
+	props   map[string]map[string]float64 // user → property → weight
+	queries map[string]int                // user → total enriched queries
+}
+
+// NewActivity returns an empty tracker.
+func NewActivity() *Activity {
+	return &Activity{props: map[string]map[string]float64{}, queries: map[string]int{}}
+}
+
+// Record notes that the user ran an enriched query using the properties.
+func (a *Activity) Record(user string, properties []string) {
+	if len(properties) == 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prof, ok := a.props[user]
+	if !ok {
+		prof = map[string]float64{}
+		a.props[user] = prof
+	}
+	for _, p := range properties {
+		prof[p]++
+	}
+	a.queries[user]++
+}
+
+// Profile returns a copy of the user's property-usage vector.
+func (a *Activity) Profile(user string) map[string]float64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := map[string]float64{}
+	for k, v := range a.props[user] {
+		out[k] = v
+	}
+	return out
+}
+
+// QueryCount reports how many enriched queries the user has run.
+func (a *Activity) QueryCount(user string) int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.queries[user]
+}
+
+// Users lists users with recorded activity, sorted.
+func (a *Activity) Users() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.props))
+	for u := range a.props {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

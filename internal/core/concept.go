@@ -1,0 +1,56 @@
+package core
+
+import (
+	"strings"
+
+	"crosse/internal/engine"
+	"crosse/internal/kb"
+	"crosse/internal/sqlval"
+)
+
+// NewConceptChecker returns the validator used by the integrated annotation
+// scenario (Sec. III-A): a subject is a valid annotation target iff it is a
+// concept extracted from the original data source, i.e. some text column of
+// the databank holds it. IRIs minted by the resource mapping are stripped
+// back to their relational value before the lookup.
+func NewConceptChecker(db *engine.DB, m *Mapping) kb.ConceptChecker {
+	if m == nil {
+		m = NewMapping("")
+	}
+	return func(subject string) bool {
+		needle := subject
+		if i := strings.LastIndexAny(needle, "#/"); i >= 0 && strings.Contains(needle, "://") {
+			needle = needle[i+1:]
+		}
+		for _, name := range db.Catalog().Names() {
+			rel, err := db.Catalog().Resolve(name)
+			if err != nil {
+				continue
+			}
+			schema := rel.Schema()
+			var textCols []int
+			for i, c := range schema {
+				if c.Type == sqlval.TypeString {
+					textCols = append(textCols, i)
+				}
+			}
+			if len(textCols) == 0 {
+				continue
+			}
+			found := false
+			rel.Scan(func(row []sqlval.Value) bool {
+				for _, ci := range textCols {
+					if !row[ci].IsNull() && row[ci].Str() == needle {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"crosse/internal/rdf"
+)
+
+// TestConcurrentQueriesAndAnnotations exercises the platform the way a
+// multi-user deployment does: queries, annotations and imports racing.
+// Run with -race to validate the locking story.
+func TestConcurrentQueriesAndAnnotations(t *testing.T) {
+	e := fixture(t)
+	e.Activity = NewActivity()
+	const workers = 6
+	for w := 0; w < workers; w++ {
+		if err := e.Platform.RegisterUser(fmt.Sprintf("w%d", w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*3)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			user := fmt.Sprintf("w%d", w)
+			for i := 0; i < 20; i++ {
+				if _, err := e.Platform.Insert(user, rdf.Triple{
+					S: smg(fmt.Sprintf("E%d_%d", w, i)),
+					P: smg("dangerLevel"),
+					O: rdf.NewLiteral("high"),
+				}); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := e.Query(user, `SELECT elem_name FROM elem_contained WHERE landfill_name = 'a'
+ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`); err != nil {
+					errCh <- err
+					return
+				}
+				if i%5 == 0 {
+					if _, err := e.Platform.ImportFrom(user, "alice", nil); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// Activity recorded for every worker.
+	for w := 0; w < workers; w++ {
+		if e.Activity.QueryCount(fmt.Sprintf("w%d", w)) != 20 {
+			t.Errorf("w%d query count = %d", w, e.Activity.QueryCount(fmt.Sprintf("w%d", w)))
+		}
+	}
+}

@@ -1,0 +1,864 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"crosse/internal/engine"
+	"crosse/internal/kb"
+	"crosse/internal/rdf"
+	"crosse/internal/sesql"
+	"crosse/internal/sparql"
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlexec"
+	"crosse/internal/sqlparser"
+	"crosse/internal/sqlval"
+)
+
+// Enricher is the Semantic Query Module: it evaluates SESQL queries for a
+// user by combining the main platform database with the user's contextual
+// knowledge base.
+type Enricher struct {
+	DB       *engine.DB   // main platform (relational databank)
+	Platform *kb.Platform // semantic platform (users, beliefs, stored queries)
+	Mapping  *Mapping     // relational ↔ ontology resource mapping
+	// Activity, when non-nil, records which properties each user's
+	// enriched queries engage (feeds the peer-discovery services).
+	Activity *Activity
+}
+
+// New wires an Enricher. A nil mapping gets the default SmartGround one.
+func New(db *engine.DB, platform *kb.Platform, mapping *Mapping) *Enricher {
+	if mapping == nil {
+		mapping = NewMapping("")
+	}
+	return &Enricher{DB: db, Platform: platform, Mapping: mapping}
+}
+
+// Stats reports per-stage timings and artifacts of one SESQL evaluation —
+// the observable counterpart of the Fig. 6 architecture, used by experiment
+// E4 (stage breakdown).
+type Stats struct {
+	Parse    time.Duration // SQP: tag scanning + parsing
+	BaseSQL  time.Duration // relational query on the main platform
+	SPARQL   time.Duration // ontology queries on the user's KB
+	Join     time.Duration // JoinManager: combine partial results
+	FinalSQL time.Duration // final query on the support database
+
+	BaseRows  int
+	FinalRows int
+
+	BaseSQLText   string
+	SPARQLQueries []string
+	FinalSQLText  string
+}
+
+// Total returns the end-to-end latency.
+func (s *Stats) Total() time.Duration {
+	return s.Parse + s.BaseSQL + s.SPARQL + s.Join + s.FinalSQL
+}
+
+// Query evaluates a SESQL query in the user's context.
+func (e *Enricher) Query(user, text string) (*sqlexec.Result, error) {
+	res, _, err := e.QueryStats(user, text)
+	return res, err
+}
+
+// QueryStats evaluates a SESQL query and reports per-stage statistics.
+func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error) {
+	st := &Stats{}
+
+	t0 := time.Now()
+	q, err := sesql.Parse(text)
+	st.Parse = time.Since(t0)
+	if err != nil {
+		return nil, st, err
+	}
+
+	view, err := e.Platform.View(user)
+	if err != nil {
+		return nil, st, err
+	}
+
+	if e.Activity != nil && len(q.Enrichments) > 0 {
+		props := make([]string, 0, len(q.Enrichments))
+		for _, en := range q.Enrichments {
+			props = append(props, e.Mapping.PropertyIRI(en.Property).Value)
+		}
+		e.Activity.Record(user, props)
+	}
+
+	// Split enrichments into WHERE-affecting and schema-affecting.
+	var whereEnr, schemaEnr []sesql.Enrichment
+	for _, en := range q.Enrichments {
+		switch en.Kind {
+		case sesql.ReplaceConstant, sesql.ReplaceVariable:
+			whereEnr = append(whereEnr, en)
+		default:
+			schemaEnr = append(schemaEnr, en)
+		}
+	}
+
+	// Fast path: plain SQL.
+	if len(q.Enrichments) == 0 {
+		t0 = time.Now()
+		res, err := sqlexec.EvalSelect(e.DB.Catalog(), q.Select)
+		st.BaseSQL = time.Since(t0)
+		st.BaseSQLText = q.SQL
+		if res != nil {
+			st.BaseRows, st.FinalRows = len(res.Rows), len(res.Rows)
+		}
+		return res, st, err
+	}
+
+	if len(whereEnr) > 0 {
+		if q.Select.Distinct || len(q.Select.GroupBy) > 0 || q.Select.Having != nil {
+			return nil, st, fmt.Errorf("core: WHERE enrichment requires a plain SELECT (no DISTINCT/GROUP BY)")
+		}
+	}
+
+	// --- Build and run the base SQL query on the main platform ---
+	base, hidden, err := e.buildBaseQuery(q, whereEnr)
+	if err != nil {
+		return nil, st, err
+	}
+	deferOrder := len(whereEnr) > 0
+	if deferOrder {
+		base.OrderBy, base.Limit, base.Offset = nil, nil, nil
+	}
+	st.BaseSQLText = sqlparser.SelectSQL(base)
+
+	t0 = time.Now()
+	baseRes, err := sqlexec.EvalSelect(e.DB.Catalog(), base)
+	st.BaseSQL = time.Since(t0)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: base query: %w", err)
+	}
+	st.BaseRows = len(baseRes.Rows)
+
+	// Working result: visible headers + hidden columns.
+	work := &workset{headers: append([]string(nil), baseRes.Columns...), rows: baseRes.Rows}
+	visible := len(baseRes.Columns) - len(hidden.order)
+
+	// --- WHERE enrichments (JoinManager filtering) ---
+	for _, en := range whereEnr {
+		if err := e.applyWhereEnrichment(q, en, hidden, work, view, user, st); err != nil {
+			return nil, st, err
+		}
+	}
+
+	// --- Schema enrichments ---
+	for _, en := range schemaEnr {
+		if err := e.applySchemaEnrichment(q, en, work, view, user, visible, st); err != nil {
+			return nil, st, err
+		}
+		visible = len(work.headers) - len(hidden.order) // new columns are visible
+	}
+
+	// --- Materialise into the temporary support database, then run the
+	// final SQL query (Fig. 6's last step) ---
+	t0 = time.Now()
+	support := engine.Open()
+	tempCols, err := materialize(support, "sesql_result", work)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Join += time.Since(t0)
+
+	finalSQL := buildFinalSQL(tempCols, work.headers, len(work.headers)-len(hidden.order), q.Select, deferOrder)
+	st.FinalSQLText = finalSQL
+
+	t0 = time.Now()
+	finalRes, err := support.Query(finalSQL)
+	st.FinalSQL = time.Since(t0)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: final query: %w", err)
+	}
+	// Restore the exact output headers (quoted aliases survive, but make
+	// doubly sure derived names match the visible headers).
+	finalRes.Columns = append([]string(nil), work.headers[:len(work.headers)-len(hidden.order)]...)
+	st.FinalRows = len(finalRes.Rows)
+	return finalRes, st, nil
+}
+
+// workset is the JoinManager's in-flight partial result.
+type workset struct {
+	headers []string
+	rows    [][]sqlval.Value
+}
+
+func (w *workset) colIndex(name string) int {
+	for i, h := range w.headers {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// hiddenCols tracks the extra projections added to the base query so that
+// tagged WHERE conditions can be re-evaluated over materialised rows.
+type hiddenCols struct {
+	alias map[string]string // ColRef.SQL() → hidden column alias
+	order []string          // aliases in order of addition
+}
+
+// buildBaseQuery clones the parsed SELECT, neutralises tagged conditions
+// targeted by WHERE enrichments (they become TRUE — the enrichment applies
+// them later against the ontology), and appends hidden projections for the
+// columns those conditions reference.
+func (e *Enricher) buildBaseQuery(q *sesql.Query, whereEnr []sesql.Enrichment) (*sqlparser.Select, *hiddenCols, error) {
+	sel := *q.Select // shallow copy; Items/Where replaced below
+	sel.Items = append([]sqlparser.SelectItem(nil), q.Select.Items...)
+
+	hidden := &hiddenCols{alias: map[string]string{}}
+	trueLit := &sqlparser.Literal{Val: sqlval.NewBool(true)}
+
+	for _, en := range whereEnr {
+		tag := q.Conds[en.CondID]
+		where, n := sesql.ReplaceSubtree(sel.Where, tag.Expr, trueLit)
+		if n == 0 {
+			return nil, nil, fmt.Errorf("core: condition %s not found in WHERE", en.CondID)
+		}
+		sel.Where = where
+
+		var refs []*sqlparser.ColRef
+		collectColRefs(tag.Expr, &refs)
+		if en.Kind == sesql.ReplaceVariable {
+			attr := parseAttrRef(en.Attr)
+			refs = append(refs, attr)
+		}
+		// For ReplaceConstant the "attribute" is the non-relational
+		// constant (e.g. HazardousWaste) — it has no database column, so
+		// it must not become a hidden projection.
+		constSQL := ""
+		if en.Kind == sesql.ReplaceConstant {
+			constSQL = parseAttrRef(en.Attr).SQL()
+		}
+		for _, cr := range refs {
+			key := cr.SQL()
+			if key == constSQL {
+				continue
+			}
+			if _, ok := hidden.alias[key]; ok {
+				continue
+			}
+			alias := fmt.Sprintf("__h%d", len(hidden.order)+1)
+			hidden.alias[key] = alias
+			hidden.order = append(hidden.order, alias)
+			sel.Items = append(sel.Items, sqlparser.SelectItem{Expr: cr, Alias: alias})
+		}
+	}
+	return &sel, hidden, nil
+}
+
+// parseAttrRef parses an enrichment attr argument ("elem_name" or
+// "Elecond2.elem_name") into a column reference.
+func parseAttrRef(attr string) *sqlparser.ColRef {
+	if i := strings.IndexByte(attr, '.'); i >= 0 {
+		return &sqlparser.ColRef{Qualifier: attr[:i], Name: attr[i+1:]}
+	}
+	return &sqlparser.ColRef{Name: attr}
+}
+
+func collectColRefs(e sqlparser.Expr, out *[]*sqlparser.ColRef) {
+	switch ex := e.(type) {
+	case *sqlparser.ColRef:
+		*out = append(*out, ex)
+	case *sqlparser.BinExpr:
+		collectColRefs(ex.L, out)
+		collectColRefs(ex.R, out)
+	case *sqlparser.UnaryExpr:
+		collectColRefs(ex.E, out)
+	case *sqlparser.IsNull:
+		collectColRefs(ex.E, out)
+	case *sqlparser.InList:
+		collectColRefs(ex.E, out)
+		for _, le := range ex.List {
+			collectColRefs(le, out)
+		}
+	case *sqlparser.Between:
+		collectColRefs(ex.E, out)
+		collectColRefs(ex.Lo, out)
+		collectColRefs(ex.Hi, out)
+	case *sqlparser.FuncCall:
+		for _, a := range ex.Args {
+			collectColRefs(a, out)
+		}
+	case *sqlparser.CaseExpr:
+		if ex.Operand != nil {
+			collectColRefs(ex.Operand, out)
+		}
+		for _, w := range ex.Whens {
+			collectColRefs(w.Cond, out)
+			collectColRefs(w.Then, out)
+		}
+		if ex.Else != nil {
+			collectColRefs(ex.Else, out)
+		}
+	}
+}
+
+// --- WHERE enrichments ---
+
+// applyWhereEnrichment re-evaluates the tagged condition over every base
+// row with the constant (ReplaceConstant) or the attribute's value
+// (ReplaceVariable) replaced by the values the ontology yields; a row
+// survives when some replacement satisfies the condition (the paper's
+// "treat the list as if it was a relational attribute").
+func (e *Enricher) applyWhereEnrichment(q *sesql.Query, en sesql.Enrichment, hidden *hiddenCols, work *workset, view rdf.Graph, user string, st *Stats) error {
+	tag := q.Conds[en.CondID]
+
+	// Rewrite the condition: every referenced column → its hidden alias;
+	// for ReplaceConstant the constant → pseudo-variable __v; for
+	// ReplaceVariable the attribute → __v.
+	cond := tag.Expr
+	var refs []*sqlparser.ColRef
+	collectColRefs(tag.Expr, &refs)
+	pseudo := &sqlparser.ColRef{Name: "__v"}
+
+	switch en.Kind {
+	case sesql.ReplaceConstant:
+		constRef := parseAttrRef(en.Attr)
+		rewritten, n := sesql.ReplaceSubtree(cond, constRef, pseudo)
+		if n == 0 {
+			return fmt.Errorf("core: constant %s does not appear in condition %s", en.Attr, en.CondID)
+		}
+		cond = rewritten
+	case sesql.ReplaceVariable:
+		attrRef := parseAttrRef(en.Attr)
+		rewritten, n := sesql.ReplaceSubtree(cond, attrRef, pseudo)
+		if n == 0 {
+			return fmt.Errorf("core: attribute %s does not appear in condition %s", en.Attr, en.CondID)
+		}
+		cond = rewritten
+	}
+	for _, cr := range refs {
+		alias, ok := hidden.alias[cr.SQL()]
+		if !ok {
+			continue // already rewritten to __v
+		}
+		cond, _ = sesql.ReplaceSubtree(cond, cr, &sqlparser.ColRef{Name: alias})
+	}
+
+	scopeCols := make([]sqlexec.ScopeCol, len(work.headers)+1)
+	for i, h := range work.headers {
+		scopeCols[i] = sqlexec.ScopeCol{Name: h}
+	}
+	scopeCols[len(work.headers)] = sqlexec.ScopeCol{Name: "__v"}
+
+	switch en.Kind {
+	case sesql.ReplaceConstant:
+		values, err := e.replacementValues(en, user, view, st)
+		if err != nil {
+			return err
+		}
+		return existsFilter(work, scopeCols, cond, func(row []sqlval.Value, try func(sqlval.Value) (bool, error)) (bool, error) {
+			for _, v := range values {
+				ok, err := try(v)
+				if err != nil || ok {
+					return ok, err
+				}
+			}
+			return false, nil
+		}, st)
+
+	case sesql.ReplaceVariable:
+		pairs, err := e.propertyPairs(en, user, view, st)
+		if err != nil {
+			return err
+		}
+		attrIdx := work.colIndex(hidden.alias[parseAttrRef(en.Attr).SQL()])
+		if attrIdx < 0 {
+			return fmt.Errorf("core: internal: hidden column for %s missing", en.Attr)
+		}
+		return existsFilter(work, scopeCols, cond, func(row []sqlval.Value, try func(sqlval.Value) (bool, error)) (bool, error) {
+			for _, v := range pairs[valueKey(row[attrIdx])] {
+				ok, err := try(v)
+				if err != nil || ok {
+					return ok, err
+				}
+			}
+			return false, nil
+		}, st)
+	}
+	return nil
+}
+
+// existsFilter keeps rows for which the candidate generator finds a value
+// satisfying the rewritten condition.
+func existsFilter(work *workset, scopeCols []sqlexec.ScopeCol, cond sqlparser.Expr,
+	gen func(row []sqlval.Value, try func(sqlval.Value) (bool, error)) (bool, error), st *Stats) error {
+	t0 := time.Now()
+	defer func() { st.Join += time.Since(t0) }()
+
+	scratch := make([]sqlval.Value, len(work.headers)+1)
+	var kept [][]sqlval.Value
+	for _, row := range work.rows {
+		copy(scratch, row)
+		try := func(v sqlval.Value) (bool, error) {
+			scratch[len(work.headers)] = v
+			tri, err := sqlexec.EvalBool(cond, &sqlexec.Scope{Cols: scopeCols, Row: scratch})
+			if err != nil {
+				// Type mismatches against heterogeneous ontology values
+				// behave like SQL UNKNOWN rather than aborting the query.
+				return false, nil
+			}
+			return tri == sqlval.True, nil
+		}
+		ok, err := gen(row, try)
+		if err != nil {
+			return err
+		}
+		if ok {
+			kept = append(kept, row)
+		}
+	}
+	work.rows = kept
+	return nil
+}
+
+// --- schema enrichments ---
+
+func (e *Enricher) applySchemaEnrichment(q *sesql.Query, en sesql.Enrichment, work *workset, view rdf.Graph, user string, visible int, st *Stats) error {
+	attrIdx, err := resolveAttr(q.Select, work.headers[:visible], en.Attr)
+	if err != nil {
+		return err
+	}
+	// The ontology side of the join: what the column's values map to.
+	table := attrTable(q.Select, en.Attr)
+	column := parseAttrRef(en.Attr).Name
+
+	switch en.Kind {
+	case sesql.SchemaExtension, sesql.SchemaReplacement:
+		pairs, err := e.propertyPairs(en, user, view, st)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		newCol := uniqueName(shortName(en.Property), work.headers)
+		replace := en.Kind == sesql.SchemaReplacement
+		var rows [][]sqlval.Value
+		for _, row := range work.rows {
+			key := valueKeyMapped(e.Mapping, table, column, row[attrIdx])
+			objs := pairs[key]
+			if len(objs) == 0 {
+				rows = append(rows, extendRow(row, attrIdx, sqlval.Null, replace, visible))
+				continue
+			}
+			for _, o := range objs {
+				rows = append(rows, extendRow(row, attrIdx, o, replace, visible))
+			}
+		}
+		work.rows = rows
+		if replace {
+			work.headers[attrIdx] = newCol
+		} else {
+			work.headers = insertHeader(work.headers, visible, newCol)
+		}
+		st.Join += time.Since(t0)
+		return nil
+
+	case sesql.BoolSchemaExtension, sesql.BoolSchemaReplacement:
+		members, err := e.conceptMembers(en, user, view, st)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		newCol := uniqueName(shortName(en.Property), work.headers)
+		replace := en.Kind == sesql.BoolSchemaReplacement
+		var rows [][]sqlval.Value
+		for _, row := range work.rows {
+			key := valueKeyMapped(e.Mapping, table, column, row[attrIdx])
+			_, isMember := members[key]
+			rows = append(rows, extendRow(row, attrIdx, sqlval.NewBool(isMember), replace, visible))
+		}
+		work.rows = rows
+		if replace {
+			work.headers[attrIdx] = newCol
+		} else {
+			work.headers = insertHeader(work.headers, visible, newCol)
+		}
+		st.Join += time.Since(t0)
+		return nil
+	}
+	return fmt.Errorf("core: unexpected schema enrichment %v", en.Kind)
+}
+
+// extendRow either replaces column attrIdx with v or inserts v as a new
+// column just before position visible (i.e. after the visible columns,
+// before any hidden ones).
+func extendRow(row []sqlval.Value, attrIdx int, v sqlval.Value, replace bool, visible int) []sqlval.Value {
+	if replace {
+		out := append([]sqlval.Value(nil), row...)
+		out[attrIdx] = v
+		return out
+	}
+	out := make([]sqlval.Value, 0, len(row)+1)
+	out = append(out, row[:visible]...)
+	out = append(out, v)
+	out = append(out, row[visible:]...)
+	return out
+}
+
+func insertHeader(headers []string, visible int, name string) []string {
+	out := make([]string, 0, len(headers)+1)
+	out = append(out, headers[:visible]...)
+	out = append(out, name)
+	out = append(out, headers[visible:]...)
+	return out
+}
+
+// --- ontology access (the SQM's constructed SPARQL queries) ---
+
+// propertyPairs returns subject→objects for the enrichment property, via a
+// constructed SPARQL query or a stored one (Sec. IV-A.5: "prop refers to
+// either a property from the contextual ontology, or the identifier of a
+// previously stored SPARQL query").
+func (e *Enricher) propertyPairs(en sesql.Enrichment, user string, view rdf.Graph, st *Stats) (map[string][]sqlval.Value, error) {
+	if sq, ok := e.Platform.LookupQuery(user, en.Property); ok {
+		res, err := e.runSPARQL(view, sq.Text, st)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Vars) < 2 {
+			return nil, fmt.Errorf("core: stored query %q must project (subject, object) for %s", en.Property, en.Kind)
+		}
+		pairs := map[string][]sqlval.Value{}
+		for _, b := range res.Bindings {
+			s, okS := b[res.Vars[0]]
+			o, okO := b[res.Vars[1]]
+			if !okS || !okO {
+				continue
+			}
+			key := valueKey(e.Mapping.FromTerm(s))
+			pairs[key] = append(pairs[key], e.Mapping.FromTerm(o))
+		}
+		return pairs, nil
+	}
+
+	prop := e.Mapping.PropertyIRI(en.Property)
+	text := fmt.Sprintf("SELECT ?s ?o WHERE { ?s <%s> ?o }", prop.Value)
+	res, err := e.runSPARQL(view, text, st)
+	if err != nil {
+		return nil, err
+	}
+	pairs := map[string][]sqlval.Value{}
+	for _, b := range res.Bindings {
+		key := valueKey(e.Mapping.FromTerm(b["s"]))
+		pairs[key] = append(pairs[key], e.Mapping.FromTerm(b["o"]))
+	}
+	return pairs, nil
+}
+
+// conceptMembers returns the set of values related to the concept through
+// the property (for the boolean enrichments).
+func (e *Enricher) conceptMembers(en sesql.Enrichment, user string, view rdf.Graph, st *Stats) (map[string]struct{}, error) {
+	prop := e.Mapping.PropertyIRI(en.Property)
+	concepts := e.Mapping.ConceptTerms(en.Concept)
+	var parts []string
+	for _, c := range concepts {
+		parts = append(parts, fmt.Sprintf("{ ?s <%s> %s }", prop.Value, c.String()))
+	}
+	text := "SELECT DISTINCT ?s WHERE { " + strings.Join(parts, " UNION ") + " }"
+	res, err := e.runSPARQL(view, text, st)
+	if err != nil {
+		return nil, err
+	}
+	members := map[string]struct{}{}
+	for _, b := range res.Bindings {
+		members[valueKey(e.Mapping.FromTerm(b["s"]))] = struct{}{}
+	}
+	return members, nil
+}
+
+// replacementValues returns the candidate values for a ReplaceConstant
+// enrichment: the results of a stored query, or the objects of triples
+// whose subject is the constant.
+func (e *Enricher) replacementValues(en sesql.Enrichment, user string, view rdf.Graph, st *Stats) ([]sqlval.Value, error) {
+	if sq, ok := e.Platform.LookupQuery(user, en.Property); ok {
+		res, err := e.runSPARQL(view, sq.Text, st)
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Vars) < 1 {
+			return nil, fmt.Errorf("core: stored query %q projects no variables", en.Property)
+		}
+		var out []sqlval.Value
+		for _, b := range res.Bindings {
+			if t, ok := b[res.Vars[0]]; ok {
+				out = append(out, e.Mapping.FromTerm(t))
+			}
+		}
+		return out, nil
+	}
+
+	prop := e.Mapping.PropertyIRI(en.Property)
+	var parts []string
+	for _, c := range e.Mapping.ConceptTerms(en.Attr) {
+		parts = append(parts, fmt.Sprintf("{ %s <%s> ?o }", c.String(), prop.Value))
+	}
+	text := "SELECT ?o WHERE { " + strings.Join(parts, " UNION ") + " }"
+	res, err := e.runSPARQL(view, text, st)
+	if err != nil {
+		return nil, err
+	}
+	var out []sqlval.Value
+	for _, b := range res.Bindings {
+		out = append(out, e.Mapping.FromTerm(b["o"]))
+	}
+	return out, nil
+}
+
+func (e *Enricher) runSPARQL(view rdf.Graph, text string, st *Stats) (*sparql.Result, error) {
+	st.SPARQLQueries = append(st.SPARQLQueries, text)
+	t0 := time.Now()
+	res, err := sparql.Eval(view, text)
+	st.SPARQL += time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("core: SPARQL: %w", err)
+	}
+	return res, nil
+}
+
+// --- helpers ---
+
+// valueKey encodes a SQL value for hash joining ontology results with
+// relational values (numeric types fold together).
+func valueKey(v sqlval.Value) string {
+	t := v.Type()
+	if t == sqlval.TypeFloat {
+		t = sqlval.TypeInt
+	}
+	return fmt.Sprintf("%d|%s", t, v.String())
+}
+
+// valueKeyMapped routes the relational value through the resource mapping
+// and back, so a column mapped to IRIs joins with IRI-derived values.
+func valueKeyMapped(m *Mapping, table, column string, v sqlval.Value) string {
+	if v.IsNull() {
+		return "null"
+	}
+	return valueKey(m.FromTerm(m.ToTerm(table, column, v)))
+}
+
+// resolveAttr finds the result column an enrichment attr argument denotes:
+// an alias, a projected column name, or a qualified column whose projection
+// matches.
+func resolveAttr(sel *sqlparser.Select, headers []string, attr string) (int, error) {
+	ref := parseAttrRef(attr)
+	var matches []int
+	hasStar := false
+	for _, it := range sel.Items {
+		if it.Star {
+			hasStar = true
+		}
+	}
+	// Item positions align with header positions only when no star was
+	// expanded; otherwise match on headers alone below.
+	if !hasStar {
+		for i, it := range sel.Items {
+			if i >= len(headers) {
+				break
+			}
+			if it.Alias != "" && strings.EqualFold(it.Alias, attr) {
+				matches = append(matches, i)
+				continue
+			}
+			if cr, ok := it.Expr.(*sqlparser.ColRef); ok {
+				if !strings.EqualFold(cr.Name, ref.Name) {
+					continue
+				}
+				if ref.Qualifier != "" && !strings.EqualFold(cr.Qualifier, ref.Qualifier) {
+					continue
+				}
+				matches = append(matches, i)
+			}
+		}
+	}
+	// Stars were expanded at execution time; fall back to header names.
+	if len(matches) == 0 {
+		for i, h := range headers {
+			if strings.EqualFold(h, ref.Name) {
+				matches = append(matches, i)
+			}
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return 0, fmt.Errorf("core: enrichment attribute %q is not in the SELECT clause", attr)
+	default:
+		return 0, fmt.Errorf("core: enrichment attribute %q is ambiguous", attr)
+	}
+}
+
+// attrTable resolves which FROM table an attr qualifier denotes, for the
+// resource mapping ("Elecond2" → elem_contained).
+func attrTable(sel *sqlparser.Select, attr string) string {
+	ref := parseAttrRef(attr)
+	if ref.Qualifier == "" {
+		if len(sel.From) == 1 && len(sel.From[0].Joins) == 0 {
+			return sel.From[0].Table
+		}
+		return ""
+	}
+	for _, tr := range sel.From {
+		if strings.EqualFold(tr.Alias, ref.Qualifier) || strings.EqualFold(tr.Table, ref.Qualifier) {
+			return tr.Table
+		}
+		for _, j := range tr.Joins {
+			if strings.EqualFold(j.Alias, ref.Qualifier) || strings.EqualFold(j.Table, ref.Qualifier) {
+				return j.Table
+			}
+		}
+	}
+	return ""
+}
+
+func shortName(prop string) string {
+	if i := strings.LastIndexAny(prop, "#/"); i >= 0 && i+1 < len(prop) {
+		return prop[i+1:]
+	}
+	return prop
+}
+
+func uniqueName(base string, taken []string) string {
+	name := base
+	for n := 2; ; n++ {
+		clash := false
+		for _, t := range taken {
+			if strings.EqualFold(t, name) {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			return name
+		}
+		name = fmt.Sprintf("%s_%d", base, n)
+	}
+}
+
+// materialize writes the workset into the support database as a temp table
+// and returns the (sanitised, unique) physical column names in order.
+func materialize(support *engine.DB, table string, work *workset) ([]string, error) {
+	cols := make([]string, len(work.headers))
+	used := map[string]bool{}
+	for i, h := range work.headers {
+		name := sanitizeIdent(h)
+		if name == "" {
+			name = fmt.Sprintf("col%d", i+1)
+		}
+		base := name
+		for n := 2; used[strings.ToLower(name)]; n++ {
+			name = fmt.Sprintf("%s_%d", base, n)
+		}
+		used[strings.ToLower(name)] = true
+		cols[i] = name
+	}
+	schema := make(sqldb.Schema, len(cols))
+	for i, c := range cols {
+		schema[i] = sqldb.Column{Name: c, Type: inferType(work.rows, i)}
+	}
+	tab, err := support.Catalog().CreateTable(table, schema, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range work.rows {
+		if err := tab.Insert(row); err != nil {
+			return nil, fmt.Errorf("core: materialising %s: %w", table, err)
+		}
+	}
+	return cols, nil
+}
+
+func sanitizeIdent(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if b.Len() == 0 {
+				b.WriteByte('c')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return strings.Trim(b.String(), "_")
+}
+
+// inferType picks the narrowest type covering a column's values.
+func inferType(rows [][]sqlval.Value, col int) sqlval.Type {
+	sawInt, sawFloat, sawBool, sawString := false, false, false, false
+	for _, r := range rows {
+		switch r[col].Type() {
+		case sqlval.TypeInt:
+			sawInt = true
+		case sqlval.TypeFloat:
+			sawFloat = true
+		case sqlval.TypeBool:
+			sawBool = true
+		case sqlval.TypeString:
+			sawString = true
+		}
+	}
+	switch {
+	case sawString:
+		return sqlval.TypeString
+	case sawFloat && !sawBool:
+		return sqlval.TypeFloat
+	case sawInt && !sawBool:
+		return sqlval.TypeInt
+	case sawBool && !sawInt && !sawFloat:
+		return sqlval.TypeBool
+	case sawBool || sawInt || sawFloat:
+		return sqlval.TypeString // mixed bool/numeric: fall back to text
+	default:
+		return sqlval.TypeString // all NULL
+	}
+}
+
+// buildFinalSQL renders the Fig. 6 final query: project the visible columns
+// (dropping hidden ones) from the temp table, re-applying any deferred
+// ORDER BY / LIMIT / OFFSET.
+func buildFinalSQL(tempCols, headers []string, visible int, orig *sqlparser.Select, deferOrder bool) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i := 0; i < visible; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%q", tempCols[i])
+		if tempCols[i] != headers[i] {
+			fmt.Fprintf(&b, " AS %q", strings.ReplaceAll(headers[i], `"`, `'`))
+		}
+	}
+	b.WriteString(" FROM sesql_result")
+	if deferOrder {
+		if len(orig.OrderBy) > 0 {
+			b.WriteString(" ORDER BY ")
+			for i, o := range orig.OrderBy {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(o.Expr.SQL())
+				if o.Desc {
+					b.WriteString(" DESC")
+				}
+			}
+		}
+		if orig.Limit != nil {
+			b.WriteString(" LIMIT " + orig.Limit.SQL())
+		}
+		if orig.Offset != nil {
+			b.WriteString(" OFFSET " + orig.Offset.SQL())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"crosse/internal/rdf"
+	"crosse/internal/sqlval"
+)
+
+const mappingXML = `
+<resourceMapping>
+  <default iriPrefix="http://smartground.eu/onto#"/>
+  <map table="elem_contained" column="elem_name" iriPrefix="http://smartground.eu/element/"/>
+  <map column="city" literal="true"/>
+</resourceMapping>`
+
+func TestLoadMapping(t *testing.T) {
+	m, err := LoadMapping(strings.NewReader(mappingXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table-qualified rule.
+	term := m.ToTerm("elem_contained", "elem_name", sqlval.NewString("Mercury"))
+	if term.Value != "http://smartground.eu/element/Mercury" || !term.IsIRI() {
+		t.Errorf("qualified rule: %v", term)
+	}
+	// Column-only rule → literal.
+	term = m.ToTerm("landfill", "city", sqlval.NewString("Torino"))
+	if !term.IsLiteral() || term.Value != "Torino" {
+		t.Errorf("literal rule: %v", term)
+	}
+	// Fallback to default prefix.
+	term = m.ToTerm("landfill", "name", sqlval.NewString("a"))
+	if term.Value != DefaultIRIPrefix+"a" {
+		t.Errorf("default rule: %v", term)
+	}
+}
+
+func TestLoadMappingErrors(t *testing.T) {
+	bad := []string{
+		`not xml`,
+		`<resourceMapping><map table="t"/></resourceMapping>`,
+		`<resourceMapping><map column="c" literal="true" iriPrefix="http://x/"/></resourceMapping>`,
+	}
+	for _, doc := range bad {
+		if _, err := LoadMapping(strings.NewReader(doc)); err == nil {
+			t.Errorf("LoadMapping(%q) should fail", doc)
+		}
+	}
+}
+
+func TestXMLDocumentRoundTrip(t *testing.T) {
+	m, err := LoadMapping(strings.NewReader(mappingXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := m.XMLDocument()
+	m2, err := LoadMapping(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("re-load of %q: %v", doc, err)
+	}
+	for _, col := range []string{"elem_name", "city", "other"} {
+		a := m.ToTerm("elem_contained", col, sqlval.NewString("X"))
+		b := m2.ToTerm("elem_contained", col, sqlval.NewString("X"))
+		if a != b {
+			t.Errorf("round trip diverges on %s: %v vs %v", col, a, b)
+		}
+	}
+}
+
+func TestLiteralTermTypes(t *testing.T) {
+	m, _ := LoadMapping(strings.NewReader(mappingXML))
+	cases := []struct {
+		v  sqlval.Value
+		dt string
+	}{
+		{sqlval.NewInt(4), rdf.XSDInteger},
+		{sqlval.NewFloat(2.5), rdf.XSDDouble},
+		{sqlval.NewBool(true), rdf.XSDBoolean},
+		{sqlval.NewString("x"), ""},
+	}
+	for _, c := range cases {
+		term := m.ToTerm("landfill", "city", c.v)
+		if term.Datatype != c.dt {
+			t.Errorf("ToTerm(%v) datatype = %q, want %q", c.v, term.Datatype, c.dt)
+		}
+	}
+}
+
+func TestFromTerm(t *testing.T) {
+	m, _ := LoadMapping(strings.NewReader(mappingXML))
+	cases := []struct {
+		term rdf.Term
+		want sqlval.Value
+	}{
+		{rdf.NewIRI(DefaultIRIPrefix + "Mercury"), sqlval.NewString("Mercury")},
+		{rdf.NewIRI("http://smartground.eu/element/Lead"), sqlval.NewString("Lead")},
+		{rdf.NewIRI("http://elsewhere.org/x"), sqlval.NewString("http://elsewhere.org/x")},
+		{rdf.NewLiteral("plain"), sqlval.NewString("plain")},
+		{rdf.NewTypedLiteral("42", rdf.XSDInteger), sqlval.NewInt(42)},
+		{rdf.NewTypedLiteral("2.5", rdf.XSDDouble), sqlval.NewFloat(2.5)},
+		{rdf.NewTypedLiteral("true", rdf.XSDBoolean), sqlval.NewBool(true)},
+		{rdf.NewTypedLiteral("zz", rdf.XSDInteger), sqlval.NewString("zz")}, // malformed → text
+	}
+	for _, c := range cases {
+		got := m.FromTerm(c.term)
+		if got.Type() != c.want.Type() || got.String() != c.want.String() {
+			t.Errorf("FromTerm(%v) = %v (%v), want %v", c.term, got, got.Type(), c.want)
+		}
+	}
+}
+
+func TestToFromTermRoundTrip(t *testing.T) {
+	m, _ := LoadMapping(strings.NewReader(mappingXML))
+	vals := []sqlval.Value{
+		sqlval.NewString("Mercury"), sqlval.NewInt(7), sqlval.NewFloat(1.25), sqlval.NewBool(false),
+	}
+	for _, v := range vals {
+		// literal column round-trips types exactly
+		back := m.FromTerm(m.ToTerm("landfill", "city", v))
+		if back.Type() != v.Type() || back.String() != v.String() {
+			t.Errorf("literal round trip %v → %v", v, back)
+		}
+		// IRI column round-trips the rendering
+		back = m.FromTerm(m.ToTerm("elem_contained", "elem_name", v))
+		if back.String() != v.String() {
+			t.Errorf("IRI round trip %v → %v", v, back)
+		}
+	}
+}
+
+func TestPropertyAndConceptHelpers(t *testing.T) {
+	m := NewMapping("")
+	if got := m.PropertyIRI("dangerLevel").Value; got != DefaultIRIPrefix+"dangerLevel" {
+		t.Errorf("PropertyIRI: %q", got)
+	}
+	if got := m.PropertyIRI("http://x/p").Value; got != "http://x/p" {
+		t.Errorf("PropertyIRI absolute: %q", got)
+	}
+	terms := m.ConceptTerms("Italy")
+	if len(terms) != 2 || !terms[0].IsIRI() || !terms[1].IsLiteral() {
+		t.Errorf("ConceptTerms: %v", terms)
+	}
+	if terms := m.ConceptTerms("http://x/C"); len(terms) != 1 {
+		t.Errorf("absolute concept: %v", terms)
+	}
+}

@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"crosse/internal/engine"
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlval"
+)
+
+// This file gives the databank a bulk interchange format: real SmartGround
+// deployments ingest registry extracts as delimited files; we support CSV
+// with a header row. Types on import are declared in the header as
+// "name:type" (type ∈ int, float, text, bool; default text), matching how
+// the export writes them.
+
+// ExportCSV writes the table as CSV: a typed header row, then one row per
+// tuple. NULLs export as empty cells.
+func ExportCSV(db *engine.DB, table string, w io.Writer) error {
+	rel, err := db.Catalog().Resolve(table)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	schema := rel.Schema()
+	header := make([]string, len(schema))
+	for i, c := range schema {
+		header[i] = c.Name + ":" + typeTag(c.Type)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	var writeErr error
+	rel.Scan(func(row []sqlval.Value) bool {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			if v.IsNull() {
+				cells[i] = ""
+			} else {
+				cells[i] = v.String()
+			}
+		}
+		writeErr = cw.Write(cells)
+		return writeErr == nil
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func typeTag(t sqlval.Type) string {
+	switch t {
+	case sqlval.TypeInt:
+		return "int"
+	case sqlval.TypeFloat:
+		return "float"
+	case sqlval.TypeBool:
+		return "bool"
+	default:
+		return "text"
+	}
+}
+
+func tagType(tag string) (sqlval.Type, error) {
+	switch strings.ToLower(tag) {
+	case "int":
+		return sqlval.TypeInt, nil
+	case "float":
+		return sqlval.TypeFloat, nil
+	case "bool":
+		return sqlval.TypeBool, nil
+	case "text", "":
+		return sqlval.TypeString, nil
+	default:
+		return sqlval.TypeString, fmt.Errorf("dataset: unknown CSV type tag %q", tag)
+	}
+}
+
+// ImportCSV creates the table from the CSV's typed header and loads every
+// row, returning the row count. Empty cells load as NULL.
+func ImportCSV(db *engine.DB, table string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	schema := make(sqldb.Schema, len(header))
+	for i, h := range header {
+		name, tag := h, ""
+		if j := strings.IndexByte(h, ':'); j >= 0 {
+			name, tag = h[:j], h[j+1:]
+		}
+		if strings.TrimSpace(name) == "" {
+			return 0, fmt.Errorf("dataset: empty column name in CSV header")
+		}
+		typ, err := tagType(tag)
+		if err != nil {
+			return 0, err
+		}
+		schema[i] = sqldb.Column{Name: strings.TrimSpace(name), Type: typ}
+	}
+	tab, err := db.Catalog().CreateTable(table, schema, false)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("dataset: CSV row %d: %w", n+2, err)
+		}
+		if len(record) != len(schema) {
+			return n, fmt.Errorf("dataset: CSV row %d has %d cells, want %d", n+2, len(record), len(schema))
+		}
+		row := make([]sqlval.Value, len(schema))
+		for i, cell := range record {
+			v, err := parseCell(cell, schema[i].Type)
+			if err != nil {
+				return n, fmt.Errorf("dataset: CSV row %d column %s: %w", n+2, schema[i].Name, err)
+			}
+			row[i] = v
+		}
+		if err := tab.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func parseCell(cell string, t sqlval.Type) (sqlval.Value, error) {
+	if cell == "" {
+		return sqlval.Null, nil
+	}
+	switch t {
+	case sqlval.TypeInt:
+		i, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		return sqlval.NewInt(i), nil
+	case sqlval.TypeFloat:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		return sqlval.NewFloat(f), nil
+	case sqlval.TypeBool:
+		switch strings.ToLower(cell) {
+		case "true", "t", "1":
+			return sqlval.NewBool(true), nil
+		case "false", "f", "0":
+			return sqlval.NewBool(false), nil
+		}
+		return sqlval.Null, fmt.Errorf("bad boolean %q", cell)
+	default:
+		return sqlval.NewString(cell), nil
+	}
+}

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"crosse/internal/sqlval"
+)
+
+// Dump writes the database as a SQL script (CREATE TABLE + INSERT
+// statements) that Restore re-executes — the databank's durability story.
+// Local tables only; foreign registrations are connection state, not data.
+func (d *DB) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range d.cat.Names() {
+		rel, err := d.cat.Resolve(name)
+		if err != nil {
+			return err
+		}
+		// Skip foreign tables: Resolve returns them too, but only local
+		// *sqldb.Table values round-trip as data.
+		tab, err := d.cat.Table(name)
+		if err != nil {
+			continue
+		}
+		schema := rel.Schema()
+		cols := make([]string, len(schema))
+		for i, c := range schema {
+			col := fmt.Sprintf("%q %s", c.Name, c.Type)
+			if c.PrimaryKey {
+				col += " PRIMARY KEY"
+			} else if c.NotNull {
+				col += " NOT NULL"
+			}
+			cols[i] = col
+		}
+		fmt.Fprintf(bw, "CREATE TABLE %q (%s);\n", name, strings.Join(cols, ", "))
+
+		var writeErr error
+		tab.Scan(func(row []sqlval.Value) bool {
+			vals := make([]string, len(row))
+			for i, v := range row {
+				vals[i] = v.SQLLiteral()
+			}
+			_, writeErr = fmt.Fprintf(bw, "INSERT INTO %q VALUES (%s);\n", name, strings.Join(vals, ", "))
+			return writeErr == nil
+		})
+		if writeErr != nil {
+			return writeErr
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore executes a script produced by Dump into this database.
+func (d *DB) Restore(r io.Reader) error {
+	var b strings.Builder
+	if _, err := io.Copy(&b, r); err != nil {
+		return err
+	}
+	_, err := d.ExecScript(b.String())
+	return err
+}

@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"crosse/internal/sqlval"
+)
+
+func TestExecScriptAndQuery(t *testing.T) {
+	db := Open()
+	_, err := db.ExecScript(`
+		CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
+		INSERT INTO t VALUES (1, 'it''s; tricky'), (2, 'b');
+		-- a comment with ; inside
+		INSERT INTO t VALUES (3, 'c');
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query(`SELECT COUNT(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int() != 3 {
+		t.Errorf("count = %v", r.Rows[0][0])
+	}
+	// Semicolon inside the string literal must not split.
+	r, err = db.Query(`SELECT name FROM t WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Str() != "it's; tricky" {
+		t.Errorf("got %q", r.Rows[0][0].Str())
+	}
+}
+
+func TestExecScriptErrorMentionsStatement(t *testing.T) {
+	db := Open()
+	_, err := db.ExecScript(`CREATE TABLE t (a INT); INSERT INTO nope VALUES (1)`)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error should mention failing statement: %v", err)
+	}
+}
+
+func TestQueryRejectsNonResult(t *testing.T) {
+	db := Open()
+	if _, err := db.Query(`CREATE TABLE t (a INT)`); err == nil {
+		t.Error("Query on DDL must fail")
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	got := SplitStatements(`a; b 'x;y'; -- c;
+d;`)
+	if len(got) != 3 || got[1] != "b 'x;y'" || got[2] != "d" {
+		t.Errorf("split = %#v", got)
+	}
+	if len(SplitStatements("   ")) != 0 {
+		t.Error("blank script")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	db := Open()
+	if _, err := db.ExecScript(`CREATE TABLE t (a INT, b TEXT); INSERT INTO t VALUES (1, 'xyz')`); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db.Query(`SELECT * FROM t`)
+	out := FormatTable(r)
+	for _, want := range []string{"a", "b", "1", "xyz", "(1 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable missing %q:\n%s", want, out)
+		}
+	}
+	ddl, _ := db.Exec(`CREATE TABLE u (x INT)`)
+	if !strings.Contains(FormatTable(ddl), "affected") {
+		t.Error("DDL format")
+	}
+}
+
+func TestRowBuilder(t *testing.T) {
+	row, err := Row(1, int64(2), 3.5, "s", true, nil, sqlval.NewInt(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].Int() != 1 || row[1].Int() != 2 || row[2].Float() != 3.5 ||
+		row[3].Str() != "s" || !row[4].Bool() || !row[5].IsNull() || row[6].Int() != 9 {
+		t.Errorf("row = %v", row)
+	}
+	if _, err := Row(struct{}{}); err == nil {
+		t.Error("unsupported type must fail")
+	}
+}

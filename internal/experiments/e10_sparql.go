@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"crosse/internal/rdf"
+	"crosse/internal/sparql"
+)
+
+// RunE10 measures the SPARQL engine over growing stores: a two-pattern BGP
+// join, a FILTER query, and a transitive property path. Expected shape: the
+// BGP join is driven by the selective pattern (near-flat), the filter scan
+// grows linearly with matching triples, and the path closure grows with
+// reachable-set size.
+func RunE10(w io.Writer, quick bool) error {
+	header(w, "E10", "SPARQL engine micro-benchmarks")
+	sizes := []int{2000, 10000, 50000}
+	if quick {
+		sizes = []int{1000, 5000}
+	}
+	reps := 5
+	if quick {
+		reps = 3
+	}
+
+	const ns = "http://smartground.eu/onto#"
+	queries := []struct{ name, q string }{
+		{"BGP join", `SELECT ?x ?l WHERE { ?x <` + ns + `isA> <` + ns + `Hazard> . ?x <` + ns + `level> ?l }`},
+		{"filter", `SELECT ?x WHERE { ?x <` + ns + `level> ?l . FILTER (?l > 7) }`},
+		{"path +", `SELECT ?c WHERE { <` + ns + `class0> <` + ns + `sub>+ ?c }`},
+	}
+
+	tab := newTable(append([]string{"triples"}, qnames(queries)...)...)
+	for _, n := range sizes {
+		st := rdf.NewStore()
+		rng := rand.New(rand.NewSource(9))
+		// 10% hazard facts, everything gets a level, plus a deep subclass chain.
+		for i := 0; i < n; i++ {
+			s := rdf.NewIRI(fmt.Sprintf("%selem%d", ns, i))
+			if i%10 == 0 {
+				st.Add(rdf.Triple{S: s, P: rdf.NewIRI(ns + "isA"), O: rdf.NewIRI(ns + "Hazard")})
+			}
+			st.Add(rdf.Triple{S: s, P: rdf.NewIRI(ns + "level"),
+				O: rdf.NewTypedLiteral(fmt.Sprint(rng.Intn(10)), rdf.XSDInteger)})
+		}
+		for i := 0; i < 60; i++ {
+			st.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("%sclass%d", ns, i)),
+				P: rdf.NewIRI(ns + "sub"),
+				O: rdf.NewIRI(fmt.Sprintf("%sclass%d", ns, i+1)),
+			})
+		}
+
+		cells := []any{st.Len()}
+		for _, q := range queries {
+			med, err := medianOf(reps, func() error {
+				_, err := sparql.Eval(st, q.q)
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", q.name, err)
+			}
+			cells = append(cells, med)
+		}
+		tab.add(cells...)
+	}
+	tab.write(w)
+	return nil
+}
+
+func qnames(qs []struct{ name, q string }) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.name
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"crosse/internal/kb"
+	"crosse/internal/rdf"
+	"crosse/internal/recommend"
+)
+
+// RunE11 measures the peer-networking services built on the KB layer
+// (Sec. I-B.b vision): peer-similarity ranking and statement
+// recommendation as the community grows. Expected shape: both scale with
+// (users × statements) — they scan the belief matrix — and stay
+// interactive (milliseconds) at community sizes a scientific platform
+// sees; recommendation quality is exercised functionally in
+// internal/recommend tests.
+func RunE11(w io.Writer, quick bool) error {
+	header(w, "E11", "Peer discovery and recommendation scaling")
+	sizes := []struct{ users, stmts int }{
+		{10, 200}, {50, 500}, {100, 1000},
+	}
+	if quick {
+		sizes = []struct{ users, stmts int }{{5, 100}, {20, 200}}
+	}
+
+	tab := newTable("users", "statements", "peer ranking", "recommendations", "recs found")
+	for _, sz := range sizes {
+		p := kb.NewPlatform()
+		for u := 0; u < sz.users; u++ {
+			if err := p.RegisterUser(fmt.Sprintf("user%03d", u)); err != nil {
+				return err
+			}
+		}
+		// Each statement is owned by some user; ~20% of random users import
+		// each statement, giving a dense, asymmetric belief matrix.
+		rng := rand.New(rand.NewSource(63))
+		for i := 0; i < sz.stmts; i++ {
+			owner := fmt.Sprintf("user%03d", i%sz.users)
+			id, err := p.Insert(owner, rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("%se%d", kb.SMG, i)),
+				P: rdf.NewIRI(kb.SMG + "isA"),
+				O: rdf.NewIRI(kb.SMG + "HazardousWaste"),
+			})
+			if err != nil {
+				return err
+			}
+			for u := 0; u < sz.users/5; u++ {
+				name := fmt.Sprintf("user%03d", rng.Intn(sz.users))
+				if name != owner {
+					if err := p.Import(name, id); err != nil {
+						return err
+					}
+				}
+			}
+		}
+
+		var peerTime, recTime time.Duration
+		var recCount int
+		peerTime, err := medianOf(3, func() error {
+			recommend.PeersByBeliefs(p, "user000", 10)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		recTime, err = medianOf(3, func() error {
+			recCount = len(recommend.RecommendStatements(p, "user000", 10))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		tab.add(sz.users, sz.stmts, peerTime, recTime, recCount)
+	}
+	tab.write(w)
+	return nil
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"crosse/internal/engine"
+)
+
+// RunE1 reproduces the paper's worked examples 4.1-4.6 end to end on the
+// Fig. 3 fragment and prints each result table — the functional ground
+// truth every other experiment builds on.
+func RunE1(w io.Writer, quick bool) error {
+	header(w, "E1", "Functional reproduction of paper examples 4.1-4.6")
+	enr, err := paperFixture()
+	if err != nil {
+		return err
+	}
+	for _, ex := range paperExampleQueries() {
+		fmt.Fprintf(w, "\n--- Example %s ---\n", ex.Name)
+		fmt.Fprintln(w, strings.TrimSpace(ex.Query))
+		res, err := enr.Query("alice", ex.Query)
+		if err != nil {
+			return fmt.Errorf("example %s: %w", ex.Name, err)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, engine.FormatTable(res))
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"crosse/internal/sesql"
+)
+
+// RunE2 measures SESQL parse throughput for each enrichment clause of the
+// Fig. 5 grammar, plus plain SQL as the baseline: the SQP stage must be a
+// negligible share of query latency for the architecture to make sense.
+func RunE2(w io.Writer, quick bool) error {
+	header(w, "E2", "SESQL parser throughput (Fig. 5 grammar)")
+	iters := 20000
+	if quick {
+		iters = 2000
+	}
+
+	queries := append([]struct{ Name, Query string }{
+		{"plain SQL", `SELECT elem_name, landfill_name FROM elem_contained WHERE landfill_name = 'a'`},
+	}, paperExampleQueries()...)
+
+	tab := newTable("query form", "parses", "total", "per parse", "parses/sec")
+	for _, q := range queries {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := sesql.Parse(q.Query); err != nil {
+				return fmt.Errorf("%s: %w", q.Name, err)
+			}
+		}
+		total := time.Since(t0)
+		per := total / time.Duration(iters)
+		tab.add(q.Name, iters, total, per, fmt.Sprintf("%.0f", float64(iters)/total.Seconds()))
+	}
+	tab.write(w)
+	return nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"crosse/internal/rdf"
+)
+
+// RunE3 measures the Fig. 4 substrate: triple insert throughput and the
+// three indexed lookup shapes as the store grows. The expectation the
+// architecture relies on is that point lookups stay roughly flat while the
+// store grows (hash indexes), so per-user KBs can grow without degrading
+// enrichment.
+func RunE3(w io.Writer, quick bool) error {
+	header(w, "E3", "Triple store scaling (Fig. 4 substrate)")
+	sizes := []int{1000, 10000, 100000}
+	if quick {
+		sizes = []int{1000, 5000}
+	}
+
+	tab := newTable("triples", "insert total", "insert/triple", "S?? lookup", "?PO lookup", "?P? match (rows)")
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(42))
+		st := rdf.NewStore()
+		subjects := n / 10
+		triples := make([]rdf.Triple, n)
+		for i := range triples {
+			triples[i] = rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://x/s%d", rng.Intn(subjects))),
+				P: rdf.NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(20))),
+				O: rdf.NewIRI(fmt.Sprintf("http://x/o%d", rng.Intn(n))),
+			}
+		}
+		t0 := time.Now()
+		st.AddAll(triples)
+		insert := time.Since(t0)
+
+		probeS := rdf.NewIRI("http://x/s1")
+		probeP := rdf.NewIRI("http://x/p1")
+		probeO := triples[n/2].O
+
+		lookups := 1000
+		t0 = time.Now()
+		for i := 0; i < lookups; i++ {
+			st.Match(rdf.Pattern{S: probeS})
+		}
+		sLookup := time.Since(t0) / time.Duration(lookups)
+
+		t0 = time.Now()
+		for i := 0; i < lookups; i++ {
+			st.Match(rdf.Pattern{P: probeP, O: probeO})
+		}
+		poLookup := time.Since(t0) / time.Duration(lookups)
+
+		t0 = time.Now()
+		rows := st.Count(rdf.Pattern{P: probeP})
+		pMatch := time.Since(t0)
+
+		tab.add(n, insert, insert/time.Duration(n), sLookup, poLookup,
+			fmt.Sprintf("%s (%d)", formatDuration(pMatch), rows))
+	}
+	tab.write(w)
+	return nil
+}

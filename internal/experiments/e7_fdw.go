@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"crosse/internal/dataset"
+	"crosse/internal/engine"
+	"crosse/internal/fdw"
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlval"
+)
+
+// RunE7 measures the federation substrate (the paper's postgres_fdw role):
+// scanning a table locally, scanning it as a foreign table over the wire,
+// and the effect of equality-predicate pushdown. Expected shape: remote
+// full scans pay a serialisation cost linear in rows shipped; pushdown cuts
+// both latency and rows transferred by the selectivity factor.
+func RunE7(w io.Writer, quick bool) error {
+	header(w, "E7", "FDW federation: local vs remote, pushdown")
+	sizes := []int{1000, 5000, 20000}
+	if quick {
+		sizes = []int{500, 2000}
+	}
+	reps := 5
+	if quick {
+		reps = 3
+	}
+
+	tab := newTable("rows", "local scan", "remote scan", "remote w/ pushdown", "rows shipped (full/pushdown)")
+	for _, n := range sizes {
+		cfg := dataset.DefaultConfig()
+		cfg.Landfills = n / 10
+		cfg.PerLCount = 12
+		remoteEng := engine.Open()
+		if err := dataset.Populate(remoteEng, cfg); err != nil {
+			return err
+		}
+		var remoteDB *sqldb.Database = remoteEng.Catalog()
+
+		// Local reference scan.
+		tbl, err := remoteDB.Table("elem_contained")
+		if err != nil {
+			return err
+		}
+		rows := tbl.Len()
+
+		local, err := medianOf(reps, func() error {
+			return tbl.Scan(func([]sqlval.Value) bool { return true })
+		})
+		if err != nil {
+			return err
+		}
+
+		// Remote over an in-process pipe.
+		srv := fdw.NewServer(remoteDB)
+		a, b := net.Pipe()
+		go srv.ServeConn(a)
+		client := fdw.NewClient(b)
+		ft, err := client.ForeignTable("elem_contained", "")
+		if err != nil {
+			return err
+		}
+
+		full, err := medianOf(reps, func() error {
+			return ft.Scan(func([]sqlval.Value) bool { return true })
+		})
+		if err != nil {
+			return err
+		}
+		_, shippedFull := client.Stats()
+
+		probe := sqlval.NewString(dataset.LandfillName(0))
+		before := shippedFull
+		push, err := medianOf(reps, func() error {
+			return ft.ScanEq("landfill_name", probe, func([]sqlval.Value) bool { return true })
+		})
+		if err != nil {
+			return err
+		}
+		_, after := client.Stats()
+		shippedPush := (after - before) / reps
+		client.Close()
+
+		tab.add(rows, local, full, push,
+			fmt.Sprintf("%d / %d", rows, shippedPush))
+	}
+	tab.write(w)
+	return nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"crosse/internal/dataset"
+	"crosse/internal/engine"
+)
+
+// RunE9 sanity-checks the relational substrate itself: scan, filter,
+// hash join, and aggregation latency as the databank grows. These numbers
+// calibrate every other experiment (SESQL latency can only be judged
+// against what the bare engine costs).
+func RunE9(w io.Writer, quick bool) error {
+	header(w, "E9", "Relational engine micro-benchmarks")
+	sizes := []int{200, 800, 3200}
+	if quick {
+		sizes = []int{100, 400}
+	}
+	reps := 5
+	if quick {
+		reps = 3
+	}
+
+	queries := []struct{ name, sql string }{
+		{"full scan", `SELECT COUNT(*) FROM elem_contained`},
+		{"filter", `SELECT COUNT(*) FROM elem_contained WHERE elem_name = 'element_000'`},
+		{"hash join", `SELECT COUNT(*) FROM elem_contained e, landfill l WHERE e.landfill_name = l.name`},
+		{"group by", `SELECT elem_name, COUNT(*), AVG(amount) FROM elem_contained GROUP BY elem_name`},
+		{"order+limit", `SELECT elem_name, amount FROM elem_contained ORDER BY amount DESC LIMIT 10`},
+	}
+
+	tab := newTable(append([]string{"landfills", "rows"}, names(queries)...)...)
+	for _, n := range sizes {
+		db := engine.Open()
+		cfg := dataset.DefaultConfig()
+		cfg.Landfills = n
+		cfg.Analyses = n
+		if err := dataset.Populate(db, cfg); err != nil {
+			return err
+		}
+		rows, err := countRows(db, "elem_contained")
+		if err != nil {
+			return err
+		}
+		cells := []any{n, rows}
+		for _, q := range queries {
+			med, err := medianOf(reps, func() error {
+				_, err := db.Query(q.sql)
+				return err
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", q.name, err)
+			}
+			cells = append(cells, med)
+		}
+		tab.add(cells...)
+	}
+	tab.write(w)
+	return nil
+}
+
+func names(qs []struct{ name, sql string }) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.name
+	}
+	return out
+}

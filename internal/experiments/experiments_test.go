@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, true); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("%s output missing header:\n%s", e.ID, out)
+			}
+			if len(strings.TrimSpace(out)) < 80 {
+				t.Errorf("%s output suspiciously short:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("E1"); !ok {
+		t.Error("E1 must exist")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Error("E99 must not exist")
+	}
+}
+
+func TestE1ContainsPaperResults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunE1(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Golden checks on the functional reproduction.
+	for _, want := range []string{
+		"4.1 SCHEMAEXTENSION",
+		"dangerLevel",
+		"Mercury",
+		"4.5 REPLACECONSTANT",
+		"4.6 REPLACEVARIABLE",
+		"inCountry",
+		"Italy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 output missing %q", want)
+		}
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	n := 0
+	d, err := medianOf(5, func() error { n++; return nil })
+	if err != nil || n != 5 || d < 0 {
+		t.Errorf("medianOf: n=%d d=%v err=%v", n, d, err)
+	}
+	if _, err := medianOf(0, func() error { return nil }); err != nil {
+		t.Error("k<1 must clamp, not fail")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := newTable("a", "bb")
+	tab.add("x", 12)
+	var buf bytes.Buffer
+	tab.write(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "12") || !strings.Contains(out, "--") {
+		t.Errorf("table output:\n%s", out)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"crosse/internal/core"
+	"crosse/internal/dataset"
+	"crosse/internal/engine"
+	"crosse/internal/kb"
+	"crosse/internal/rdf"
+)
+
+// paperFixture reproduces the paper's running example databank (Fig. 3
+// fragment) and alice's contextual knowledge, exactly as the worked
+// examples 4.1-4.6 assume.
+func paperFixture() (*core.Enricher, error) {
+	db := engine.Open()
+	if _, err := db.ExecScript(`
+		CREATE TABLE landfill (name TEXT PRIMARY KEY, city TEXT);
+		CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT);
+		INSERT INTO landfill VALUES ('a', 'Torino'), ('b', 'Milano'), ('c', 'Lyon');
+		INSERT INTO elem_contained VALUES
+			('Mercury', 'a'), ('Lead', 'a'), ('Zinc', 'a'),
+			('Gold', 'b'), ('Mercury', 'b'),
+			('Lead', 'c');
+	`); err != nil {
+		return nil, err
+	}
+	p := kb.NewPlatform()
+	if err := p.RegisterUser("alice"); err != nil {
+		return nil, err
+	}
+	smg := func(local string) rdf.Term { return rdf.NewIRI(core.DefaultIRIPrefix + local) }
+	facts := []rdf.Triple{
+		{S: smg("Mercury"), P: smg("dangerLevel"), O: rdf.NewLiteral("high")},
+		{S: smg("Lead"), P: smg("dangerLevel"), O: rdf.NewLiteral("high")},
+		{S: smg("Zinc"), P: smg("dangerLevel"), O: rdf.NewLiteral("low")},
+		{S: smg("Mercury"), P: smg("isA"), O: smg("HazardousWaste")},
+		{S: smg("Lead"), P: smg("isA"), O: smg("HazardousWaste")},
+		{S: smg("Asbestos"), P: smg("isA"), O: smg("HazardousWaste")},
+		{S: smg("Torino"), P: smg("inCountry"), O: smg("Italy")},
+		{S: smg("Milano"), P: smg("inCountry"), O: smg("Italy")},
+		{S: smg("Lyon"), P: smg("inCountry"), O: smg("France")},
+		{S: smg("Mercury"), P: smg("oreAssemblage"), O: smg("Lead")},
+		{S: smg("Lead"), P: smg("oreAssemblage"), O: smg("Zinc")},
+	}
+	for _, f := range facts {
+		if _, err := p.Insert("alice", f); err != nil {
+			return nil, err
+		}
+	}
+	if err := dataset.RegisterDangerQuery(p); err != nil {
+		return nil, err
+	}
+	return core.New(db, p, nil), nil
+}
+
+// scaledFixture builds a synthetic databank of the given size plus a user
+// ontology, for the performance experiments.
+func scaledFixture(landfills, extraKB int) (*core.Enricher, error) {
+	db := engine.Open()
+	cfg := dataset.DefaultConfig()
+	cfg.Landfills = landfills
+	cfg.Analyses = landfills * 2
+	if err := dataset.Populate(db, cfg); err != nil {
+		return nil, err
+	}
+	p := kb.NewPlatform()
+	if err := p.RegisterUser("alice"); err != nil {
+		return nil, err
+	}
+	ocfg := dataset.DefaultOntology()
+	ocfg.ExtraTriples = extraKB
+	if _, err := dataset.PopulateOntology(p, "alice", ocfg); err != nil {
+		return nil, err
+	}
+	if err := dataset.RegisterDangerQuery(p); err != nil {
+		return nil, err
+	}
+	return core.New(db, p, nil), nil
+}
+
+// paperExampleQueries are the six worked examples of Sec. IV, in order.
+func paperExampleQueries() []struct{ Name, Query string } {
+	return []struct{ Name, Query string }{
+		{"4.1 SCHEMAEXTENSION", `SELECT elem_name, landfill_name
+FROM elem_contained
+WHERE landfill_name = 'a'
+ENRICH
+SCHEMAEXTENSION( elem_name, dangerLevel)`},
+		{"4.2 SCHEMAREPLACEMENT", `SELECT name, city
+FROM landfill
+ENRICH
+SCHEMAREPLACEMENT(city, inCountry)`},
+		{"4.3 BOOLSCHEMAEXTENSION", `SELECT elem_name
+FROM elem_contained
+WHERE landfill_name = 'a'
+ENRICH
+BOOLSCHEMAEXTENSION( elem_name, isA, HazardousWaste)`},
+		{"4.4 BOOLSCHEMAREPLACEMENT", `SELECT name, city
+FROM landfill
+ENRICH
+BOOLSCHEMAREPLACEMENT(city, inCountry, Italy)`},
+		{"4.5 REPLACECONSTANT", `SELECT landfill_name
+FROM elem_contained
+WHERE ${elem_name = HazardousWaste:cond1}
+ENRICH
+REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)`},
+		{"4.6 REPLACEVARIABLE", `SELECT Elecond1.landfill_name AS l_name1,
+ Elecond2.landfill_name AS l_name2,
+ Elecond1.elem_name
+FROM elem_contained AS Elecond1,
+ elem_contained AS Elecond2
+WHERE ${ Elecond1.elem_name <> Elecond2.elem_name:cond1} AND
+ Elecond1.elem_name = Elecond2.elem_name
+ENRICH
+REPLACEVARIABLE(cond1, Elecond2.elem_name, oreAssemblage)`},
+	}
+}
+
+// scaledEnrichmentQueries exercise each strategy on the synthetic databank.
+func scaledEnrichmentQueries() []struct{ Name, Query string } {
+	return []struct{ Name, Query string }{
+		{"SCHEMAEXTENSION", `SELECT elem_name, landfill_name FROM elem_contained
+ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`},
+		{"SCHEMAREPLACEMENT", `SELECT name, city FROM landfill
+ENRICH SCHEMAREPLACEMENT(city, inCountry)`},
+		{"BOOLSCHEMAEXTENSION", `SELECT elem_name, landfill_name FROM elem_contained
+ENRICH BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)`},
+		{"BOOLSCHEMAREPLACEMENT", `SELECT name, city FROM landfill
+ENRICH BOOLSCHEMAREPLACEMENT(city, inCountry, country_00)`},
+		{"REPLACECONSTANT", `SELECT landfill_name FROM elem_contained
+WHERE ${elem_name = HazardousWaste:c1}
+ENRICH REPLACECONSTANT(c1, HazardousWaste, dangerQuery)`},
+		{"REPLACEVARIABLE", `SELECT landfill_name FROM elem_contained
+WHERE ${elem_name = 'element_000':c1}
+ENRICH REPLACEVARIABLE(c1, elem_name, oreAssemblage)`},
+	}
+}

@@ -1,0 +1,191 @@
+package fdw
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlval"
+)
+
+// Client talks to one remote FDW server and manufactures foreign tables
+// that the local engine scans as if they were local (the postgres_fdw
+// client role). A Client serialises requests: one in flight at a time.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+
+	// stats for the experiment harness
+	requests int
+	rowsIn   int
+
+	// terminal payloads of the most recent round trip (guarded by mu)
+	lastTables []string
+	lastSchema []wireCol
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (e.g. one side of net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		enc:  json.NewEncoder(conn),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Stats reports how many requests were issued and rows received — used by
+// experiment E7 to demonstrate pushdown savings.
+func (c *Client) Stats() (requests, rows int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requests, c.rowsIn
+}
+
+// roundTrip sends a request and consumes responses, invoking onRow per row,
+// until the Done message.
+func (c *Client) roundTrip(req *request, onRow func([]sqlval.Value) bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	if err := c.enc.Encode(req); err != nil {
+		return fmt.Errorf("fdw: send: %w", err)
+	}
+	stopped := false
+	for {
+		var resp response
+		if err := c.dec.Decode(&resp); err != nil {
+			return fmt.Errorf("fdw: receive: %w", err)
+		}
+		if resp.Err != "" {
+			// Drain until Done if not already.
+			if !resp.Done {
+				continue
+			}
+			return fmt.Errorf("fdw: remote: %s", resp.Err)
+		}
+		if resp.Row != nil && onRow != nil && !stopped {
+			row := make([]sqlval.Value, len(resp.Row))
+			for i, wv := range resp.Row {
+				v, err := decodeVal(wv)
+				if err != nil {
+					return err
+				}
+				row[i] = v
+			}
+			c.rowsIn++
+			if !onRow(row) {
+				// Consumer is done; keep draining to protocol boundary.
+				stopped = true
+			}
+			continue
+		}
+		if resp.Done {
+			c.lastTables = resp.Tables
+			c.lastSchema = resp.Columns
+			return nil
+		}
+	}
+}
+
+// Tables lists the relations the remote exposes.
+func (c *Client) Tables() ([]string, error) {
+	if err := c.roundTrip(&request{Op: "tables"}, nil); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.lastTables...), nil
+}
+
+// ForeignTable returns a Relation backed by the remote table. The optional
+// localName renames it in the local catalog (empty keeps the remote name).
+func (c *Client) ForeignTable(remoteName, localName string) (*ForeignTable, error) {
+	if err := c.roundTrip(&request{Op: "schema", Table: remoteName}, nil); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	cols := c.lastSchema
+	c.mu.Unlock()
+	schema, err := decodeSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	name := localName
+	if name == "" {
+		name = remoteName
+	}
+	return &ForeignTable{client: c, remote: remoteName, name: name, schema: schema}, nil
+}
+
+// Attach registers every remote table as a foreign table in the catalog,
+// optionally prefixing names (e.g. "eu_"), and returns how many were
+// attached. This mirrors `IMPORT FOREIGN SCHEMA` in postgres_fdw.
+func (c *Client) Attach(db *sqldb.Database, prefix string) (int, error) {
+	tables, err := c.Tables()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range tables {
+		ft, err := c.ForeignTable(t, prefix+t)
+		if err != nil {
+			return n, err
+		}
+		if err := db.RegisterForeign(ft); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// ForeignTable is a sqldb.Relation whose rows live on a remote server.
+type ForeignTable struct {
+	client *Client
+	remote string
+	name   string
+	schema sqldb.Schema
+}
+
+// Name returns the local name of the foreign table.
+func (f *ForeignTable) Name() string { return f.name }
+
+// Schema returns the (remotely fetched) schema.
+func (f *ForeignTable) Schema() sqldb.Schema { return f.schema }
+
+// Scan streams every remote row.
+func (f *ForeignTable) Scan(fn func([]sqlval.Value) bool) error {
+	return f.client.roundTrip(&request{Op: "scan", Table: f.remote}, fn)
+}
+
+// ScanEq pushes the equality predicate down to the remote server, so only
+// matching rows cross the wire.
+func (f *ForeignTable) ScanEq(col string, v sqlval.Value, fn func([]sqlval.Value) bool) error {
+	wv, err := encodeVal(v)
+	if err != nil {
+		return err
+	}
+	return f.client.roundTrip(&request{Op: "scan", Table: f.remote, EqCol: col, EqVal: &wv}, fn)
+}
+
+var (
+	_ sqldb.Relation         = (*ForeignTable)(nil)
+	_ sqldb.FilteredRelation = (*ForeignTable)(nil)
+)

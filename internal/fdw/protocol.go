@@ -1,0 +1,121 @@
+// Package fdw implements the foreign-data-wrapper substrate: the role
+// postgres_fdw plays in the paper's SmartGround deployment ("communication
+// between data sources relies on the postgres_fdw extension", Sec. I-A).
+// A Server exposes the tables of a sqldb.Database over a line-oriented JSON
+// protocol; a Client registers them as foreign tables in another engine,
+// with equality-predicate pushdown so filters run remotely.
+package fdw
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlval"
+)
+
+// request is one client→server message.
+type request struct {
+	Op    string   `json:"op"`              // "tables" | "schema" | "scan"
+	Table string   `json:"table,omitempty"` // for schema/scan
+	EqCol string   `json:"eq_col,omitempty"`
+	EqVal *wireVal `json:"eq_val,omitempty"`
+	Limit int      `json:"limit,omitempty"` // 0 = unlimited
+}
+
+// response is one server→client message. For scans the server sends a
+// sequence of row responses terminated by one with Done=true.
+type response struct {
+	Err     string    `json:"err,omitempty"`
+	Tables  []string  `json:"tables,omitempty"`
+	Columns []wireCol `json:"columns,omitempty"`
+	Row     []wireVal `json:"row,omitempty"`
+	Done    bool      `json:"done,omitempty"`
+}
+
+// wireCol serialises a schema column.
+type wireCol struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"`
+	NotNull bool   `json:"not_null,omitempty"`
+}
+
+// wireVal serialises a sqlval.Value.
+type wireVal struct {
+	T string          `json:"t"` // "n" null, "i" int, "f" float, "s" string, "b" bool
+	V json.RawMessage `json:"v,omitempty"`
+}
+
+func encodeVal(v sqlval.Value) (wireVal, error) {
+	switch v.Type() {
+	case sqlval.TypeNull:
+		return wireVal{T: "n"}, nil
+	case sqlval.TypeInt:
+		raw, err := json.Marshal(v.Int())
+		return wireVal{T: "i", V: raw}, err
+	case sqlval.TypeFloat:
+		raw, err := json.Marshal(v.Float())
+		return wireVal{T: "f", V: raw}, err
+	case sqlval.TypeString:
+		raw, err := json.Marshal(v.Str())
+		return wireVal{T: "s", V: raw}, err
+	case sqlval.TypeBool:
+		raw, err := json.Marshal(v.Bool())
+		return wireVal{T: "b", V: raw}, err
+	default:
+		return wireVal{}, fmt.Errorf("fdw: cannot encode value of type %v", v.Type())
+	}
+}
+
+func decodeVal(w wireVal) (sqlval.Value, error) {
+	switch w.T {
+	case "n":
+		return sqlval.Null, nil
+	case "i":
+		var i int64
+		if err := json.Unmarshal(w.V, &i); err != nil {
+			return sqlval.Null, fmt.Errorf("fdw: bad int payload: %w", err)
+		}
+		return sqlval.NewInt(i), nil
+	case "f":
+		var f float64
+		if err := json.Unmarshal(w.V, &f); err != nil {
+			return sqlval.Null, fmt.Errorf("fdw: bad float payload: %w", err)
+		}
+		return sqlval.NewFloat(f), nil
+	case "s":
+		var s string
+		if err := json.Unmarshal(w.V, &s); err != nil {
+			return sqlval.Null, fmt.Errorf("fdw: bad string payload: %w", err)
+		}
+		return sqlval.NewString(s), nil
+	case "b":
+		var b bool
+		if err := json.Unmarshal(w.V, &b); err != nil {
+			return sqlval.Null, fmt.Errorf("fdw: bad bool payload: %w", err)
+		}
+		return sqlval.NewBool(b), nil
+	default:
+		return sqlval.Null, fmt.Errorf("fdw: unknown value tag %q", w.T)
+	}
+}
+
+func encodeSchema(s sqldb.Schema) []wireCol {
+	out := make([]wireCol, len(s))
+	for i, c := range s {
+		out[i] = wireCol{Name: c.Name, Type: c.Type.String(), NotNull: c.NotNull}
+	}
+	return out
+}
+
+func decodeSchema(cols []wireCol) (sqldb.Schema, error) {
+	out := make(sqldb.Schema, len(cols))
+	for i, c := range cols {
+		t, err := sqlval.ParseType(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sqldb.Column{Name: c.Name, Type: t, NotNull: c.NotNull}
+	}
+	return out, nil
+}

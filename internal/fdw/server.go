@@ -1,0 +1,176 @@
+package fdw
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlval"
+)
+
+// Server exposes the tables of a database to remote FDW clients. It is the
+// "remote data source" side of the paper's federation: national registries
+// and partner databanks run one of these.
+type Server struct {
+	db *sqldb.Database
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer wraps a database for remote access.
+func NewServer(db *sqldb.Database) *Server {
+	return &Server{db: db, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" picks a free
+// port) and returns the bound address. Serving happens on background
+// goroutines until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = lis
+	s.mu.Unlock()
+	go s.acceptLoop(lis)
+	return lis.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(lis net.Listener) {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// ServeConn handles one already-established connection (used with net.Pipe
+// for in-process federation in tests and examples). It blocks until the
+// connection closes.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.serveConn(conn)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Protocol error: try to report it, then drop the conn.
+				_ = enc.Encode(response{Err: fmt.Sprintf("fdw: bad request: %v", err), Done: true})
+			}
+			return
+		}
+		if err := s.handle(enc, &req); err != nil {
+			return // write error: connection is gone
+		}
+	}
+}
+
+func (s *Server) handle(enc *json.Encoder, req *request) error {
+	switch req.Op {
+	case "tables":
+		return enc.Encode(response{Tables: s.db.Names(), Done: true})
+	case "schema":
+		rel, err := s.db.Resolve(req.Table)
+		if err != nil {
+			return enc.Encode(response{Err: err.Error(), Done: true})
+		}
+		return enc.Encode(response{Columns: encodeSchema(rel.Schema()), Done: true})
+	case "scan":
+		return s.handleScan(enc, req)
+	default:
+		return enc.Encode(response{Err: fmt.Sprintf("fdw: unknown op %q", req.Op), Done: true})
+	}
+}
+
+func (s *Server) handleScan(enc *json.Encoder, req *request) error {
+	rel, err := s.db.Resolve(req.Table)
+	if err != nil {
+		return enc.Encode(response{Err: err.Error(), Done: true})
+	}
+	var writeErr error
+	sent := 0
+	emit := func(row []sqlval.Value) bool {
+		if req.Limit > 0 && sent >= req.Limit {
+			return false
+		}
+		wire := make([]wireVal, len(row))
+		for i, v := range row {
+			wv, err := encodeVal(v)
+			if err != nil {
+				writeErr = err
+				return false
+			}
+			wire[i] = wv
+		}
+		if err := enc.Encode(response{Row: wire}); err != nil {
+			writeErr = err
+			return false
+		}
+		sent++
+		return true
+	}
+
+	var scanErr error
+	if req.EqCol != "" && req.EqVal != nil {
+		v, derr := decodeVal(*req.EqVal)
+		if derr != nil {
+			return enc.Encode(response{Err: derr.Error(), Done: true})
+		}
+		fr, ok := rel.(sqldb.FilteredRelation)
+		if !ok {
+			return enc.Encode(response{Err: "fdw: relation does not support filtered scans", Done: true})
+		}
+		scanErr = fr.ScanEq(req.EqCol, v, emit)
+	} else {
+		scanErr = rel.Scan(emit)
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	if scanErr != nil {
+		return enc.Encode(response{Err: scanErr.Error(), Done: true})
+	}
+	return enc.Encode(response{Done: true})
+}
+
+// Close stops the listener and drops open connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}

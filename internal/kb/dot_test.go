@@ -1,0 +1,72 @@
+package kb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crosse/internal/rdf"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice")
+	p.Insert("alice", tr("Mercury", "isA", "HazardousWaste"))
+	p.Insert("alice", rdf.Triple{S: iri("Mercury"), P: iri("dangerLevel"), O: rdf.NewLiteral("high")})
+	view, err := p.View("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, view, "alice-kb"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`digraph "alice-kb"`,
+		`"Mercury" -> "HazardousWaste" [label="isA"]`,
+		`shape=box`, // literal leaf
+		`label="high"`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	p := newPlatformWithUsers(t, "u")
+	for _, s := range []string{"C", "A", "B"} {
+		p.Insert("u", tr(s, "p", "X"))
+	}
+	view, _ := p.View("u")
+	var a, b bytes.Buffer
+	WriteDOT(&a, view, "g")
+	WriteDOT(&b, view, "g")
+	if a.String() != b.String() {
+		t.Error("DOT output must be deterministic")
+	}
+	// Sorted by subject.
+	out := a.String()
+	if strings.Index(out, `"A"`) > strings.Index(out, `"B"`) {
+		t.Error("edges not sorted")
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := []struct {
+		term rdf.Term
+		want string
+	}{
+		{rdf.NewIRI("http://x/y#Frag"), "Frag"},
+		{rdf.NewIRI("http://x/path/Leaf"), "Leaf"},
+		{rdf.NewIRI("plain"), "plain"},
+		{rdf.NewLiteral("lex"), "lex"},
+		{rdf.NewBlank("b1"), "_:b1"},
+	}
+	for _, c := range cases {
+		if got := localName(c.term); got != c.want {
+			t.Errorf("localName(%v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}

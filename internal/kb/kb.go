@@ -1,0 +1,419 @@
+// Package kb implements CroSSE's crowdsourced knowledge-base layer
+// (Sec. III and Fig. 4): registered users insert RDF statements into a
+// shared semantic platform, each statement carries its provenance (the
+// user who inserted it) and the set of users who "accepted it as their
+// own" (beliefs), optionally a bibliographic reference, and each user's
+// personal knowledge base — the context her SESQL queries are evaluated
+// in — is the set of statements she owns or believes.
+//
+// The package supports the paper's three annotation scenarios:
+//
+//   - integrated annotation: the subject must be a concept extracted from
+//     the original data source (validated through a concept checker);
+//   - independent annotation: any triple may be inserted;
+//   - crowdsourced annotation: users explore statements made public by
+//     their peers and import (part of) them into their own KB.
+//
+// It also hosts the stored-SPARQL-query registry the paper's Example 4.5
+// relies on (the `dangerQuery` property names a saved query rather than a
+// stored triple property).
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"crosse/internal/rdf"
+	"crosse/internal/sparql"
+)
+
+// SMG is the base IRI of the SmartGround ontology namespace.
+const SMG = "http://smartground.eu/onto#"
+
+// Fig. 4 vocabulary.
+const (
+	ClassUser      = SMG + "User"
+	ClassStatement = SMG + "Statement"
+	ClassReference = SMG + "Reference"
+
+	PropUserStatement = SMG + "userStatement" // user → statement (owner)
+	PropUserBelief    = SMG + "userBelief"    // user → statement (accepted)
+	PropStmReference  = SMG + "stmReference"  // statement → reference
+	PropRefTitle      = SMG + "refTitle"
+	PropRefAuthor     = SMG + "refAuthor"
+	PropRefLink       = SMG + "refLink"
+	PropFileReference = SMG + "fileReference" // statement → attached file
+)
+
+// Reference is bibliographic/provenance metadata attached to a statement
+// (smg:Reference in Fig. 4).
+type Reference struct {
+	Title  string
+	Author string
+	Link   string
+	File   string // fileReference: user notes, pictures, reports, …
+}
+
+// Statement is one reified contextual assertion.
+type Statement struct {
+	ID     string
+	Triple rdf.Triple
+	Owner  string
+	Ref    *Reference
+
+	believers map[string]struct{}
+}
+
+// Believers returns the sorted user names that accepted this statement
+// (the owner is always included).
+func (s *Statement) Believers() []string {
+	out := make([]string, 0, len(s.believers))
+	for u := range s.believers {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BelievedBy reports whether the user owns or has imported the statement.
+func (s *Statement) BelievedBy(user string) bool {
+	_, ok := s.believers[user]
+	return ok
+}
+
+// ConceptChecker validates that a subject is a concept extracted from the
+// original data source (integrated annotation scenario). The CroSSE core
+// wires this to a databank lookup through the resource mapping.
+type ConceptChecker func(subject string) bool
+
+// StoredQuery is a registered SPARQL query addressable by name from SESQL
+// enrichment clauses (e.g. the paper's dangerQuery).
+type StoredQuery struct {
+	Name  string
+	Owner string // empty = shared/global
+	Text  string
+}
+
+// Platform is the semantic platform: users, statements, beliefs, stored
+// queries, and per-user materialised KB views. Safe for concurrent use.
+type Platform struct {
+	mu         sync.RWMutex
+	users      map[string]struct{}
+	statements map[string]*Statement
+	order      []string // statement ids in insertion order
+	views      map[string]*rdf.Store
+	queries    map[string]*StoredQuery // key: owner + "\x00" + name
+	decls      map[string]*Declaration // key: kind + "\x00" + iri
+	checker    ConceptChecker
+	nextID     int
+}
+
+// NewPlatform returns an empty platform.
+func NewPlatform() *Platform {
+	return &Platform{
+		users:      map[string]struct{}{},
+		statements: map[string]*Statement{},
+		views:      map[string]*rdf.Store{},
+		queries:    map[string]*StoredQuery{},
+	}
+}
+
+// SetConceptChecker installs the integrated-annotation validator.
+func (p *Platform) SetConceptChecker(c ConceptChecker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.checker = c
+}
+
+// RegisterUser adds a user. Registering an existing user is an error so
+// callers notice identity typos.
+func (p *Platform) RegisterUser(name string) error {
+	if name == "" {
+		return fmt.Errorf("kb: empty user name")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.users[name]; ok {
+		return fmt.Errorf("kb: user %q already registered", name)
+	}
+	p.users[name] = struct{}{}
+	p.views[name] = rdf.NewStore()
+	return nil
+}
+
+// Users returns the sorted registered user names.
+func (p *Platform) Users() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.users))
+	for u := range p.users {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Platform) requireUser(name string) error {
+	if _, ok := p.users[name]; !ok {
+		return fmt.Errorf("kb: unknown user %q", name)
+	}
+	return nil
+}
+
+// InsertOption customises statement insertion.
+type InsertOption func(*insertOpts)
+
+type insertOpts struct {
+	ref        *Reference
+	integrated bool
+}
+
+// WithReference attaches bibliographic metadata to the statement.
+func WithReference(ref Reference) InsertOption {
+	return func(o *insertOpts) { o.ref = &ref }
+}
+
+// Integrated marks the insertion as an integrated annotation: the subject
+// must pass the platform's concept checker (i.e. be a concept shown by the
+// main platform).
+func Integrated() InsertOption {
+	return func(o *insertOpts) { o.integrated = true }
+}
+
+// Insert adds a statement owned (and believed) by the user and returns its
+// id. This is the independent annotation scenario unless Integrated() is
+// given.
+func (p *Platform) Insert(user string, t rdf.Triple, opts ...InsertOption) (string, error) {
+	var o insertOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.requireUser(user); err != nil {
+		return "", err
+	}
+	if o.integrated {
+		if p.checker == nil {
+			return "", fmt.Errorf("kb: integrated annotation requires a concept checker")
+		}
+		if !t.S.IsIRI() && !t.S.IsLiteral() {
+			return "", fmt.Errorf("kb: integrated annotation subject must be a named concept")
+		}
+		if !p.checker(t.S.Value) {
+			return "", fmt.Errorf("kb: %q is not a concept of the data source", t.S.Value)
+		}
+	}
+	p.nextID++
+	id := fmt.Sprintf("stmt-%d", p.nextID)
+	st := &Statement{
+		ID:        id,
+		Triple:    t,
+		Owner:     user,
+		Ref:       o.ref,
+		believers: map[string]struct{}{user: {}},
+	}
+	p.statements[id] = st
+	p.order = append(p.order, id)
+	p.views[user].Add(t)
+	return id, nil
+}
+
+// Retract removes the user's belief in a statement; when the owner
+// retracts, the statement itself disappears for everyone.
+func (p *Platform) Retract(user, id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.requireUser(user); err != nil {
+		return err
+	}
+	st, ok := p.statements[id]
+	if !ok {
+		return fmt.Errorf("kb: no statement %q", id)
+	}
+	if _, believes := st.believers[user]; !believes {
+		return fmt.Errorf("kb: user %q does not hold statement %q", user, id)
+	}
+	if st.Owner == user {
+		// Remove the statement first so dropFromView doesn't see it as a
+		// surviving assertion of the same triple.
+		delete(p.statements, id)
+		for i, sid := range p.order {
+			if sid == id {
+				p.order = append(p.order[:i], p.order[i+1:]...)
+				break
+			}
+		}
+		for u := range st.believers {
+			p.dropFromView(u, st.Triple)
+		}
+		return nil
+	}
+	delete(st.believers, user)
+	p.dropFromView(user, st.Triple)
+	return nil
+}
+
+// dropFromView removes the triple from a user view unless another believed
+// statement asserts the same triple.
+func (p *Platform) dropFromView(user string, t rdf.Triple) {
+	for _, st := range p.statements {
+		if st.Triple == t {
+			if _, ok := st.believers[user]; ok {
+				return // still asserted by another statement
+			}
+		}
+	}
+	p.views[user].Remove(t)
+}
+
+// Import makes the user accept an existing statement as her own belief
+// (crowdsourced annotation scenario).
+func (p *Platform) Import(user, id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.requireUser(user); err != nil {
+		return err
+	}
+	st, ok := p.statements[id]
+	if !ok {
+		return fmt.Errorf("kb: no statement %q", id)
+	}
+	st.believers[user] = struct{}{}
+	p.views[user].Add(st.Triple)
+	return nil
+}
+
+// ImportFrom imports every statement owned by fromUser that matches the
+// optional filter. It returns the imported statement count.
+func (p *Platform) ImportFrom(user, fromUser string, filter func(*Statement) bool) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.requireUser(user); err != nil {
+		return 0, err
+	}
+	if err := p.requireUser(fromUser); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range p.order {
+		st := p.statements[id]
+		if st.Owner != fromUser {
+			continue
+		}
+		if filter != nil && !filter(st) {
+			continue
+		}
+		if _, already := st.believers[user]; already {
+			continue
+		}
+		st.believers[user] = struct{}{}
+		p.views[user].Add(st.Triple)
+		n++
+	}
+	return n, nil
+}
+
+// Statement returns a statement by id.
+func (p *Platform) Statement(id string) (*Statement, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st, ok := p.statements[id]
+	if !ok {
+		return nil, fmt.Errorf("kb: no statement %q", id)
+	}
+	return st, nil
+}
+
+// Explore lists statements in insertion order; annotations are public
+// (Sec. III-A), so every user sees everything. The filter may be nil.
+func (p *Platform) Explore(filter func(*Statement) bool) []*Statement {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []*Statement
+	for _, id := range p.order {
+		st := p.statements[id]
+		if filter == nil || filter(st) {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// View returns the user's personal knowledge base: the graph of triples
+// she owns or has imported. This is the context SESQL queries run in.
+func (p *Platform) View(user string) (rdf.Graph, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	v, ok := p.views[user]
+	if !ok {
+		return nil, fmt.Errorf("kb: unknown user %q", user)
+	}
+	return v, nil
+}
+
+// ViewSize returns the triple count of the user's KB.
+func (p *Platform) ViewSize(user string) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if v, ok := p.views[user]; ok {
+		return v.Len()
+	}
+	return 0
+}
+
+// --- stored SPARQL queries ---
+
+func queryKey(owner, name string) string { return owner + "\x00" + name }
+
+// RegisterQuery saves a named SPARQL query. owner "" makes it shared.
+// The text is parsed eagerly so registration fails fast on syntax errors.
+func (p *Platform) RegisterQuery(owner, name, text string) error {
+	if name == "" {
+		return fmt.Errorf("kb: empty query name")
+	}
+	if _, err := sparql.Parse(text); err != nil {
+		return fmt.Errorf("kb: query %q: %w", name, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if owner != "" {
+		if err := p.requireUser(owner); err != nil {
+			return err
+		}
+	}
+	key := queryKey(owner, name)
+	if _, dup := p.queries[key]; dup {
+		return fmt.Errorf("kb: query %q already registered", name)
+	}
+	p.queries[key] = &StoredQuery{Name: name, Owner: owner, Text: text}
+	return nil
+}
+
+// LookupQuery resolves a stored query for the user: her own first, then the
+// shared namespace.
+func (p *Platform) LookupQuery(user, name string) (*StoredQuery, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if q, ok := p.queries[queryKey(user, name)]; ok {
+		return q, true
+	}
+	q, ok := p.queries[queryKey("", name)]
+	return q, ok
+}
+
+// Queries lists stored queries visible to the user (own + shared), sorted
+// by name.
+func (p *Platform) Queries(user string) []*StoredQuery {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []*StoredQuery
+	for _, q := range p.queries {
+		if q.Owner == "" || q.Owner == user {
+			out = append(out, q)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

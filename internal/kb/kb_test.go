@@ -1,0 +1,333 @@
+package kb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crosse/internal/rdf"
+	"crosse/internal/sparql"
+)
+
+func iri(local string) rdf.Term { return rdf.NewIRI(SMG + local) }
+
+func tr(s, p, o string) rdf.Triple { return rdf.Triple{S: iri(s), P: iri(p), O: iri(o)} }
+
+func newPlatformWithUsers(t *testing.T, users ...string) *Platform {
+	t.Helper()
+	p := NewPlatform()
+	for _, u := range users {
+		if err := p.RegisterUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestRegisterUser(t *testing.T) {
+	p := NewPlatform()
+	if err := p.RegisterUser("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterUser("alice"); err == nil {
+		t.Error("duplicate user must fail")
+	}
+	if err := p.RegisterUser(""); err == nil {
+		t.Error("empty user must fail")
+	}
+	if got := p.Users(); len(got) != 1 || got[0] != "alice" {
+		t.Errorf("Users = %v", got)
+	}
+}
+
+func TestInsertAndView(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	id, err := p.Insert("alice", tr("Mercury", "isA", "HazardousWaste"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Statement(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Owner != "alice" || !st.BelievedBy("alice") || st.BelievedBy("bob") {
+		t.Errorf("%+v", st)
+	}
+	if p.ViewSize("alice") != 1 || p.ViewSize("bob") != 0 {
+		t.Errorf("views: alice=%d bob=%d", p.ViewSize("alice"), p.ViewSize("bob"))
+	}
+	if _, err := p.Insert("ghost", tr("a", "b", "c")); err == nil {
+		t.Error("unknown user must fail")
+	}
+}
+
+func TestViewIsQueryable(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice")
+	p.Insert("alice", tr("Mercury", "isA", "HazardousWaste"))
+	p.Insert("alice", tr("Lead", "isA", "HazardousWaste"))
+	g, err := p.View("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sparql.Eval(g, `PREFIX smg: <`+SMG+`> SELECT ?x WHERE { ?x smg:isA smg:HazardousWaste }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bindings) != 2 {
+		t.Errorf("bindings = %d", len(r.Bindings))
+	}
+	if _, err := p.View("ghost"); err == nil {
+		t.Error("unknown user view must fail")
+	}
+}
+
+func TestImportSharesKnowledge(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	id, _ := p.Insert("alice", tr("Asbestos", "isA", "HazardousWaste"))
+	if err := p.Import("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	if p.ViewSize("bob") != 1 {
+		t.Error("import must populate bob's view")
+	}
+	st, _ := p.Statement(id)
+	if got := st.Believers(); strings.Join(got, ",") != "alice,bob" {
+		t.Errorf("believers = %v", got)
+	}
+	// Importing twice is idempotent.
+	if err := p.Import("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	if p.ViewSize("bob") != 1 {
+		t.Error("double import must not duplicate")
+	}
+	if err := p.Import("bob", "stmt-999"); err == nil {
+		t.Error("missing statement must fail")
+	}
+}
+
+func TestImportFromWithFilter(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	p.Insert("alice", tr("Mercury", "isA", "HazardousWaste"))
+	p.Insert("alice", tr("Gold", "isA", "PreciousMetal"))
+	p.Insert("alice", tr("Lead", "isA", "HazardousWaste"))
+	n, err := p.ImportFrom("bob", "alice", func(st *Statement) bool {
+		return st.Triple.O == iri("HazardousWaste")
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("imported %d, err %v", n, err)
+	}
+	if p.ViewSize("bob") != 2 {
+		t.Errorf("bob view = %d", p.ViewSize("bob"))
+	}
+	// Re-import is a no-op.
+	n, _ = p.ImportFrom("bob", "alice", nil)
+	if n != 1 { // only the Gold statement remains unimported
+		t.Errorf("second import n = %d", n)
+	}
+}
+
+func TestRetractByOwnerRemovesEverywhere(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	id, _ := p.Insert("alice", tr("X", "p", "Y"))
+	p.Import("bob", id)
+	if err := p.Retract("alice", id); err != nil {
+		t.Fatal(err)
+	}
+	if p.ViewSize("alice") != 0 || p.ViewSize("bob") != 0 {
+		t.Error("owner retraction must clear all views")
+	}
+	if _, err := p.Statement(id); err == nil {
+		t.Error("statement must be gone")
+	}
+}
+
+func TestRetractBeliefOnly(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	id, _ := p.Insert("alice", tr("X", "p", "Y"))
+	p.Import("bob", id)
+	if err := p.Retract("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	if p.ViewSize("bob") != 0 || p.ViewSize("alice") != 1 {
+		t.Error("belief retraction must only clear bob")
+	}
+	if err := p.Retract("bob", id); err == nil {
+		t.Error("retracting a non-held statement must fail")
+	}
+}
+
+func TestRetractKeepsTripleAssertedTwice(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	// Same triple asserted independently by both users.
+	idA, _ := p.Insert("alice", tr("X", "p", "Y"))
+	idB, _ := p.Insert("bob", tr("X", "p", "Y"))
+	p.Import("alice", idB) // alice also believes bob's copy
+	if err := p.Retract("alice", idA); err != nil {
+		t.Fatal(err)
+	}
+	// Alice still believes bob's statement with the same triple.
+	if p.ViewSize("alice") != 1 {
+		t.Error("triple asserted by another believed statement must survive")
+	}
+}
+
+func TestIntegratedAnnotationValidation(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice")
+	if _, err := p.Insert("alice", tr("Mercury", "isA", "X"), Integrated()); err == nil {
+		t.Error("integrated without checker must fail")
+	}
+	p.SetConceptChecker(func(s string) bool { return strings.Contains(s, "Mercury") })
+	if _, err := p.Insert("alice", tr("Mercury", "isA", "X"), Integrated()); err != nil {
+		t.Errorf("valid concept rejected: %v", err)
+	}
+	if _, err := p.Insert("alice", tr("Unobtainium", "isA", "X"), Integrated()); err == nil {
+		t.Error("unknown concept must be rejected in integrated mode")
+	}
+	// Independent annotation has no such check.
+	if _, err := p.Insert("alice", tr("Unobtainium", "isA", "X")); err != nil {
+		t.Errorf("independent annotation rejected: %v", err)
+	}
+}
+
+func TestExplore(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	p.Insert("alice", tr("A", "p", "B"))
+	p.Insert("bob", tr("C", "p", "D"))
+	p.Insert("alice", tr("E", "p", "F"))
+	all := p.Explore(nil)
+	if len(all) != 3 || all[0].Triple.S != iri("A") || all[2].Triple.S != iri("E") {
+		t.Errorf("explore order: %v", all)
+	}
+	onlyBob := p.Explore(func(st *Statement) bool { return st.Owner == "bob" })
+	if len(onlyBob) != 1 || onlyBob[0].Triple.S != iri("C") {
+		t.Errorf("filtered explore: %v", onlyBob)
+	}
+}
+
+func TestStoredQueries(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	q := `PREFIX smg: <` + SMG + `> SELECT ?x WHERE { ?x smg:isA smg:HazardousWaste }`
+	if err := p.RegisterQuery("", "dangerQuery", q); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterQuery("alice", "dangerQuery", `SELECT ?x WHERE { ?x ?p ?o }`); err != nil {
+		t.Fatal(err)
+	}
+	// Alice resolves her own override; bob falls back to shared.
+	qa, ok := p.LookupQuery("alice", "dangerQuery")
+	if !ok || qa.Owner != "alice" {
+		t.Errorf("alice lookup: %+v ok=%v", qa, ok)
+	}
+	qb, ok := p.LookupQuery("bob", "dangerQuery")
+	if !ok || qb.Owner != "" {
+		t.Errorf("bob lookup: %+v ok=%v", qb, ok)
+	}
+	if _, ok := p.LookupQuery("bob", "missing"); ok {
+		t.Error("missing query must not resolve")
+	}
+	// Syntax errors rejected at registration.
+	if err := p.RegisterQuery("", "bad", "SELECT WHERE"); err == nil {
+		t.Error("bad SPARQL must fail registration")
+	}
+	if err := p.RegisterQuery("", "dangerQuery", q); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+	if err := p.RegisterQuery("ghost", "x", q); err == nil {
+		t.Error("unknown owner must fail")
+	}
+	if got := p.Queries("bob"); len(got) != 1 {
+		t.Errorf("bob sees %d queries", len(got))
+	}
+	if got := p.Queries("alice"); len(got) != 2 {
+		t.Errorf("alice sees %d queries", len(got))
+	}
+}
+
+func TestToRDFShape(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	id, _ := p.Insert("alice", tr("Mercury", "dangerLevel", "high"),
+		WithReference(Reference{Title: "WHO report", Author: "WHO", Link: "http://who.int", File: "notes.txt"}))
+	p.Import("bob", id)
+	g := p.ToRDF()
+
+	typ := rdf.NewIRI(rdf.RDFType)
+	if n := g.Count(rdf.Pattern{P: typ, O: rdf.NewIRI(ClassUser)}); n != 2 {
+		t.Errorf("users in graph = %d", n)
+	}
+	if n := g.Count(rdf.Pattern{P: typ, O: rdf.NewIRI(ClassStatement)}); n != 1 {
+		t.Errorf("statements in graph = %d", n)
+	}
+	if n := g.Count(rdf.Pattern{P: rdf.NewIRI(PropUserBelief)}); n != 2 {
+		t.Errorf("beliefs in graph = %d", n)
+	}
+	if n := g.Count(rdf.Pattern{P: rdf.NewIRI(PropUserStatement)}); n != 1 {
+		t.Errorf("ownership edges = %d", n)
+	}
+	if n := g.Count(rdf.Pattern{P: typ, O: rdf.NewIRI(ClassReference)}); n != 1 {
+		t.Errorf("references = %d", n)
+	}
+	if n := g.Count(rdf.Pattern{P: rdf.NewIRI(PropFileReference)}); n != 1 {
+		t.Errorf("file references = %d", n)
+	}
+	// The reified triple is reachable via rdf:subject / rdf:object.
+	subs := g.Subjects(rdf.NewIRI(rdf.RDFSubject), iri("Mercury"))
+	if len(subs) != 1 {
+		t.Errorf("reified subject edges = %d", len(subs))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	id1, _ := p.Insert("alice", tr("Mercury", "isA", "HazardousWaste"),
+		WithReference(Reference{Title: "T", Author: "A", Link: "L", File: "F"}))
+	p.Insert("bob", rdf.Triple{S: iri("Torino"), P: iri("inCountry"), O: rdf.NewLiteral("Italy")})
+	p.Import("bob", id1)
+	p.RegisterQuery("", "dangerQuery", `SELECT ?x WHERE { ?x ?p ?o }`)
+	p.RegisterQuery("alice", "mine", `ASK { ?x ?p ?o }`)
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(p2.Users(), ",") != "alice,bob" {
+		t.Errorf("users = %v", p2.Users())
+	}
+	if p2.ViewSize("alice") != 1 || p2.ViewSize("bob") != 2 {
+		t.Errorf("views: alice=%d bob=%d", p2.ViewSize("alice"), p2.ViewSize("bob"))
+	}
+	sts := p2.Explore(func(st *Statement) bool { return st.Ref != nil })
+	if len(sts) != 1 || sts[0].Ref.Title != "T" || sts[0].Ref.File != "F" {
+		t.Errorf("reference round trip: %+v", sts)
+	}
+	if _, ok := p2.LookupQuery("bob", "dangerQuery"); !ok {
+		t.Error("shared query lost")
+	}
+	if q, ok := p2.LookupQuery("alice", "mine"); !ok || q.Owner != "alice" {
+		t.Error("owned query lost")
+	}
+}
+
+func TestConcurrentPlatformAccess(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			p.Insert("alice", tr("A", "p", "B"))
+			p.Explore(nil)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		p.Insert("bob", tr("C", "p", "D"))
+		p.ViewSize("bob")
+		if g, err := p.View("alice"); err == nil {
+			g.Count(rdf.Pattern{})
+		}
+	}
+	<-done
+}

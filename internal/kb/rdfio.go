@@ -1,0 +1,196 @@
+package kb
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"crosse/internal/rdf"
+)
+
+// This file materialises the Fig. 4 reified RDF schema: every statement
+// becomes an smg:Statement node carrying rdf:subject/predicate/object,
+// linked from its owner via smg:userStatement and from each accepting user
+// via smg:userBelief, with optional smg:Reference nodes. Export+Import give
+// the platform a persistence format that is itself RDF, as the paper's
+// architecture implies (the semantic platform stores everything in the
+// triple store).
+
+func userIRI(name string) rdf.Term  { return rdf.NewIRI(SMG + "user/" + name) }
+func stmtIRI(id string) rdf.Term    { return rdf.NewIRI(SMG + "statement/" + id) }
+func refIRI(id string) rdf.Term     { return rdf.NewIRI(SMG + "reference/" + id) }
+func queryIRI(name string) rdf.Term { return rdf.NewIRI(SMG + "query/" + name) }
+
+// Additional vocabulary for stored queries (an implementation detail the
+// paper mentions via [25]: SPARQL queries saved under a property name).
+const (
+	classStoredQuery = SMG + "StoredQuery"
+	propQueryText    = SMG + "queryText"
+	propQueryOwner   = SMG + "queryOwner"
+)
+
+// ToRDF renders the entire platform state as a reified RDF graph.
+func (p *Platform) ToRDF() *rdf.Store {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	g := rdf.NewStore()
+	typ := rdf.NewIRI(rdf.RDFType)
+
+	for u := range p.users {
+		g.Add(rdf.Triple{S: userIRI(u), P: typ, O: rdf.NewIRI(ClassUser)})
+	}
+	for _, id := range p.order {
+		st := p.statements[id]
+		node := stmtIRI(id)
+		g.Add(rdf.Triple{S: node, P: typ, O: rdf.NewIRI(ClassStatement)})
+		g.Add(rdf.Triple{S: node, P: rdf.NewIRI(rdf.RDFSubject), O: st.Triple.S})
+		g.Add(rdf.Triple{S: node, P: rdf.NewIRI(rdf.RDFPredicate), O: st.Triple.P})
+		g.Add(rdf.Triple{S: node, P: rdf.NewIRI(rdf.RDFObject), O: st.Triple.O})
+		g.Add(rdf.Triple{S: userIRI(st.Owner), P: rdf.NewIRI(PropUserStatement), O: node})
+		for u := range st.believers {
+			g.Add(rdf.Triple{S: userIRI(u), P: rdf.NewIRI(PropUserBelief), O: node})
+		}
+		if st.Ref != nil {
+			rnode := refIRI(id)
+			g.Add(rdf.Triple{S: node, P: rdf.NewIRI(PropStmReference), O: rnode})
+			g.Add(rdf.Triple{S: rnode, P: typ, O: rdf.NewIRI(ClassReference)})
+			if st.Ref.Title != "" {
+				g.Add(rdf.Triple{S: rnode, P: rdf.NewIRI(PropRefTitle), O: rdf.NewLiteral(st.Ref.Title)})
+			}
+			if st.Ref.Author != "" {
+				g.Add(rdf.Triple{S: rnode, P: rdf.NewIRI(PropRefAuthor), O: rdf.NewLiteral(st.Ref.Author)})
+			}
+			if st.Ref.Link != "" {
+				g.Add(rdf.Triple{S: rnode, P: rdf.NewIRI(PropRefLink), O: rdf.NewLiteral(st.Ref.Link)})
+			}
+			if st.Ref.File != "" {
+				g.Add(rdf.Triple{S: node, P: rdf.NewIRI(PropFileReference), O: rdf.NewLiteral(st.Ref.File)})
+			}
+		}
+	}
+	for _, q := range p.queries {
+		node := queryIRI(q.Name)
+		g.Add(rdf.Triple{S: node, P: typ, O: rdf.NewIRI(classStoredQuery)})
+		g.Add(rdf.Triple{S: node, P: rdf.NewIRI(propQueryText), O: rdf.NewLiteral(q.Text)})
+		if q.Owner != "" {
+			g.Add(rdf.Triple{S: node, P: rdf.NewIRI(propQueryOwner), O: userIRI(q.Owner)})
+		}
+	}
+	p.declsToRDF(g)
+	return g
+}
+
+// Save writes the platform as N-Triples of the reified graph.
+func (p *Platform) Save(w io.Writer) error {
+	return rdf.WriteNTriples(w, p.ToRDF())
+}
+
+// Load reconstructs a platform from a reified graph previously produced by
+// Save/ToRDF. It returns a fresh platform.
+func Load(r io.Reader) (*Platform, error) {
+	g := rdf.NewStore()
+	if _, err := rdf.ReadNTriples(r, g); err != nil {
+		return nil, err
+	}
+	return FromRDF(g)
+}
+
+// FromRDF rebuilds platform state from a reified graph.
+func FromRDF(g *rdf.Store) (*Platform, error) {
+	p := NewPlatform()
+	typ := rdf.NewIRI(rdf.RDFType)
+
+	// Users.
+	for _, t := range g.MatchSorted(rdf.Pattern{P: typ, O: rdf.NewIRI(ClassUser)}) {
+		name := strings.TrimPrefix(t.S.Value, SMG+"user/")
+		if err := p.RegisterUser(name); err != nil {
+			return nil, err
+		}
+	}
+
+	one := func(s rdf.Term, prop string) (rdf.Term, error) {
+		objs := g.Objects(s, rdf.NewIRI(prop))
+		if len(objs) != 1 {
+			return rdf.Term{}, fmt.Errorf("kb: node %s has %d values for %s, want 1", s, len(objs), prop)
+		}
+		return objs[0], nil
+	}
+
+	// Statements, in id order (MatchSorted gives deterministic order; ids
+	// encode insertion order numerically but we only need stable rebuild).
+	stmts := g.MatchSorted(rdf.Pattern{P: typ, O: rdf.NewIRI(ClassStatement)})
+	for _, t := range stmts {
+		node := t.S
+		id := strings.TrimPrefix(node.Value, SMG+"statement/")
+		sub, err := one(node, rdf.RDFSubject)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := one(node, rdf.RDFPredicate)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := one(node, rdf.RDFObject)
+		if err != nil {
+			return nil, err
+		}
+		owners := g.Subjects(rdf.NewIRI(PropUserStatement), node)
+		if len(owners) != 1 {
+			return nil, fmt.Errorf("kb: statement %s has %d owners", id, len(owners))
+		}
+		owner := strings.TrimPrefix(owners[0].Value, SMG+"user/")
+
+		var opts []InsertOption
+		// Reference.
+		if refs := g.Objects(node, rdf.NewIRI(PropStmReference)); len(refs) == 1 {
+			ref := Reference{}
+			if v := g.Objects(refs[0], rdf.NewIRI(PropRefTitle)); len(v) == 1 {
+				ref.Title = v[0].Value
+			}
+			if v := g.Objects(refs[0], rdf.NewIRI(PropRefAuthor)); len(v) == 1 {
+				ref.Author = v[0].Value
+			}
+			if v := g.Objects(refs[0], rdf.NewIRI(PropRefLink)); len(v) == 1 {
+				ref.Link = v[0].Value
+			}
+			if v := g.Objects(node, rdf.NewIRI(PropFileReference)); len(v) == 1 {
+				ref.File = v[0].Value
+			}
+			opts = append(opts, WithReference(ref))
+		}
+		newID, err := p.Insert(owner, rdf.Triple{S: sub, P: pred, O: obj}, opts...)
+		if err != nil {
+			return nil, err
+		}
+		// Beliefs beyond the owner.
+		for _, u := range g.Subjects(rdf.NewIRI(PropUserBelief), node) {
+			name := strings.TrimPrefix(u.Value, SMG+"user/")
+			if name != owner {
+				if err := p.Import(name, newID); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Stored queries.
+	for _, t := range g.MatchSorted(rdf.Pattern{P: typ, O: rdf.NewIRI(classStoredQuery)}) {
+		name := strings.TrimPrefix(t.S.Value, SMG+"query/")
+		text, err := one(t.S, propQueryText)
+		if err != nil {
+			return nil, err
+		}
+		owner := ""
+		if ow := g.Objects(t.S, rdf.NewIRI(propQueryOwner)); len(ow) == 1 {
+			owner = strings.TrimPrefix(ow[0].Value, SMG+"user/")
+		}
+		if err := p.RegisterQuery(owner, name, text.Value); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := declsFromRDF(p, g); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,177 @@
+package preview
+
+import (
+	"testing"
+
+	"crosse/internal/core"
+	"crosse/internal/kb"
+	"crosse/internal/rdf"
+	"crosse/internal/sqlexec"
+	"crosse/internal/sqlval"
+)
+
+func iri(l string) rdf.Term { return rdf.NewIRI(core.DefaultIRIPrefix + l) }
+
+func testView(t *testing.T) rdf.Graph {
+	t.Helper()
+	p := kb.NewPlatform()
+	if err := p.RegisterUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	triples := []rdf.Triple{
+		{S: iri("Mercury"), P: iri("isA"), O: iri("HazardousWaste")},
+		{S: iri("Mercury"), P: iri("dangerLevel"), O: rdf.NewLiteral("high")},
+		{S: iri("Mercury"), P: iri("foundWith"), O: iri("Lead")},
+		{S: iri("Lead"), P: iri("isA"), O: iri("HazardousWaste")},
+	}
+	for _, tr := range triples {
+		if _, err := p.Insert("u", tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := p.View("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mkResult(vals ...string) *sqlexec.Result {
+	res := &sqlexec.Result{Columns: []string{"elem_name"}}
+	for _, v := range vals {
+		res.Rows = append(res.Rows, []sqlval.Value{sqlval.NewString(v)})
+	}
+	return res
+}
+
+func TestRankOrdersByContext(t *testing.T) {
+	view := testView(t)
+	res := mkResult("Gold", "Lead", "Mercury")
+	ranked := Rank(res, view, nil)
+
+	// Mercury has 3 mentions (all as subject), Lead 2 (subject + object),
+	// Gold 0.
+	if ranked.Result.Rows[0][0].Str() != "Mercury" {
+		t.Errorf("first = %v", ranked.Result.Rows[0][0])
+	}
+	if ranked.Result.Rows[1][0].Str() != "Lead" {
+		t.Errorf("second = %v", ranked.Result.Rows[1][0])
+	}
+	if ranked.Result.Rows[2][0].Str() != "Gold" {
+		t.Errorf("third = %v", ranked.Result.Rows[2][0])
+	}
+	if ranked.Scores[0] <= ranked.Scores[1] || ranked.Scores[1] <= ranked.Scores[2] {
+		t.Errorf("scores not descending: %v", ranked.Scores)
+	}
+	if ranked.Scores[2] != 0 {
+		t.Errorf("unknown concept must score 0: %v", ranked.Scores[2])
+	}
+	// Input result untouched.
+	if res.Rows[0][0].Str() != "Gold" {
+		t.Error("Rank must not mutate its input")
+	}
+}
+
+func TestRankIsStableOnTies(t *testing.T) {
+	view := testView(t)
+	res := mkResult("Unknown1", "Unknown2", "Unknown3")
+	ranked := Rank(res, view, nil)
+	for i, want := range []string{"Unknown1", "Unknown2", "Unknown3"} {
+		if ranked.Result.Rows[i][0].Str() != want {
+			t.Errorf("tie order broken at %d: %v", i, ranked.Result.Rows[i][0])
+		}
+	}
+}
+
+func TestHighlights(t *testing.T) {
+	view := testView(t)
+	res := mkResult("Gold", "Mercury")
+	ranked := Rank(res, view, nil)
+	// Only the Mercury cell (now row 0) is highlighted.
+	if len(ranked.Highlights) != 1 {
+		t.Fatalf("highlights = %+v", ranked.Highlights)
+	}
+	h := ranked.Highlights[0]
+	if h.Row != 0 || h.Col != 0 || h.Facts != 3 {
+		t.Errorf("highlight = %+v", h)
+	}
+}
+
+func TestRankHandlesNullsAndMultiColumn(t *testing.T) {
+	view := testView(t)
+	res := &sqlexec.Result{
+		Columns: []string{"a", "b"},
+		Rows: [][]sqlval.Value{
+			{sqlval.Null, sqlval.NewString("Lead")},
+			{sqlval.NewString("Mercury"), sqlval.Null},
+		},
+	}
+	ranked := Rank(res, view, nil)
+	if ranked.Result.Rows[0][0].IsNull() != false && ranked.Scores[0] < ranked.Scores[1] {
+		t.Errorf("scores: %v", ranked.Scores)
+	}
+	// Mercury row must outrank Lead row (3 vs 2 facts).
+	if ranked.Result.Rows[0][0].IsNull() {
+		t.Errorf("Mercury row should rank first: %v", ranked.Result.Rows)
+	}
+}
+
+func TestSnippet(t *testing.T) {
+	view := testView(t)
+	facts := Snippet(view, nil, "Mercury", 0)
+	if len(facts) != 3 {
+		t.Fatalf("facts = %+v", facts)
+	}
+	// Outgoing facts sorted by property.
+	if !facts[0].Outgoing || facts[0].Property != "dangerLevel" || facts[0].Value != "high" {
+		t.Errorf("first fact = %+v", facts[0])
+	}
+	// Lead has an incoming foundWith fact.
+	leadFacts := Snippet(view, nil, "Lead", 0)
+	foundIncoming := false
+	for _, f := range leadFacts {
+		if !f.Outgoing && f.Property == "foundWith" && f.Value == "Mercury" {
+			foundIncoming = true
+		}
+	}
+	if !foundIncoming {
+		t.Errorf("incoming fact missing: %+v", leadFacts)
+	}
+	// Cap respected.
+	if got := Snippet(view, nil, "Mercury", 2); len(got) != 2 {
+		t.Errorf("cap: %+v", got)
+	}
+	// Unknown concept → empty, not error.
+	if got := Snippet(view, nil, "Unobtainium", 0); len(got) != 0 {
+		t.Errorf("unknown concept: %+v", got)
+	}
+}
+
+func TestKnownConcepts(t *testing.T) {
+	view := testView(t)
+	vals := []sqlval.Value{
+		sqlval.NewString("Mercury"),
+		sqlval.NewString("Gold"),
+		sqlval.NewString("Lead"),
+		sqlval.Null,
+	}
+	known := KnownConcepts(view, nil, vals, 1)
+	if len(known) != 2 {
+		t.Fatalf("known = %v", known)
+	}
+	// Raising the threshold drops Lead (2 facts) but keeps Mercury (4).
+	known = KnownConcepts(view, nil, vals, 3)
+	if len(known) != 1 || known[0].Str() != "Mercury" {
+		t.Errorf("threshold: %v", known)
+	}
+}
+
+func TestLiteralValuesHighlight(t *testing.T) {
+	view := testView(t)
+	// "high" appears only as a literal object.
+	res := mkResult("high")
+	ranked := Rank(res, view, nil)
+	if ranked.Scores[0] == 0 {
+		t.Error("literal-valued concept should score > 0")
+	}
+}

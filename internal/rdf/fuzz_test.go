@@ -1,0 +1,49 @@
+package rdf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseTripleLineNeverPanics feeds the N-Triples parser random input:
+// reject or accept, never panic — KB save files may come from other tools.
+func TestParseTripleLineNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	alphabet := []byte(`<>"\_:. ^#httpabz019` + "\t")
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(80)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		line := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", line, r)
+				}
+			}()
+			_, _ = ParseTripleLine(line)
+		}()
+	}
+}
+
+// TestReadNTriplesTruncations truncates a valid document everywhere.
+func TestReadNTriplesTruncations(t *testing.T) {
+	doc := `<http://a> <http://p> "x\ty" .
+_:b <http://q> <http://o> .
+<http://c> <http://p> "4.5"^^<http://www.w3.org/2001/XMLSchema#double> .
+`
+	for i := 0; i <= len(doc); i++ {
+		st := NewStore()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d: %v", i, r)
+				}
+			}()
+			_, _ = ReadNTriples(strings.NewReader(doc[:i]), st)
+		}()
+	}
+}

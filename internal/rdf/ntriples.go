@@ -1,0 +1,177 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements an N-Triples-style codec so knowledge bases can be
+// exported, versioned, and re-imported (the paper's platform persists user
+// annotations; we persist them as line-oriented triples).
+
+// WriteNTriples serialises every triple in the store (sorted, deterministic)
+// to w, one statement per line terminated by " .".
+func WriteNTriples(w io.Writer, g *Store) error {
+	for _, t := range g.MatchSorted(Pattern{}) {
+		if _, err := fmt.Fprintf(w, "%s .\n", t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadNTriples parses triples from r (N-Triples subset: IRIs, quoted
+// literals with optional ^^<datatype>, blank nodes, # comments) and adds
+// them to the store. It returns the number of triples added.
+func ReadNTriples(r io.Reader, g *Store) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	added, lineno := 0, 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTripleLine(line)
+		if err != nil {
+			return added, fmt.Errorf("rdf: line %d: %w", lineno, err)
+		}
+		if g.Add(t) {
+			added++
+		}
+	}
+	return added, sc.Err()
+}
+
+// ParseTripleLine parses a single N-Triples statement (the trailing dot is
+// optional).
+func ParseTripleLine(line string) (Triple, error) {
+	p := &ntParser{in: line}
+	s, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pr, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	o, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.ws()
+	if p.pos < len(p.in) && p.in[p.pos] == '.' {
+		p.pos++
+	}
+	p.ws()
+	if p.pos < len(p.in) {
+		return Triple{}, fmt.Errorf("trailing garbage %q", p.in[p.pos:])
+	}
+	return Triple{s, pr, o}, nil
+}
+
+type ntParser struct {
+	in  string
+	pos int
+}
+
+func (p *ntParser) ws() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.ws()
+	if p.pos >= len(p.in) {
+		return Term{}, fmt.Errorf("unexpected end of statement")
+	}
+	switch p.in[p.pos] {
+	case '<':
+		end := strings.IndexByte(p.in[p.pos:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated IRI")
+		}
+		iri := p.in[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		return NewIRI(iri), nil
+	case '_':
+		if p.pos+1 >= len(p.in) || p.in[p.pos+1] != ':' {
+			return Term{}, fmt.Errorf("malformed blank node")
+		}
+		start := p.pos + 2
+		end := start
+		for end < len(p.in) && p.in[end] != ' ' && p.in[end] != '\t' {
+			end++
+		}
+		label := p.in[start:end]
+		p.pos = end
+		if label == "" {
+			return Term{}, fmt.Errorf("empty blank node label")
+		}
+		return NewBlank(label), nil
+	case '"':
+		lex, rest, err := unquoteLiteral(p.in[p.pos:])
+		if err != nil {
+			return Term{}, err
+		}
+		p.pos = len(p.in) - len(rest)
+		// Optional ^^<datatype>.
+		if strings.HasPrefix(p.in[p.pos:], "^^<") {
+			end := strings.IndexByte(p.in[p.pos+3:], '>')
+			if end < 0 {
+				return Term{}, fmt.Errorf("unterminated datatype IRI")
+			}
+			dt := p.in[p.pos+3 : p.pos+3+end]
+			p.pos += 3 + end + 1
+			return NewTypedLiteral(lex, dt), nil
+		}
+		return NewLiteral(lex), nil
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.in[p.pos])
+	}
+}
+
+// unquoteLiteral consumes a leading quoted literal from s and returns the
+// unescaped lexical form plus the remainder of s.
+func unquoteLiteral(s string) (string, string, error) {
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted literal")
+	}
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		switch c {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i+1])
+			}
+			i += 2
+			continue
+		default:
+			b.WriteByte(c)
+		}
+		i++
+	}
+	return "", "", fmt.Errorf("unterminated literal")
+}

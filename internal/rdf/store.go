@@ -1,0 +1,321 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+// Store is an in-memory triple store with three full indexes (SPO, POS, OSP)
+// so that every triple-pattern shape resolves through an index rather than a
+// scan. It is safe for concurrent use: reads take a shared lock, mutations an
+// exclusive one. This is the CroSSE semantic platform's storage engine
+// (the role Jena plays in the paper).
+type Store struct {
+	mu sync.RWMutex
+	// spo: S → P → set of O, and the two rotations.
+	spo map[Term]map[Term]map[Term]struct{}
+	pos map[Term]map[Term]map[Term]struct{}
+	osp map[Term]map[Term]map[Term]struct{}
+	n   int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		spo: make(map[Term]map[Term]map[Term]struct{}),
+		pos: make(map[Term]map[Term]map[Term]struct{}),
+		osp: make(map[Term]map[Term]map[Term]struct{}),
+	}
+}
+
+func addIdx(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	m1, ok := idx[a]
+	if !ok {
+		m1 = make(map[Term]map[Term]struct{})
+		idx[a] = m1
+	}
+	m2, ok := m1[b]
+	if !ok {
+		m2 = make(map[Term]struct{})
+		m1[b] = m2
+	}
+	if _, dup := m2[c]; dup {
+		return false
+	}
+	m2[c] = struct{}{}
+	return true
+}
+
+func delIdx(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	m1, ok := idx[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b]
+	if !ok {
+		return false
+	}
+	if _, ok := m2[c]; !ok {
+		return false
+	}
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b)
+		if len(m1) == 0 {
+			delete(idx, a)
+		}
+	}
+	return true
+}
+
+// Add inserts a triple. It reports whether the triple was new.
+func (s *Store) Add(t Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !addIdx(s.spo, t.S, t.P, t.O) {
+		return false
+	}
+	addIdx(s.pos, t.P, t.O, t.S)
+	addIdx(s.osp, t.O, t.S, t.P)
+	s.n++
+	return true
+}
+
+// AddAll inserts a batch of triples, returning how many were new.
+func (s *Store) AddAll(ts []Triple) int {
+	added := 0
+	for _, t := range ts {
+		if s.Add(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Remove deletes a triple. It reports whether the triple was present.
+func (s *Store) Remove(t Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !delIdx(s.spo, t.S, t.P, t.O) {
+		return false
+	}
+	delIdx(s.pos, t.P, t.O, t.S)
+	delIdx(s.osp, t.O, t.S, t.P)
+	s.n--
+	return true
+}
+
+// Has reports whether the exact triple is in the store.
+func (s *Store) Has(t Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if m1, ok := s.spo[t.S]; ok {
+		if m2, ok := m1[t.P]; ok {
+			_, ok := m2[t.O]
+			return ok
+		}
+	}
+	return false
+}
+
+// Len returns the number of triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// Match returns every triple matching the pattern. The index used is chosen
+// by which positions are bound: S?? and SP? use SPO, ?P? and ?PO use POS,
+// ??O and S?O use OSP, SPO uses a Has probe, and ??? enumerates SPO.
+// Results are returned in unspecified order; use MatchSorted for stability.
+func (s *Store) Match(p Pattern) []Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Triple
+	s.matchLocked(p, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// ForEach streams matching triples into fn; fn returning false stops early.
+func (s *Store) ForEach(p Pattern, fn func(Triple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.matchLocked(p, fn)
+}
+
+// Count returns the number of triples matching the pattern without
+// materialising them.
+func (s *Store) Count(p Pattern) int {
+	n := 0
+	s.ForEach(p, func(Triple) bool { n++; return true })
+	return n
+}
+
+func (s *Store) matchLocked(p Pattern, fn func(Triple) bool) {
+	sb, pb, ob := !p.S.IsZero(), !p.P.IsZero(), !p.O.IsZero()
+	switch {
+	case sb && pb && ob:
+		if m1, ok := s.spo[p.S]; ok {
+			if m2, ok := m1[p.P]; ok {
+				if _, ok := m2[p.O]; ok {
+					fn(Triple{p.S, p.P, p.O})
+				}
+			}
+		}
+	case sb && pb:
+		if m1, ok := s.spo[p.S]; ok {
+			for o := range m1[p.P] {
+				if !fn(Triple{p.S, p.P, o}) {
+					return
+				}
+			}
+		}
+	case pb && ob:
+		if m1, ok := s.pos[p.P]; ok {
+			for sub := range m1[p.O] {
+				if !fn(Triple{sub, p.P, p.O}) {
+					return
+				}
+			}
+		}
+	case sb && ob:
+		if m1, ok := s.osp[p.O]; ok {
+			for pr := range m1[p.S] {
+				if !fn(Triple{p.S, pr, p.O}) {
+					return
+				}
+			}
+		}
+	case sb:
+		if m1, ok := s.spo[p.S]; ok {
+			for pr, objs := range m1 {
+				for o := range objs {
+					if !fn(Triple{p.S, pr, o}) {
+						return
+					}
+				}
+			}
+		}
+	case pb:
+		if m1, ok := s.pos[p.P]; ok {
+			for o, subs := range m1 {
+				for sub := range subs {
+					if !fn(Triple{sub, p.P, o}) {
+						return
+					}
+				}
+			}
+		}
+	case ob:
+		if m1, ok := s.osp[p.O]; ok {
+			for sub, preds := range m1 {
+				for pr := range preds {
+					if !fn(Triple{sub, pr, p.O}) {
+						return
+					}
+				}
+			}
+		}
+	default:
+		for sub, m1 := range s.spo {
+			for pr, objs := range m1 {
+				for o := range objs {
+					if !fn(Triple{sub, pr, o}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatchSorted returns matching triples in deterministic (lexicographic by
+// rendered form) order. Useful for golden tests and stable exports.
+func (s *Store) MatchSorted(p Pattern) []Triple {
+	ts := s.Match(p)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].String() < ts[j].String() })
+	return ts
+}
+
+// Subjects returns the distinct subjects of triples matching (?, p, o).
+func (s *Store) Subjects(p, o Term) []Term {
+	seen := make(map[Term]struct{})
+	var out []Term
+	s.ForEach(Pattern{P: p, O: o}, func(t Triple) bool {
+		if _, ok := seen[t.S]; !ok {
+			seen[t.S] = struct{}{}
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}
+
+// Objects returns the distinct objects of triples matching (s, p, ?).
+func (s *Store) Objects(sub, p Term) []Term {
+	seen := make(map[Term]struct{})
+	var out []Term
+	s.ForEach(Pattern{S: sub, P: p}, func(t Triple) bool {
+		if _, ok := seen[t.O]; !ok {
+			seen[t.O] = struct{}{}
+			out = append(out, t.O)
+		}
+		return true
+	})
+	return out
+}
+
+// Predicates returns the distinct predicates appearing in the store.
+func (s *Store) Predicates() []Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Term, 0, len(s.pos))
+	for p := range s.pos {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// Clone returns a deep snapshot of the store. Used by the KB layer to build
+// per-user materialised views without blocking writers.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewStore()
+	for sub, m1 := range s.spo {
+		for pr, objs := range m1 {
+			for o := range objs {
+				c.Add(Triple{sub, pr, o})
+			}
+		}
+	}
+	return c
+}
+
+// Clear removes every triple.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spo = make(map[Term]map[Term]map[Term]struct{})
+	s.pos = make(map[Term]map[Term]map[Term]struct{})
+	s.osp = make(map[Term]map[Term]map[Term]struct{})
+	s.n = 0
+}
+
+// Graph is the read-only view the SPARQL engine evaluates against. Both
+// *Store and the KB layer's filtered per-user views implement it.
+type Graph interface {
+	// ForEach streams triples matching the pattern; fn returning false
+	// stops the enumeration early.
+	ForEach(p Pattern, fn func(Triple) bool)
+	// Count returns the number of triples matching the pattern (used for
+	// join ordering).
+	Count(p Pattern) int
+}
+
+var _ Graph = (*Store)(nil)

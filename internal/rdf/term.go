@@ -1,0 +1,141 @@
+// Package rdf implements the contextual-knowledge substrate of CroSSE:
+// an RDF data model (IRIs, literals, blank nodes, triples) and an indexed
+// in-memory triple store with pattern matching. It plays the role the paper
+// assigns to the Jena triple store (Sec. III-B, Fig. 4), and is the storage
+// layer underneath the SPARQL engine (internal/sparql) and the knowledge-base
+// management layer (internal/kb).
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three RDF term kinds.
+type TermKind int
+
+const (
+	// IRI identifies a resource (concept, property, user, …).
+	IRI TermKind = iota
+	// Literal is a (possibly typed) value such as a string or number.
+	Literal
+	// Blank is an anonymous node, scoped to the store it lives in.
+	Blank
+)
+
+// Term is an RDF term. Terms are immutable value types: two terms are the
+// same resource iff they are == comparable equal, which makes them usable
+// as map keys throughout the store and the SPARQL engine.
+type Term struct {
+	Kind TermKind
+	// Value holds the IRI string, the literal lexical form, or the blank
+	// node label, depending on Kind.
+	Value string
+	// Datatype is the literal datatype IRI; empty means xsd:string.
+	// Only meaningful when Kind == Literal.
+	Datatype string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain (string) literal term.
+func NewLiteral(lex string) Term { return Term{Kind: Literal, Value: lex} }
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+func NewTypedLiteral(lex, datatype string) Term {
+	return Term{Kind: Literal, Value: lex, Datatype: datatype}
+}
+
+// NewBlank returns a blank node with the given label.
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// Common datatype IRIs used by the platform.
+const (
+	XSDString  = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDouble  = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean = "http://www.w3.org/2001/XMLSchema#boolean"
+)
+
+// Well-known RDF/RDFS vocabulary used by the Fig. 4 schema.
+const (
+	RDFType      = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFSubject   = "http://www.w3.org/1999/02/22-rdf-syntax-ns#subject"
+	RDFPredicate = "http://www.w3.org/1999/02/22-rdf-syntax-ns#predicate"
+	RDFObject    = "http://www.w3.org/1999/02/22-rdf-syntax-ns#object"
+	RDFSClass    = "http://www.w3.org/2000/01/rdf-schema#Class"
+)
+
+// IsZero reports whether the term is the zero Term (used as "unbound" in
+// match patterns).
+func (t Term) IsZero() bool { return t == Term{} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// String renders the term in N-Triples-like syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	case Literal:
+		q := "\"" + escapeLiteral(t.Value) + "\""
+		if t.Datatype != "" && t.Datatype != XSDString {
+			return q + "^^<" + t.Datatype + ">"
+		}
+		return q
+	default:
+		return fmt.Sprintf("?term(%d)", int(t.Kind))
+	}
+}
+
+func escapeLiteral(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`, "\r", `\r`, "\t", `\t`)
+	return r.Replace(s)
+}
+
+// Triple is an RDF statement <subject, property, object>.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple builds a triple.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple in N-Triples syntax (without the final dot).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String()
+}
+
+// Pattern is a triple pattern: zero-value terms act as wildcards.
+// It is the unit of the store's Match API.
+type Pattern struct {
+	S, P, O Term
+}
+
+// Matches reports whether the triple satisfies the pattern.
+func (p Pattern) Matches(t Triple) bool {
+	return (p.S.IsZero() || p.S == t.S) &&
+		(p.P.IsZero() || p.P == t.P) &&
+		(p.O.IsZero() || p.O == t.O)
+}
+
+// String renders the pattern with "?" for wildcards.
+func (p Pattern) String() string {
+	part := func(t Term) string {
+		if t.IsZero() {
+			return "?"
+		}
+		return t.String()
+	}
+	return part(p.S) + " " + part(p.P) + " " + part(p.O)
+}

@@ -1,0 +1,77 @@
+package recommend
+
+import (
+	"testing"
+
+	"crosse/internal/core"
+	"crosse/internal/engine"
+	"crosse/internal/kb"
+	"crosse/internal/rdf"
+)
+
+func TestPeersByActivity(t *testing.T) {
+	a := core.NewActivity()
+	a.Record("anna", []string{"p:dangerLevel", "p:isA"})
+	a.Record("anna", []string{"p:dangerLevel"})
+	a.Record("berta", []string{"p:dangerLevel"})
+	a.Record("chiara", []string{"p:inCountry"})
+
+	peers := PeersByActivity(a, "anna", 5)
+	if len(peers) != 1 || peers[0].User != "berta" {
+		t.Fatalf("peers = %+v", peers)
+	}
+	if peers[0].Score <= 0 || peers[0].Score > 1 {
+		t.Errorf("score out of range: %v", peers[0].Score)
+	}
+	if got := PeersByActivity(a, "chiara", 5); len(got) != 0 {
+		t.Errorf("chiara has no activity peers: %+v", got)
+	}
+	if got := PeersByActivity(nil, "anna", 5); got != nil {
+		t.Error("nil tracker must yield nil")
+	}
+}
+
+func TestActivityRecordedByEnricher(t *testing.T) {
+	db := engine.Open()
+	if _, err := db.ExecScript(`
+		CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT);
+		INSERT INTO elem_contained VALUES ('Mercury', 'a')`); err != nil {
+		t.Fatal(err)
+	}
+	p := kb.NewPlatform()
+	if err := p.RegisterUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert("u", rdf.Triple{
+		S: rdf.NewIRI(core.DefaultIRIPrefix + "Mercury"),
+		P: rdf.NewIRI(core.DefaultIRIPrefix + "dangerLevel"),
+		O: rdf.NewLiteral("high"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	enr := core.New(db, p, nil)
+	enr.Activity = core.NewActivity()
+
+	// Plain SQL: not recorded.
+	if _, err := enr.Query("u", `SELECT elem_name FROM elem_contained`); err != nil {
+		t.Fatal(err)
+	}
+	if enr.Activity.QueryCount("u") != 0 {
+		t.Error("plain SQL must not be recorded")
+	}
+	// Enriched query: recorded with the property IRI.
+	if _, err := enr.Query("u", `SELECT elem_name FROM elem_contained
+ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`); err != nil {
+		t.Fatal(err)
+	}
+	if enr.Activity.QueryCount("u") != 1 {
+		t.Errorf("query count = %d", enr.Activity.QueryCount("u"))
+	}
+	prof := enr.Activity.Profile("u")
+	if prof[core.DefaultIRIPrefix+"dangerLevel"] != 1 {
+		t.Errorf("profile = %v", prof)
+	}
+	if users := enr.Activity.Users(); len(users) != 1 || users[0] != "u" {
+		t.Errorf("users = %v", users)
+	}
+}

@@ -1,0 +1,213 @@
+// Package recommend implements the peer-networking services of the paper's
+// vision (Sec. I-B.b): discovering peers with similar interests and
+// recommending resources (statements) explored and used by others within
+// similar contexts. Similarity is computed from what the platform already
+// knows — who believes which statements, and which ontology properties a
+// user's knowledge engages with — so no extra tracking infrastructure is
+// required.
+package recommend
+
+import (
+	"math"
+	"sort"
+
+	"crosse/internal/core"
+	"crosse/internal/kb"
+)
+
+// PeerScore is one ranked peer.
+type PeerScore struct {
+	User  string
+	Score float64
+}
+
+// StatementScore is one recommended statement with its evidence.
+type StatementScore struct {
+	Statement *kb.Statement
+	Score     float64
+	// Via lists the similar peers whose beliefs contributed.
+	Via []string
+}
+
+// beliefSets returns, per user, the set of statement ids she believes.
+func beliefSets(p *kb.Platform) map[string]map[string]struct{} {
+	sets := map[string]map[string]struct{}{}
+	for _, u := range p.Users() {
+		sets[u] = map[string]struct{}{}
+	}
+	for _, st := range p.Explore(nil) {
+		for _, u := range st.Believers() {
+			if s, ok := sets[u]; ok {
+				s[st.ID] = struct{}{}
+			}
+		}
+	}
+	return sets
+}
+
+// jaccard computes |a∩b| / |a∪b|; empty∪empty scores 0.
+func jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// PeersByBeliefs ranks the other users by Jaccard similarity of believed
+// statement sets: the "peers who accepted the same knowledge" notion of
+// peer discovery. Users with zero overlap are omitted. Ties break by name
+// for determinism.
+func PeersByBeliefs(p *kb.Platform, user string, k int) []PeerScore {
+	sets := beliefSets(p)
+	mine, ok := sets[user]
+	if !ok {
+		return nil
+	}
+	var out []PeerScore
+	for peer, theirs := range sets {
+		if peer == user {
+			continue
+		}
+		if s := jaccard(mine, theirs); s > 0 {
+			out = append(out, PeerScore{User: peer, Score: s})
+		}
+	}
+	sortPeers(out)
+	return truncate(out, k)
+}
+
+// interestProfile is a property-IRI → weight vector derived from a user's
+// believed statements: which kinds of knowledge she engages with.
+func interestProfile(p *kb.Platform, user string) map[string]float64 {
+	prof := map[string]float64{}
+	for _, st := range p.Explore(func(st *kb.Statement) bool { return st.BelievedBy(user) }) {
+		prof[st.Triple.P.Value]++
+	}
+	return prof
+}
+
+// cosine computes the cosine similarity of two sparse vectors.
+func cosine(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, va := range a {
+		na += va * va
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	for _, vb := range b {
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// PeersByInterests ranks peers by cosine similarity of ontology-property
+// usage: two users are similar when their knowledge engages the same kinds
+// of properties, even if the concrete statements differ. This captures the
+// paper's "researchers with similar goals" notion without query tracking.
+func PeersByInterests(p *kb.Platform, user string, k int) []PeerScore {
+	mine := interestProfile(p, user)
+	var out []PeerScore
+	for _, peer := range p.Users() {
+		if peer == user {
+			continue
+		}
+		if s := cosine(mine, interestProfile(p, peer)); s > 0 {
+			out = append(out, PeerScore{User: peer, Score: s})
+		}
+	}
+	sortPeers(out)
+	return truncate(out, k)
+}
+
+// PeersByActivity ranks peers by cosine similarity of query behaviour: the
+// ontology properties their enriched queries engage (recorded by
+// core.Activity). This is the paper's "based on this researcher's
+// interactions with the system (including her past queries)" signal.
+func PeersByActivity(a *core.Activity, user string, k int) []PeerScore {
+	if a == nil {
+		return nil
+	}
+	mine := a.Profile(user)
+	var out []PeerScore
+	for _, peer := range a.Users() {
+		if peer == user {
+			continue
+		}
+		if s := cosine(mine, a.Profile(peer)); s > 0 {
+			out = append(out, PeerScore{User: peer, Score: s})
+		}
+	}
+	sortPeers(out)
+	return truncate(out, k)
+}
+
+// RecommendStatements suggests statements the user does not yet hold,
+// scored by the summed belief-similarity of the peers who do hold them —
+// "data recommendations based on peer networks" (Sec. I-B.b). Results are
+// ranked by score, then statement id for determinism.
+func RecommendStatements(p *kb.Platform, user string, k int) []StatementScore {
+	peers := PeersByBeliefs(p, user, 0)
+	if len(peers) == 0 {
+		// Cold start: fall back to interest similarity so new users still
+		// receive recommendations.
+		peers = PeersByInterests(p, user, 0)
+	}
+	weight := map[string]float64{}
+	for _, ps := range peers {
+		weight[ps.User] = ps.Score
+	}
+	var out []StatementScore
+	for _, st := range p.Explore(nil) {
+		if st.BelievedBy(user) {
+			continue
+		}
+		var score float64
+		var via []string
+		for _, believer := range st.Believers() {
+			if w, ok := weight[believer]; ok && w > 0 {
+				score += w
+				via = append(via, believer)
+			}
+		}
+		if score > 0 {
+			out = append(out, StatementScore{Statement: st, Score: score, Via: via})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Statement.ID < out[j].Statement.ID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func sortPeers(ps []PeerScore) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Score != ps[j].Score {
+			return ps[i].Score > ps[j].Score
+		}
+		return ps[i].User < ps[j].User
+	})
+}
+
+func truncate(ps []PeerScore, k int) []PeerScore {
+	if k > 0 && len(ps) > k {
+		return ps[:k]
+	}
+	return ps
+}

@@ -1,0 +1,188 @@
+package recommend
+
+import (
+	"math"
+	"testing"
+
+	"crosse/internal/kb"
+	"crosse/internal/rdf"
+)
+
+func iri(l string) rdf.Term { return rdf.NewIRI(kb.SMG + l) }
+
+func tr(s, p, o string) rdf.Triple { return rdf.Triple{S: iri(s), P: iri(p), O: iri(o)} }
+
+// community builds: alice and bob share most beliefs; carol is disjoint;
+// dave is empty.
+func community(t *testing.T) *kb.Platform {
+	t.Helper()
+	p := kb.NewPlatform()
+	for _, u := range []string{"alice", "bob", "carol", "dave"} {
+		if err := p.RegisterUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make([]string, 0, 4)
+	for i, s := range []string{"Hg", "Pb", "As", "Zn"} {
+		id, err := p.Insert("alice", tr(s, "isA", "HazardousWaste"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if i < 3 { // bob shares 3 of alice's 4
+			if err := p.Import("bob", id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Bob has one of his own that alice lacks.
+	if _, err := p.Insert("bob", tr("Cd", "isA", "HazardousWaste")); err != nil {
+		t.Fatal(err)
+	}
+	// Carol's knowledge is disjoint in statements but uses a shared property.
+	if _, err := p.Insert("carol", tr("Torino", "inCountry", "Italy")); err != nil {
+		t.Fatal(err)
+	}
+	_ = ids
+	return p
+}
+
+func TestPeersByBeliefs(t *testing.T) {
+	p := community(t)
+	peers := PeersByBeliefs(p, "alice", 10)
+	if len(peers) != 1 || peers[0].User != "bob" {
+		t.Fatalf("alice's belief peers = %+v", peers)
+	}
+	// bob shares 3 of alice's 4, has 1 extra: J = 3/(4+4-3) = 0.6.
+	if math.Abs(peers[0].Score-0.6) > 1e-9 {
+		t.Errorf("jaccard = %v, want 0.6", peers[0].Score)
+	}
+	// Carol overlaps with nobody.
+	if got := PeersByBeliefs(p, "carol", 10); len(got) != 0 {
+		t.Errorf("carol's peers = %+v", got)
+	}
+	// Unknown user yields nil, not panic.
+	if got := PeersByBeliefs(p, "ghost", 10); got != nil {
+		t.Errorf("ghost peers = %+v", got)
+	}
+}
+
+func TestPeersByInterests(t *testing.T) {
+	p := community(t)
+	// Carol uses inCountry only; alice uses isA only → no interest overlap.
+	peers := PeersByInterests(p, "carol", 10)
+	if len(peers) != 0 {
+		t.Errorf("carol interest peers = %+v", peers)
+	}
+	// Give carol one isA statement: now she overlaps with alice and bob.
+	if _, err := p.Insert("carol", tr("Rn", "isA", "HazardousWaste")); err != nil {
+		t.Fatal(err)
+	}
+	peers = PeersByInterests(p, "carol", 10)
+	if len(peers) != 2 {
+		t.Fatalf("carol interest peers after isA = %+v", peers)
+	}
+	// Alice's profile is pure isA; carol's is half isA → alice ranks ≥ bob? both pure isA for alice and bob.
+	for _, ps := range peers {
+		if ps.Score <= 0 || ps.Score > 1 {
+			t.Errorf("cosine out of range: %+v", ps)
+		}
+	}
+}
+
+func TestTopKTruncation(t *testing.T) {
+	p := community(t)
+	if got := PeersByBeliefs(p, "alice", 0); len(got) != 1 {
+		t.Errorf("k=0 means unlimited: %+v", got)
+	}
+	// Add more overlapping users to test truncation.
+	for _, u := range []string{"e1", "e2", "e3"} {
+		if err := p.RegisterUser(u); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.ImportFrom(u, "alice", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := PeersByBeliefs(p, "alice", 2); len(got) != 2 {
+		t.Errorf("k=2 truncation: %+v", got)
+	}
+}
+
+func TestRecommendStatements(t *testing.T) {
+	p := community(t)
+	recs := RecommendStatements(p, "alice", 10)
+	// Bob (similar peer) holds one statement alice lacks: Cd.
+	if len(recs) != 1 {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Statement.Triple.S != iri("Cd") {
+		t.Errorf("recommended %v", recs[0].Statement.Triple)
+	}
+	if len(recs[0].Via) != 1 || recs[0].Via[0] != "bob" {
+		t.Errorf("via = %v", recs[0].Via)
+	}
+	// Importing the recommendation makes it disappear.
+	if err := p.Import("alice", recs[0].Statement.ID); err != nil {
+		t.Fatal(err)
+	}
+	if recs := RecommendStatements(p, "alice", 10); len(recs) != 0 {
+		t.Errorf("after import: %+v", recs)
+	}
+}
+
+func TestRecommendColdStartFallsBackToInterests(t *testing.T) {
+	p := community(t)
+	// Eve shares no statements but uses isA, like alice and bob.
+	if err := p.RegisterUser("eve"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert("eve", tr("Po", "isA", "HazardousWaste")); err != nil {
+		t.Fatal(err)
+	}
+	recs := RecommendStatements(p, "eve", 3)
+	if len(recs) == 0 {
+		t.Fatal("cold-start user with interests must get recommendations")
+	}
+	for _, r := range recs {
+		if r.Statement.BelievedBy("eve") {
+			t.Errorf("recommended an already-held statement: %+v", r)
+		}
+		if r.Statement.Triple.P != iri("isA") && r.Statement.Triple.P != iri("inCountry") {
+			t.Errorf("unexpected rec: %v", r.Statement.Triple)
+		}
+	}
+}
+
+func TestRecommendationDeterminism(t *testing.T) {
+	p := community(t)
+	a := RecommendStatements(p, "carol", 10)
+	b := RecommendStatements(p, "carol", 10)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i].Statement.ID != b[i].Statement.ID {
+			t.Fatalf("order differs at %d: %s vs %s", i, a[i].Statement.ID, b[i].Statement.ID)
+		}
+	}
+}
+
+func TestJaccardAndCosine(t *testing.T) {
+	a := map[string]struct{}{"x": {}, "y": {}}
+	b := map[string]struct{}{"y": {}, "z": {}}
+	if j := jaccard(a, b); math.Abs(j-1.0/3) > 1e-9 {
+		t.Errorf("jaccard = %v", j)
+	}
+	if j := jaccard(nil, nil); j != 0 {
+		t.Errorf("jaccard empty = %v", j)
+	}
+	va := map[string]float64{"p": 1, "q": 1}
+	vb := map[string]float64{"p": 1}
+	if c := cosine(va, vb); math.Abs(c-1/math.Sqrt2) > 1e-9 {
+		t.Errorf("cosine = %v", c)
+	}
+	if c := cosine(va, map[string]float64{}); c != 0 {
+		t.Errorf("cosine vs empty = %v", c)
+	}
+}

@@ -1,0 +1,534 @@
+// Package rest exposes the CroSSE platform over HTTP/JSON. The paper's
+// deployment integrates the main platform and the semantic platform
+// "by means of RESTful APIs" (Sec. I-A); this package is that surface:
+// user management, semantic tagging (the three annotation scenarios),
+// knowledge exploration and import, stored queries, and SESQL execution.
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"crosse/internal/core"
+	"crosse/internal/kb"
+	"crosse/internal/preview"
+	"crosse/internal/rdf"
+	"crosse/internal/recommend"
+	"crosse/internal/sparql"
+	"crosse/internal/sqlexec"
+)
+
+// Server serves the CroSSE REST API.
+type Server struct {
+	enricher *core.Enricher
+}
+
+// NewServer wraps an Enricher (which carries the databank, the semantic
+// platform and the resource mapping).
+func NewServer(e *core.Enricher) *Server { return &Server{enricher: e} }
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/users", s.listUsers)
+	mux.HandleFunc("POST /api/users", s.createUser)
+	mux.HandleFunc("GET /api/statements", s.listStatements)
+	mux.HandleFunc("POST /api/statements", s.createStatement)
+	mux.HandleFunc("POST /api/statements/{id}/import", s.importStatement)
+	mux.HandleFunc("DELETE /api/statements/{id}", s.retractStatement)
+	mux.HandleFunc("GET /api/queries", s.listQueries)
+	mux.HandleFunc("POST /api/queries", s.registerQuery)
+	mux.HandleFunc("POST /api/query", s.sesqlQuery)
+	mux.HandleFunc("POST /api/sparql", s.sparqlQuery)
+	mux.HandleFunc("GET /api/tables", s.listTables)
+	mux.HandleFunc("GET /api/peers", s.listPeers)
+	mux.HandleFunc("GET /api/recommendations", s.listRecommendations)
+	mux.HandleFunc("GET /api/snippet", s.snippet)
+	mux.HandleFunc("GET /api/vocabulary", s.vocabulary)
+	mux.HandleFunc("POST /api/vocabulary", s.declare)
+	mux.HandleFunc("GET /api/kb.dot", s.kbDOT)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// --- users ---
+
+func (s *Server) listUsers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"users": s.enricher.Platform.Users()})
+}
+
+func (s *Server) createUser(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.enricher.Platform.RegisterUser(req.Name); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+// --- statements (semantic tagging) ---
+
+// statementJSON is the wire form of a reified statement.
+type statementJSON struct {
+	ID        string         `json:"id"`
+	Subject   string         `json:"subject"`
+	Property  string         `json:"property"`
+	Object    string         `json:"object"`
+	ObjectLit bool           `json:"object_literal,omitempty"`
+	Owner     string         `json:"owner"`
+	Believers []string       `json:"believers"`
+	Ref       *referenceJSON `json:"ref,omitempty"`
+}
+
+type referenceJSON struct {
+	Title  string `json:"title,omitempty"`
+	Author string `json:"author,omitempty"`
+	Link   string `json:"link,omitempty"`
+	File   string `json:"file,omitempty"`
+}
+
+func toStatementJSON(st *kb.Statement) statementJSON {
+	out := statementJSON{
+		ID:        st.ID,
+		Subject:   st.Triple.S.Value,
+		Property:  st.Triple.P.Value,
+		Object:    st.Triple.O.Value,
+		ObjectLit: st.Triple.O.IsLiteral(),
+		Owner:     st.Owner,
+		Believers: st.Believers(),
+	}
+	if st.Ref != nil {
+		out.Ref = &referenceJSON{Title: st.Ref.Title, Author: st.Ref.Author, Link: st.Ref.Link, File: st.Ref.File}
+	}
+	return out
+}
+
+func (s *Server) listStatements(w http.ResponseWriter, r *http.Request) {
+	owner := r.URL.Query().Get("owner")
+	property := r.URL.Query().Get("property")
+	sts := s.enricher.Platform.Explore(func(st *kb.Statement) bool {
+		if owner != "" && st.Owner != owner {
+			return false
+		}
+		if property != "" && !strings.HasSuffix(st.Triple.P.Value, property) {
+			return false
+		}
+		return true
+	})
+	out := make([]statementJSON, len(sts))
+	for i, st := range sts {
+		out[i] = toStatementJSON(st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"statements": out})
+}
+
+func (s *Server) createStatement(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User       string         `json:"user"`
+		Subject    string         `json:"subject"`
+		Property   string         `json:"property"`
+		Object     string         `json:"object"`
+		ObjectLit  bool           `json:"object_literal"`
+		Integrated bool           `json:"integrated"`
+		Ref        *referenceJSON `json:"ref"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Subject == "" || req.Property == "" || req.Object == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: subject, property and object are required"))
+		return
+	}
+	m := s.enricher.Mapping
+	var obj rdf.Term
+	if req.ObjectLit {
+		obj = rdf.NewLiteral(req.Object)
+	} else {
+		obj = m.PropertyIRI(req.Object) // mint under the default prefix
+	}
+	t := rdf.Triple{S: m.PropertyIRI(req.Subject), P: m.PropertyIRI(req.Property), O: obj}
+	var opts []kb.InsertOption
+	if req.Integrated {
+		opts = append(opts, kb.Integrated())
+	}
+	if req.Ref != nil {
+		opts = append(opts, kb.WithReference(kb.Reference{
+			Title: req.Ref.Title, Author: req.Ref.Author, Link: req.Ref.Link, File: req.Ref.File,
+		}))
+	}
+	id, err := s.enricher.Platform.Insert(req.User, t, opts...)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) importStatement(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User string `json:"user"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.enricher.Platform.Import(req.User, r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "imported"})
+}
+
+func (s *Server) retractStatement(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user query parameter required"))
+		return
+	}
+	if err := s.enricher.Platform.Retract(user, r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "retracted"})
+}
+
+// --- stored queries ---
+
+func (s *Server) listQueries(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	qs := s.enricher.Platform.Queries(user)
+	type qj struct {
+		Name  string `json:"name"`
+		Owner string `json:"owner,omitempty"`
+		Text  string `json:"text"`
+	}
+	out := make([]qj, len(qs))
+	for i, q := range qs {
+		out[i] = qj{Name: q.Name, Owner: q.Owner, Text: q.Text}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"queries": out})
+}
+
+func (s *Server) registerQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Owner string `json:"owner"`
+		Name  string `json:"name"`
+		Text  string `json:"text"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.enricher.Platform.RegisterQuery(req.Owner, req.Name, req.Text); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+// --- query execution ---
+
+type resultJSON struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Stats   *statsJSON `json:"stats,omitempty"`
+	// Scores holds per-row contextual relevance when ranking was requested.
+	Scores []float64 `json:"scores,omitempty"`
+}
+
+type statsJSON struct {
+	ParseMicros    int64    `json:"parse_us"`
+	BaseSQLMicros  int64    `json:"base_sql_us"`
+	SPARQLMicros   int64    `json:"sparql_us"`
+	JoinMicros     int64    `json:"join_us"`
+	FinalSQLMicros int64    `json:"final_sql_us"`
+	BaseRows       int      `json:"base_rows"`
+	FinalRows      int      `json:"final_rows"`
+	SPARQLQueries  []string `json:"sparql_queries,omitempty"`
+	FinalSQL       string   `json:"final_sql,omitempty"`
+}
+
+func toResultJSON(res *sqlexec.Result, stats *core.Stats) resultJSON {
+	out := resultJSON{Columns: res.Columns, Rows: make([][]string, len(res.Rows))}
+	for i, row := range res.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		out.Rows[i] = cells
+	}
+	if stats != nil {
+		out.Stats = &statsJSON{
+			ParseMicros:    stats.Parse.Microseconds(),
+			BaseSQLMicros:  stats.BaseSQL.Microseconds(),
+			SPARQLMicros:   stats.SPARQL.Microseconds(),
+			JoinMicros:     stats.Join.Microseconds(),
+			FinalSQLMicros: stats.FinalSQL.Microseconds(),
+			BaseRows:       stats.BaseRows,
+			FinalRows:      stats.FinalRows,
+			SPARQLQueries:  stats.SPARQLQueries,
+			FinalSQL:       stats.FinalSQLText,
+		}
+	}
+	return out
+}
+
+func (s *Server) sesqlQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User  string `json:"user"`
+		SESQL string `json:"sesql"`
+		Stats bool   `json:"stats"`
+		// Rank applies context-aware ranking (Sec. I-B.c): rows the user's
+		// KB knows most about come first, with relevance scores attached.
+		Rank bool `json:"rank"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, stats, err := s.enricher.QueryStats(req.User, req.SESQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !req.Stats {
+		stats = nil
+	}
+	out := toResultJSON(res, stats)
+	if req.Rank {
+		view, err := s.enricher.Platform.View(req.User)
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		ranked := preview.Rank(res, view, s.enricher.Mapping)
+		out = toResultJSON(ranked.Result, stats)
+		out.Scores = ranked.Scores
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- peer networking and previews (the Sec. I-B vision services) ---
+
+func (s *Server) listPeers(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user query parameter required"))
+		return
+	}
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	var peers []recommend.PeerScore
+	switch r.URL.Query().Get("by") {
+	case "interests":
+		peers = recommend.PeersByInterests(s.enricher.Platform, user, k)
+	case "activity":
+		peers = recommend.PeersByActivity(s.enricher.Activity, user, k)
+	default:
+		peers = recommend.PeersByBeliefs(s.enricher.Platform, user, k)
+	}
+	type pj struct {
+		User  string  `json:"user"`
+		Score float64 `json:"score"`
+	}
+	out := make([]pj, len(peers))
+	for i, p := range peers {
+		out[i] = pj{User: p.User, Score: p.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"peers": out})
+}
+
+func (s *Server) listRecommendations(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user query parameter required"))
+		return
+	}
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	recs := recommend.RecommendStatements(s.enricher.Platform, user, k)
+	type rj struct {
+		Statement statementJSON `json:"statement"`
+		Score     float64       `json:"score"`
+		Via       []string      `json:"via"`
+	}
+	out := make([]rj, len(recs))
+	for i, rec := range recs {
+		out[i] = rj{Statement: toStatementJSON(rec.Statement), Score: rec.Score, Via: rec.Via}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"recommendations": out})
+}
+
+func (s *Server) snippet(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	concept := r.URL.Query().Get("concept")
+	if user == "" || concept == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user and concept query parameters required"))
+		return
+	}
+	max, _ := strconv.Atoi(r.URL.Query().Get("max"))
+	view, err := s.enricher.Platform.View(user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	facts := preview.Snippet(view, s.enricher.Mapping, concept, max)
+	type fj struct {
+		Property string `json:"property"`
+		Value    string `json:"value"`
+		Outgoing bool   `json:"outgoing"`
+	}
+	out := make([]fj, len(facts))
+	for i, f := range facts {
+		out[i] = fj{Property: f.Property, Value: f.Value, Outgoing: f.Outgoing}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"concept": concept, "facts": out})
+}
+
+func (s *Server) sparqlQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User  string `json:"user"`
+		Query string `json:"query"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	view, err := s.enricher.Platform.View(req.User)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	res, err := sparql.Eval(view, req.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	bindings := make([]map[string]string, len(res.Bindings))
+	for i, b := range res.Bindings {
+		row := map[string]string{}
+		for v, t := range b {
+			row[v] = t.Value
+		}
+		bindings[i] = row
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vars":     res.Vars,
+		"bindings": bindings,
+		"bool":     res.Bool,
+	})
+}
+
+// vocabulary lists suggested annotation properties and declared terms —
+// the data behind the paper's "suggested properties" annotation UI.
+func (s *Server) vocabulary(w http.ResponseWriter, r *http.Request) {
+	p := s.enricher.Platform
+	type dj struct {
+		Name  string `json:"name"`
+		Owner string `json:"owner"`
+	}
+	toDJ := func(ds []kb.Declaration) []dj {
+		out := make([]dj, len(ds))
+		for i, d := range ds {
+			out[i] = dj{Name: d.Name, Owner: d.Owner}
+		}
+		return out
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"suggested_properties": p.SuggestedProperties(),
+		"resources":            toDJ(p.Declarations(kb.DeclResource)),
+		"properties":           toDJ(p.Declarations(kb.DeclProperty)),
+	})
+}
+
+// declare registers a new user-declared resource or property (Fig. 4
+// userResource / userProperty edges).
+func (s *Server) declare(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User string `json:"user"`
+		Name string `json:"name"`
+		Kind string `json:"kind"` // "resource" | "property"
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := req.Name
+	if !strings.Contains(name, "://") {
+		name = s.enricher.Mapping.PropertyIRI(name).Value
+	}
+	var err error
+	switch req.Kind {
+	case "property":
+		err = s.enricher.Platform.DeclareProperty(req.User, name)
+	case "resource", "":
+		err = s.enricher.Platform.DeclareResource(req.User, name)
+	default:
+		err = fmt.Errorf("rest: kind must be resource or property")
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"name": name})
+}
+
+// kbDOT streams the user's knowledge base as Graphviz DOT (the paper's
+// graph-based visualization).
+func (s *Server) kbDOT(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	if user == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user query parameter required"))
+		return
+	}
+	view, err := s.enricher.Platform.View(user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	if err := kb.WriteDOT(w, view, user+"-kb"); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func (s *Server) listTables(w http.ResponseWriter, r *http.Request) {
+	names := s.enricher.DB.Catalog().Names()
+	type tableJSON struct {
+		Name    string   `json:"name"`
+		Columns []string `json:"columns"`
+	}
+	out := make([]tableJSON, 0, len(names))
+	for _, n := range names {
+		rel, err := s.enricher.DB.Catalog().Resolve(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, tableJSON{Name: n, Columns: rel.Schema().Names()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+}

@@ -1,0 +1,51 @@
+package sesql
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScanTagsNeverPanics feeds the scanner random byte soup: it may reject
+// the input but must never panic or loop — this is the first parser that
+// touches untrusted query text in the REST API.
+func TestScanTagsNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	alphabet := []byte(`SELECT FROM WHERE ENRICH ${}:'"(),.=<>abz019 _` + "\n\t")
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(120)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _, _ = ScanTags(src)
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParseNeverPanicsOnTruncations truncates a valid SESQL query at every
+// byte offset; all prefixes must parse or fail cleanly.
+func TestParseNeverPanicsOnTruncations(t *testing.T) {
+	const full = `SELECT Elecond1.landfill_name AS l_name1, Elecond1.elem_name
+FROM elem_contained AS Elecond1, elem_contained AS Elecond2
+WHERE ${ Elecond1.elem_name <> Elecond2.elem_name:cond1} AND Elecond1.elem_name = Elecond2.elem_name
+ENRICH REPLACEVARIABLE(cond1, Elecond2.elem_name, oreAssemblage)`
+	for i := 0; i <= len(full); i++ {
+		src := full[:i]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d (%q): %v", i, src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}

@@ -1,0 +1,89 @@
+package sesql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"crosse/internal/sqlparser"
+	"crosse/internal/sqlval"
+)
+
+// randCondition generates a random, syntactically valid SQL condition.
+func randCondition(rng *rand.Rand, depth int) string {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		cols := []string{"a", "b", "t.c", "elem_name"}
+		ops := []string{"=", "<>", "<", ">=", "LIKE"}
+		rhs := []string{"'x'", "42", "3.5", "other_col", "'it''s'"}
+		return fmt.Sprintf("%s %s %s",
+			cols[rng.Intn(len(cols))], ops[rng.Intn(len(ops))], rhs[rng.Intn(len(rhs))])
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return "(" + randCondition(rng, depth-1) + " AND " + randCondition(rng, depth-1) + ")"
+	case 1:
+		return "(" + randCondition(rng, depth-1) + " OR " + randCondition(rng, depth-1) + ")"
+	default:
+		return "NOT (" + randCondition(rng, depth-1) + ")"
+	}
+}
+
+// Property: for random conditions, wrapping in a ${...:id} tag and scanning
+// yields (a) the cleaned text with the tag removed verbatim, and (b) a
+// parsed condition equal (as SQL) to parsing the condition directly.
+func TestScanTagsCleansRandomConditions(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 200; trial++ {
+		cond := randCondition(rng, 3)
+		src := fmt.Sprintf("SELECT a FROM t WHERE ${%s:c1} AND b = 1", cond)
+		cleaned, tags, err := ScanTags(src)
+		if err != nil {
+			t.Fatalf("trial %d: %q: %v", trial, src, err)
+		}
+		wantCleaned := fmt.Sprintf("SELECT a FROM t WHERE %s AND b = 1", cond)
+		if cleaned != wantCleaned {
+			t.Fatalf("trial %d: cleaned %q, want %q", trial, cleaned, wantCleaned)
+		}
+		if len(tags) != 1 || tags[0].ID != "c1" {
+			t.Fatalf("trial %d: tags %+v", trial, tags)
+		}
+		direct, err := sqlparser.ParseExpr(cond)
+		if err != nil {
+			t.Fatalf("trial %d: direct parse: %v", trial, err)
+		}
+		if tags[0].Expr.SQL() != direct.SQL() {
+			t.Fatalf("trial %d: tag expr %s != direct %s", trial, tags[0].Expr.SQL(), direct.SQL())
+		}
+	}
+}
+
+// Property: a full SESQL parse of a query with a random tagged condition
+// locates the condition as a WHERE subtree, and replacing it with TRUE
+// removes it entirely.
+func TestRandomTaggedConditionsLocatable(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		cond := randCondition(rng, 2)
+		src := fmt.Sprintf(`SELECT a FROM t WHERE ${%s:cc} AND a > 0
+ENRICH REPLACECONSTANT(cc, other_col, someProp)`, cond)
+		q, err := Parse(src)
+		if err != nil {
+			// Conditions not mentioning other_col make REPLACECONSTANT
+			// parse fine; parse errors here mean a scanner bug.
+			t.Fatalf("trial %d: %q: %v", trial, src, err)
+		}
+		tag := q.Conds["cc"]
+		if !ContainsSubtree(q.Select.Where, tag.Expr) {
+			t.Fatalf("trial %d: tag not locatable in %s", trial, q.Select.Where.SQL())
+		}
+		trueLit := &sqlparser.Literal{Val: sqlval.NewBool(true)}
+		replaced, n := ReplaceSubtree(q.Select.Where, tag.Expr, trueLit)
+		if n < 1 {
+			t.Fatalf("trial %d: replace count %d", trial, n)
+		}
+		if strings.Contains(replaced.SQL(), tag.Expr.SQL()) {
+			t.Fatalf("trial %d: condition survives replacement: %s", trial, replaced.SQL())
+		}
+	}
+}

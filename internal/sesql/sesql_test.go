@@ -1,0 +1,304 @@
+package sesql
+
+import (
+	"strings"
+	"testing"
+
+	"crosse/internal/sqlparser"
+)
+
+// The six paper examples, verbatim modulo whitespace.
+const (
+	ex41 = `SELECT elem_name, landfill_name
+FROM elem_contained
+WHERE landfill_name = 'a'
+ENRICH
+SCHEMAEXTENSION( elem_name, dangerLevel)`
+
+	ex42 = `SELECT name, city
+FROM landfill
+ENRICH
+SCHEMAREPLACEMENT(city, inCountry)`
+
+	ex43 = `SELECT elem_name
+FROM elem_contained
+WHERE landfill_name = 'a'
+ENRICH
+BOOLSCHEMAEXTENSION( elem_name, isA, HazardousWaste)`
+
+	ex44 = `SELECT name, city
+FROM landfill
+ENRICH
+BOOLSCHEMAREPLACEMENT(city, inCountry, Italy)`
+
+	ex45 = `SELECT landfill_name
+FROM elem_contained
+WHERE ${elem_name = HazardousWaste:cond1}
+ENRICH
+REPLACECONSTANT(cond1, HazardousWaste, dangerQuery)`
+
+	ex46 = `SELECT Elecond1.landfill_name AS l_name1,
+ Elecond2.landfill_name AS l_name2,
+ Elecond1.elem_name
+FROM elem_contained AS Elecond1,
+ elem_contained AS Elecond2
+WHERE ${ Elecond1.elem_name <> Elecond2.elem_name:cond1} AND
+ Elecond1.elem_name = Elecond2.elem_name
+ENRICH
+REPLACEVARIABLE(cond1, Elecond2.elem_name, oreAssemblage)`
+)
+
+func TestParseExample41(t *testing.T) {
+	q, err := Parse(ex41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Enrichments) != 1 {
+		t.Fatalf("enrichments = %d", len(q.Enrichments))
+	}
+	e := q.Enrichments[0]
+	if e.Kind != SchemaExtension || e.Attr != "elem_name" || e.Property != "dangerLevel" {
+		t.Errorf("%+v", e)
+	}
+	if q.Select == nil || q.Select.From[0].Table != "elem_contained" {
+		t.Errorf("SQL part not parsed: %q", q.SQL)
+	}
+	if strings.Contains(q.SQL, "ENRICH") {
+		t.Error("cleaned SQL must not contain ENRICH")
+	}
+}
+
+func TestParseExample42(t *testing.T) {
+	q, err := Parse(ex42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := q.Enrichments[0]
+	if e.Kind != SchemaReplacement || e.Attr != "city" || e.Property != "inCountry" {
+		t.Errorf("%+v", e)
+	}
+}
+
+func TestParseExample43(t *testing.T) {
+	q, err := Parse(ex43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := q.Enrichments[0]
+	if e.Kind != BoolSchemaExtension || e.Attr != "elem_name" || e.Property != "isA" || e.Concept != "HazardousWaste" {
+		t.Errorf("%+v", e)
+	}
+}
+
+func TestParseExample44(t *testing.T) {
+	q, err := Parse(ex44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := q.Enrichments[0]
+	if e.Kind != BoolSchemaReplacement || e.Concept != "Italy" {
+		t.Errorf("%+v", e)
+	}
+}
+
+func TestParseExample45(t *testing.T) {
+	q, err := Parse(ex45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := q.Enrichments[0]
+	if e.Kind != ReplaceConstant || e.CondID != "cond1" || e.Attr != "HazardousWaste" || e.Property != "dangerQuery" {
+		t.Errorf("%+v", e)
+	}
+	tag, ok := q.Conds["cond1"]
+	if !ok {
+		t.Fatal("cond1 not recorded")
+	}
+	if tag.Text != "elem_name = HazardousWaste" {
+		t.Errorf("tag text = %q", tag.Text)
+	}
+	// Cleaned SQL parses and retains the bare condition.
+	if !strings.Contains(q.SQL, "elem_name = HazardousWaste") || strings.Contains(q.SQL, "${") {
+		t.Errorf("cleaned SQL: %q", q.SQL)
+	}
+}
+
+func TestParseExample46(t *testing.T) {
+	q, err := Parse(ex46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := q.Enrichments[0]
+	if e.Kind != ReplaceVariable || e.CondID != "cond1" || e.Attr != "Elecond2.elem_name" || e.Property != "oreAssemblage" {
+		t.Errorf("%+v", e)
+	}
+	tag := q.Conds["cond1"]
+	if tag.Expr.SQL() != "(Elecond1.elem_name <> Elecond2.elem_name)" {
+		t.Errorf("tag expr = %s", tag.Expr.SQL())
+	}
+	// The tagged subtree is locatable in the parsed WHERE.
+	if !ContainsSubtree(q.Select.Where, tag.Expr) {
+		t.Error("tagged condition not found in WHERE tree")
+	}
+}
+
+func TestPlainSQLPassesThrough(t *testing.T) {
+	q, err := Parse(`SELECT a FROM t WHERE a > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Enrichments) != 0 || len(q.Conds) != 0 {
+		t.Errorf("plain SQL must have no enrichment: %+v", q)
+	}
+}
+
+func TestMultipleEnrichments(t *testing.T) {
+	q, err := Parse(`SELECT elem_name, landfill_name FROM elem_contained
+ENRICH
+SCHEMAEXTENSION(elem_name, dangerLevel)
+BOOLSCHEMAEXTENSION(elem_name, isA, HazardousWaste)
+SCHEMAREPLACEMENT(landfill_name, inCity)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Enrichments) != 3 {
+		t.Fatalf("enrichments = %d", len(q.Enrichments))
+	}
+	kinds := []Kind{q.Enrichments[0].Kind, q.Enrichments[1].Kind, q.Enrichments[2].Kind}
+	want := []Kind{SchemaExtension, BoolSchemaExtension, SchemaReplacement}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("clause %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestSchemaExtensionWithSpaceSpelling(t *testing.T) {
+	// The paper's query pattern sketch writes "SCHEMA EXTENSION(...)".
+	q, err := Parse(`SELECT a FROM t ENRICH SCHEMA EXTENSION(a, p) SCHEMA REPLACEMENT(a, q)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Enrichments[0].Kind != SchemaExtension || q.Enrichments[1].Kind != SchemaReplacement {
+		t.Errorf("%+v", q.Enrichments)
+	}
+}
+
+func TestScanTagsCleaning(t *testing.T) {
+	cleaned, tags, err := ScanTags(`SELECT a FROM t WHERE ${a = 1:c1} AND ${b = 'x }':c2}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleaned != `SELECT a FROM t WHERE a = 1 AND b = 'x }'` {
+		t.Errorf("cleaned = %q", cleaned)
+	}
+	if len(tags) != 2 || tags[0].ID != "c1" || tags[1].ID != "c2" {
+		t.Errorf("tags = %+v", tags)
+	}
+	// Tag text inside a string literal is not a tag.
+	cleaned2, tags2, err := ScanTags(`SELECT '${not a tag:x}' FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tags2) != 0 || !strings.Contains(cleaned2, "${not a tag:x}") {
+		t.Errorf("string literal scanned as tag: %q %v", cleaned2, tags2)
+	}
+}
+
+func TestScanTagErrors(t *testing.T) {
+	bad := []string{
+		`SELECT a FROM t WHERE ${a = 1`,           // unterminated tag
+		`SELECT a FROM t WHERE ${a = 1}`,          // missing :id
+		`SELECT a FROM t WHERE ${:c}`,             // empty condition
+		`SELECT a FROM t WHERE ${a = 1: }`,        // empty id
+		`SELECT a FROM t WHERE ${a = 1:my id}`,    // invalid id
+		`SELECT a FROM t WHERE ${a = :c1}`,        // unparseable condition
+		`SELECT a FROM t WHERE 'unterminated ${x`, // unterminated string
+	}
+	for _, src := range bad {
+		if _, _, err := ScanTags(src); err == nil {
+			t.Errorf("ScanTags(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`SELECT a FROM t ENRICH`,
+		`SELECT a FROM t ENRICH FROBNICATE(a, b)`,
+		`SELECT a FROM t ENRICH SCHEMAEXTENSION(a)`,
+		`SELECT a FROM t ENRICH SCHEMAEXTENSION(a, b, c)`,
+		`SELECT a FROM t ENRICH BOOLSCHEMAEXTENSION(a, b)`,
+		`SELECT a FROM t ENRICH REPLACECONSTANT(c1, a)`,
+		`SELECT a FROM t ENRICH SCHEMAEXTENSION(a, b`,
+		`SELECT a FROM t ENRICH SCHEMAEXTENSION a, b)`,
+		`SELECT a FROM t ENRICH SCHEMAEXTENSION(, b)`,
+		`SELECT a FROM t ENRICH REPLACECONSTANT(nope, a, p)`,                             // unknown cond id
+		`SELECT a FROM t WHERE ${a=1:c1} AND ${b=2:c1} ENRICH REPLACECONSTANT(c1, a, p)`, // dup id
+		`INSERT INTO t VALUES (1) ENRICH SCHEMAEXTENSION(a, b)`,                          // not a SELECT
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestReplaceSubtree(t *testing.T) {
+	where, err := sqlparser.ParseExpr(`a = 1 AND (b = 2 OR a = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	needle, _ := sqlparser.ParseExpr(`a = 1`)
+	repl, _ := sqlparser.ParseExpr(`TRUE`)
+	out, n := ReplaceSubtree(where, needle, repl)
+	if n != 2 {
+		t.Errorf("replaced %d, want 2", n)
+	}
+	if strings.Contains(out.SQL(), "a = 1") {
+		t.Errorf("replacement incomplete: %s", out.SQL())
+	}
+	// Original tree untouched.
+	if !strings.Contains(where.SQL(), "(a = 1)") {
+		t.Error("ReplaceSubtree must not mutate its input")
+	}
+}
+
+func TestReplaceSubtreeInComplexShapes(t *testing.T) {
+	where, _ := sqlparser.ParseExpr(
+		`x IN (1, 2) AND CASE WHEN y = 3 THEN 1 ELSE 0 END = 1 AND z BETWEEN 1 AND (y = 3)`)
+	needle, _ := sqlparser.ParseExpr(`y = 3`)
+	repl, _ := sqlparser.ParseExpr(`FALSE`)
+	out, n := ReplaceSubtree(where, needle, repl)
+	if n != 2 {
+		t.Errorf("replaced %d, want 2", n)
+	}
+	if strings.Contains(out.SQL(), "y = 3") {
+		t.Errorf("leftover: %s", out.SQL())
+	}
+}
+
+func TestEnrichmentSESQLRendering(t *testing.T) {
+	cases := []struct {
+		e    Enrichment
+		want string
+	}{
+		{Enrichment{Kind: SchemaExtension, Attr: "a", Property: "p"}, "SCHEMAEXTENSION(a, p)"},
+		{Enrichment{Kind: BoolSchemaReplacement, Attr: "a", Property: "p", Concept: "C"}, "BOOLSCHEMAREPLACEMENT(a, p, C)"},
+		{Enrichment{Kind: ReplaceVariable, CondID: "c1", Attr: "a", Property: "p"}, "REPLACEVARIABLE(c1, a, p)"},
+	}
+	for _, c := range cases {
+		if got := c.e.SESQL(); got != c.want {
+			t.Errorf("SESQL() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTagMustMatchWhereSubtree(t *testing.T) {
+	// A tag whose condition is split across operator precedence is not a
+	// complete subtree and must be rejected.
+	_, err := Parse(`SELECT a FROM t WHERE ${a = 1 OR b:c1} = 2 ENRICH REPLACECONSTANT(c1, a, p)`)
+	if err == nil {
+		t.Error("non-subtree tag should be rejected")
+	}
+}

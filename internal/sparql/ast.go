@@ -1,0 +1,306 @@
+// Package sparql implements the SPARQL subset CroSSE uses to query
+// contextual knowledge (Sec. III-B): SELECT and ASK queries over basic graph
+// patterns with FILTER, OPTIONAL, UNION, DISTINCT, ORDER BY, LIMIT/OFFSET,
+// PREFIX declarations, and property paths (sequence, alternative, inverse,
+// and the +, *, ? closures). The Semantic Query Module (internal/core)
+// constructs these queries programmatically; users can also register stored
+// queries (e.g. the paper's `dangerQuery`) via internal/kb.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"crosse/internal/rdf"
+)
+
+// QueryForm discriminates SELECT from ASK queries.
+type QueryForm int
+
+const (
+	// Select returns variable bindings.
+	Select QueryForm = iota
+	// Ask returns a boolean.
+	Ask
+)
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form     QueryForm
+	Distinct bool
+	// Vars are the projected variable names (without '?'); empty with
+	// Star=true means SELECT *.
+	Vars  []string
+	Star  bool
+	Where *Group
+	Order []OrderKey
+	// Limit < 0 means unlimited; Offset 0 means from the start.
+	Limit  int
+	Offset int
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Var  string
+	Desc bool
+}
+
+// Group is a group graph pattern: a sequence of elements evaluated
+// left-to-right with bindings flowing through.
+type Group struct {
+	Elems []Element
+}
+
+// Element is one member of a group graph pattern.
+type Element interface{ element() }
+
+// TriplePattern is a triple with variables allowed in any position, and a
+// property path in predicate position.
+type TriplePattern struct {
+	S, O NodePattern
+	P    Path
+}
+
+// Filter wraps a boolean expression constraining the bindings so far.
+type Filter struct {
+	Expr Expr
+}
+
+// Optional is an OPTIONAL { ... } left-join block.
+type Optional struct {
+	Group *Group
+}
+
+// Union is a { A } UNION { B } block.
+type Union struct {
+	Left, Right *Group
+}
+
+func (TriplePattern) element() {}
+func (Filter) element()        {}
+func (Optional) element()      {}
+func (Union) element()         {}
+
+// NodePattern is either a concrete term or a variable.
+type NodePattern struct {
+	// Var is the variable name (without '?'); empty means Term is set.
+	Var  string
+	Term rdf.Term
+}
+
+// IsVar reports whether the pattern is a variable.
+func (n NodePattern) IsVar() bool { return n.Var != "" }
+
+// Variable builds a variable node pattern.
+func Variable(name string) NodePattern { return NodePattern{Var: name} }
+
+// Node builds a concrete-term node pattern.
+func Node(t rdf.Term) NodePattern { return NodePattern{Term: t} }
+
+// String renders the node pattern in SPARQL syntax.
+func (n NodePattern) String() string {
+	if n.IsVar() {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// Path is a SPARQL property path.
+type Path interface {
+	path()
+	String() string
+}
+
+// PathIRI is a single predicate step.
+type PathIRI struct{ IRI rdf.Term }
+
+// PathSeq is p1/p2.
+type PathSeq struct{ Left, Right Path }
+
+// PathAlt is p1|p2.
+type PathAlt struct{ Left, Right Path }
+
+// PathInverse is ^p.
+type PathInverse struct{ P Path }
+
+// PathClosure is p+, p* or p? depending on Min/Max:
+// (1,-1)=+, (0,-1)=*, (0,1)=?.
+type PathClosure struct {
+	P        Path
+	Min, Max int // Max < 0 means unbounded
+}
+
+// PathVar is a variable in predicate position (plain SPARQL ?p).
+type PathVar struct{ Name string }
+
+func (PathIRI) path()     {}
+func (PathSeq) path()     {}
+func (PathAlt) path()     {}
+func (PathInverse) path() {}
+func (PathClosure) path() {}
+func (PathVar) path()     {}
+
+func (p PathIRI) String() string     { return p.IRI.String() }
+func (p PathSeq) String() string     { return "(" + p.Left.String() + "/" + p.Right.String() + ")" }
+func (p PathAlt) String() string     { return "(" + p.Left.String() + "|" + p.Right.String() + ")" }
+func (p PathInverse) String() string { return "^" + p.P.String() }
+func (p PathVar) String() string     { return "?" + p.Name }
+
+func (p PathClosure) String() string {
+	switch {
+	case p.Min == 1 && p.Max < 0:
+		return p.P.String() + "+"
+	case p.Min == 0 && p.Max < 0:
+		return p.P.String() + "*"
+	default:
+		return p.P.String() + "?"
+	}
+}
+
+// Expr is a FILTER expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// BinOp enumerates binary operators in FILTER expressions.
+type BinOp int
+
+// FILTER binary operators.
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+func (o BinOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "&&"
+	case OpOr:
+		return "||"
+	default:
+		return "?"
+	}
+}
+
+// Binary is a binary FILTER expression.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// VarRef references a variable's bound term.
+type VarRef struct{ Name string }
+
+// Lit is a constant term.
+type Lit struct{ Term rdf.Term }
+
+// Call is a builtin function call: BOUND, REGEX, STR, ISIRI, ISLITERAL.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (Binary) expr() {}
+func (Not) expr()    {}
+func (VarRef) expr() {}
+func (Lit) expr()    {}
+func (Call) expr()   {}
+
+func (e Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+func (e Not) String() string    { return "!(" + e.E.String() + ")" }
+func (e VarRef) String() string { return "?" + e.Name }
+func (e Lit) String() string    { return e.Term.String() }
+func (e Call) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return strings.ToUpper(e.Name) + "(" + strings.Join(args, ", ") + ")"
+}
+
+// String reassembles a parseable SPARQL text for the query. Used in tests
+// (parse∘print∘parse fixpoint) and logging.
+func (q *Query) String() string {
+	var b strings.Builder
+	switch q.Form {
+	case Ask:
+		b.WriteString("ASK ")
+	default:
+		b.WriteString("SELECT ")
+		if q.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		if q.Star {
+			b.WriteString("* ")
+		} else {
+			for _, v := range q.Vars {
+				b.WriteString("?" + v + " ")
+			}
+		}
+	}
+	b.WriteString("WHERE ")
+	writeGroup(&b, q.Where)
+	for i, k := range q.Order {
+		if i == 0 {
+			b.WriteString(" ORDER BY")
+		}
+		if k.Desc {
+			b.WriteString(" DESC(?" + k.Var + ")")
+		} else {
+			b.WriteString(" ASC(?" + k.Var + ")")
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+func writeGroup(b *strings.Builder, g *Group) {
+	b.WriteString("{ ")
+	for _, e := range g.Elems {
+		switch el := e.(type) {
+		case TriplePattern:
+			b.WriteString(el.S.String() + " " + el.P.String() + " " + el.O.String() + " . ")
+		case Filter:
+			b.WriteString("FILTER (" + el.Expr.String() + ") ")
+		case Optional:
+			b.WriteString("OPTIONAL ")
+			writeGroup(b, el.Group)
+			b.WriteString(" ")
+		case Union:
+			writeGroup(b, el.Left)
+			b.WriteString(" UNION ")
+			writeGroup(b, el.Right)
+			b.WriteString(" ")
+		}
+	}
+	b.WriteString("}")
+}

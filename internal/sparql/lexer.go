@@ -1,0 +1,284 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind int
+
+const (
+	tEOF tokenKind = iota
+	tIdent
+	tVar      // ?name
+	tIRI      // <...>
+	tPrefixed // pfx:local
+	tString   // "..."
+	tNumber   // 12 or 3.4
+	tLBrace
+	tRBrace
+	tLParen
+	tRParen
+	tDot
+	tComma
+	tSemicolon
+	tStar
+	tSlash
+	tPipe
+	tPlus
+	tQuestion
+	tCaret
+	tEq
+	tNe
+	tLt
+	tLe
+	tGt
+	tGe
+	tAndAnd
+	tOrOr
+	tBang
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenises SPARQL text.
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("sparql: at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		if c == '#' {
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.in) {
+		return token{kind: tEOF, pos: start}, nil
+	}
+	c := l.in[l.pos]
+	switch c {
+	case '{':
+		l.pos++
+		return token{tLBrace, "{", start}, nil
+	case '}':
+		l.pos++
+		return token{tRBrace, "}", start}, nil
+	case '(':
+		l.pos++
+		return token{tLParen, "(", start}, nil
+	case ')':
+		l.pos++
+		return token{tRParen, ")", start}, nil
+	case '.':
+		l.pos++
+		return token{tDot, ".", start}, nil
+	case ',':
+		l.pos++
+		return token{tComma, ",", start}, nil
+	case ';':
+		l.pos++
+		return token{tSemicolon, ";", start}, nil
+	case '*':
+		l.pos++
+		return token{tStar, "*", start}, nil
+	case '/':
+		l.pos++
+		return token{tSlash, "/", start}, nil
+	case '^':
+		l.pos++
+		return token{tCaret, "^", start}, nil
+	case '+':
+		l.pos++
+		return token{tPlus, "+", start}, nil
+	case '?':
+		// Either a variable or the ? path modifier; variable if followed
+		// by an identifier start.
+		if l.pos+1 < len(l.in) {
+			r, _ := utf8.DecodeRuneInString(l.in[l.pos+1:])
+			if isIdentStart(r) || unicode.IsDigit(r) {
+				l.pos++
+				s := l.pos
+				for l.pos < len(l.in) {
+					r, sz := utf8.DecodeRuneInString(l.in[l.pos:])
+					if !isIdentPart(r) {
+						break
+					}
+					l.pos += sz
+				}
+				return token{tVar, l.in[s:l.pos], start}, nil
+			}
+		}
+		l.pos++
+		return token{tQuestion, "?", start}, nil
+	case '|':
+		if strings.HasPrefix(l.in[l.pos:], "||") {
+			l.pos += 2
+			return token{tOrOr, "||", start}, nil
+		}
+		l.pos++
+		return token{tPipe, "|", start}, nil
+	case '&':
+		if strings.HasPrefix(l.in[l.pos:], "&&") {
+			l.pos += 2
+			return token{tAndAnd, "&&", start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '&'")
+	case '=':
+		l.pos++
+		return token{tEq, "=", start}, nil
+	case '!':
+		if strings.HasPrefix(l.in[l.pos:], "!=") {
+			l.pos += 2
+			return token{tNe, "!=", start}, nil
+		}
+		l.pos++
+		return token{tBang, "!", start}, nil
+	case '<':
+		// IRI or comparison: IRI if it looks like <non-space...>.
+		if end := strings.IndexByte(l.in[l.pos:], '>'); end > 0 {
+			body := l.in[l.pos+1 : l.pos+end]
+			if !strings.ContainsAny(body, " \t\n<") {
+				l.pos += end + 1
+				return token{tIRI, body, start}, nil
+			}
+		}
+		if strings.HasPrefix(l.in[l.pos:], "<=") {
+			l.pos += 2
+			return token{tLe, "<=", start}, nil
+		}
+		l.pos++
+		return token{tLt, "<", start}, nil
+	case '>':
+		if strings.HasPrefix(l.in[l.pos:], ">=") {
+			l.pos += 2
+			return token{tGe, ">=", start}, nil
+		}
+		l.pos++
+		return token{tGt, ">", start}, nil
+	case '"':
+		i := l.pos + 1
+		var b strings.Builder
+		for i < len(l.in) {
+			switch l.in[i] {
+			case '\\':
+				if i+1 >= len(l.in) {
+					return token{}, l.errf(start, "dangling escape in string")
+				}
+				switch l.in[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case 'r':
+					b.WriteByte('\r')
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return token{}, l.errf(start, "unknown escape \\%c", l.in[i+1])
+				}
+				i += 2
+			case '"':
+				l.pos = i + 1
+				return token{tString, b.String(), start}, nil
+			default:
+				b.WriteByte(l.in[i])
+				i++
+			}
+		}
+		return token{}, l.errf(start, "unterminated string literal")
+	}
+	if c >= '0' && c <= '9' || c == '-' && l.pos+1 < len(l.in) && l.in[l.pos+1] >= '0' && l.in[l.pos+1] <= '9' {
+		s := l.pos
+		l.pos++
+		for l.pos < len(l.in) && (l.in[l.pos] >= '0' && l.in[l.pos] <= '9' || l.in[l.pos] == '.') {
+			l.pos++
+		}
+		return token{tNumber, l.in[s:l.pos], start}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.in[l.pos:])
+	if isIdentStart(r) {
+		s := l.pos
+		for l.pos < len(l.in) {
+			r, sz := utf8.DecodeRuneInString(l.in[l.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			l.pos += sz
+		}
+		// Prefixed name pfx:local?
+		if l.pos < len(l.in) && l.in[l.pos] == ':' {
+			colon := l.pos
+			l.pos++
+			ls := l.pos
+			for l.pos < len(l.in) {
+				r, sz := utf8.DecodeRuneInString(l.in[l.pos:])
+				if !isIdentPart(r) {
+					break
+				}
+				l.pos += sz
+			}
+			if l.pos > ls || colon == s { // allow :local and pfx:local
+				return token{tPrefixed, l.in[s:l.pos], start}, nil
+			}
+			return token{tPrefixed, l.in[s:l.pos], start}, nil
+		}
+		return token{tIdent, l.in[s:l.pos], start}, nil
+	}
+	if c == ':' {
+		// default-prefix name :local
+		s := l.pos
+		l.pos++
+		for l.pos < len(l.in) {
+			r, sz := utf8.DecodeRuneInString(l.in[l.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			l.pos += sz
+		}
+		return token{tPrefixed, l.in[s:l.pos], start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", c)
+}

@@ -1,0 +1,655 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"crosse/internal/rdf"
+)
+
+// Parse parses a SPARQL query text into a Query.
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: lexer{in: src}, prefixes: map[string]string{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tEOF {
+		return nil, fmt.Errorf("sparql: unexpected %s after query", p.tok)
+	}
+	return q, nil
+}
+
+type parser struct {
+	lex      lexer
+	tok      token
+	prefixes map[string]string
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// kw reports whether the current token is the given keyword (case
+// insensitive identifier).
+func (p *parser) kw(word string) bool {
+	return p.tok.kind == tIdent && strings.EqualFold(p.tok.text, word)
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kw(word) {
+		return fmt.Errorf("sparql: expected %s, got %s", word, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(k tokenKind, what string) error {
+	if p.tok.kind != k {
+		return fmt.Errorf("sparql: expected %s, got %s", what, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) query() (*Query, error) {
+	// PREFIX declarations.
+	for p.kw("PREFIX") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tPrefixed && p.tok.kind != tIdent {
+			return nil, fmt.Errorf("sparql: expected prefix name, got %s", p.tok)
+		}
+		name := strings.TrimSuffix(p.tok.text, ":")
+		// The lexer may deliver "pfx" tIdent followed by ":"… keep it
+		// simple: prefixed token "pfx:" or ident then expect IRI next.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tIRI {
+			return nil, fmt.Errorf("sparql: expected IRI for prefix %q, got %s", name, p.tok)
+		}
+		p.prefixes[name] = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+
+	q := &Query{Limit: -1}
+	switch {
+	case p.kw("SELECT"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.kw("DISTINCT") {
+			q.Distinct = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		switch {
+		case p.tok.kind == tStar:
+			q.Star = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tVar:
+			for p.tok.kind == tVar {
+				q.Vars = append(q.Vars, p.tok.text)
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("sparql: expected projection, got %s", p.tok)
+		}
+	case p.kw("ASK"):
+		q.Form = Ask
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("sparql: expected SELECT or ASK, got %s", p.tok)
+	}
+
+	if p.kw("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	g, err := p.group()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = g
+
+	if p.kw("ORDER") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			switch {
+			case p.tok.kind == tVar:
+				q.Order = append(q.Order, OrderKey{Var: p.tok.text})
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			case p.kw("ASC"), p.kw("DESC"):
+				desc := p.kw("DESC")
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expect(tLParen, "("); err != nil {
+					return nil, err
+				}
+				if p.tok.kind != tVar {
+					return nil, fmt.Errorf("sparql: expected variable in ORDER BY, got %s", p.tok)
+				}
+				q.Order = append(q.Order, OrderKey{Var: p.tok.text, Desc: desc})
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expect(tRParen, ")"); err != nil {
+					return nil, err
+				}
+			default:
+				if len(q.Order) == 0 {
+					return nil, fmt.Errorf("sparql: empty ORDER BY")
+				}
+				goto orderDone
+			}
+		}
+	}
+orderDone:
+	// LIMIT and OFFSET accepted in either order, per the SPARQL grammar.
+	for p.kw("LIMIT") || p.kw("OFFSET") {
+		isLimit := p.kw("LIMIT")
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tNumber {
+			return nil, fmt.Errorf("sparql: expected number, got %s", p.tok)
+		}
+		var n int
+		if _, err := fmt.Sscanf(p.tok.text, "%d", &n); err != nil {
+			return nil, fmt.Errorf("sparql: bad solution modifier %q", p.tok.text)
+		}
+		if isLimit {
+			q.Limit = n
+		} else {
+			q.Offset = n
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) group() (*Group, error) {
+	if err := p.expect(tLBrace, "{"); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	for {
+		switch {
+		case p.tok.kind == tRBrace:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return g, nil
+		case p.kw("FILTER"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, Filter{Expr: e})
+			p.eatDot()
+		case p.kw("OPTIONAL"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			sub, err := p.group()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, Optional{Group: sub})
+			p.eatDot()
+		case p.tok.kind == tLBrace:
+			left, err := p.group()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("UNION"); err != nil {
+				return nil, err
+			}
+			right, err := p.group()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, Union{Left: left, Right: right})
+			p.eatDot()
+		case p.tok.kind == tEOF:
+			return nil, fmt.Errorf("sparql: unterminated group pattern")
+		default:
+			tp, err := p.triple()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, tp...)
+			p.eatDot()
+		}
+	}
+}
+
+func (p *parser) eatDot() {
+	if p.tok.kind == tDot {
+		p.advance() //nolint:errcheck // lexer errors resurface on next token use
+	}
+}
+
+// triple parses subject predicate object, with ';' predicate-object lists
+// and ',' object lists.
+func (p *parser) triple() ([]Element, error) {
+	s, err := p.node()
+	if err != nil {
+		return nil, err
+	}
+	var out []Element
+	for {
+		path, err := p.path()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			o, err := p.node()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, TriplePattern{S: s, P: path, O: o})
+			if p.tok.kind == tComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if p.tok.kind == tSemicolon {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	return out, nil
+}
+
+func (p *parser) node() (NodePattern, error) {
+	switch p.tok.kind {
+	case tVar:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return NodePattern{}, err
+		}
+		return Variable(v), nil
+	default:
+		t, err := p.termToken()
+		if err != nil {
+			return NodePattern{}, err
+		}
+		return Node(t), nil
+	}
+}
+
+// termToken parses a concrete RDF term at the current token.
+func (p *parser) termToken() (rdf.Term, error) {
+	switch p.tok.kind {
+	case tIRI:
+		t := rdf.NewIRI(p.tok.text)
+		return t, p.advance()
+	case tPrefixed:
+		t, err := p.expandPrefixed(p.tok.text)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return t, p.advance()
+	case tString:
+		lex := p.tok.text
+		if err := p.advance(); err != nil {
+			return rdf.Term{}, err
+		}
+		// Optional ^^ datatype.
+		if p.tok.kind == tCaret {
+			if err := p.advance(); err != nil {
+				return rdf.Term{}, err
+			}
+			if p.tok.kind != tCaret {
+				return rdf.Term{}, fmt.Errorf("sparql: expected ^^ before datatype")
+			}
+			if err := p.advance(); err != nil {
+				return rdf.Term{}, err
+			}
+			if p.tok.kind != tIRI {
+				return rdf.Term{}, fmt.Errorf("sparql: expected datatype IRI, got %s", p.tok)
+			}
+			dt := p.tok.text
+			return rdf.NewTypedLiteral(lex, dt), p.advance()
+		}
+		return rdf.NewLiteral(lex), nil
+	case tNumber:
+		txt := p.tok.text
+		dt := rdf.XSDInteger
+		if strings.Contains(txt, ".") {
+			dt = rdf.XSDDouble
+		}
+		return rdf.NewTypedLiteral(txt, dt), p.advance()
+	case tIdent:
+		// Bare 'a' is rdf:type; 'true'/'false' are boolean literals.
+		switch {
+		case p.tok.text == "a":
+			return rdf.NewIRI(rdf.RDFType), p.advance()
+		case strings.EqualFold(p.tok.text, "true"):
+			return rdf.NewTypedLiteral("true", rdf.XSDBoolean), p.advance()
+		case strings.EqualFold(p.tok.text, "false"):
+			return rdf.NewTypedLiteral("false", rdf.XSDBoolean), p.advance()
+		}
+		return rdf.Term{}, fmt.Errorf("sparql: unexpected identifier %q as term", p.tok.text)
+	default:
+		return rdf.Term{}, fmt.Errorf("sparql: expected term, got %s", p.tok)
+	}
+}
+
+func (p *parser) expandPrefixed(name string) (rdf.Term, error) {
+	i := strings.IndexByte(name, ':')
+	if i < 0 {
+		return rdf.Term{}, fmt.Errorf("sparql: malformed prefixed name %q", name)
+	}
+	pfx, local := name[:i], name[i+1:]
+	base, ok := p.prefixes[pfx]
+	if !ok {
+		// Built-in convenience prefixes used throughout the platform.
+		switch pfx {
+		case "rdf":
+			base = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+		case "rdfs":
+			base = "http://www.w3.org/2000/01/rdf-schema#"
+		case "xsd":
+			base = "http://www.w3.org/2001/XMLSchema#"
+		case "smg":
+			base = "http://smartground.eu/onto#"
+		default:
+			return rdf.Term{}, fmt.Errorf("sparql: unknown prefix %q", pfx)
+		}
+	}
+	return rdf.NewIRI(base + local), nil
+}
+
+// path parses a property path with precedence: alternative < sequence <
+// unary (inverse / closures).
+func (p *parser) path() (Path, error) {
+	left, err := p.pathSeq()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tPipe {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.pathSeq()
+		if err != nil {
+			return nil, err
+		}
+		left = PathAlt{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) pathSeq() (Path, error) {
+	left, err := p.pathUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tSlash {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.pathUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = PathSeq{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) pathUnary() (Path, error) {
+	if p.tok.kind == tCaret {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.pathUnary()
+		if err != nil {
+			return nil, err
+		}
+		return PathInverse{P: inner}, nil
+	}
+	var base Path
+	switch p.tok.kind {
+	case tLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.path()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, ")"); err != nil {
+			return nil, err
+		}
+		base = inner
+	case tVar:
+		base = PathVar{Name: p.tok.text}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	default:
+		t, err := p.termToken()
+		if err != nil {
+			return nil, err
+		}
+		if !t.IsIRI() {
+			return nil, fmt.Errorf("sparql: predicate must be an IRI, got %s", t)
+		}
+		base = PathIRI{IRI: t}
+	}
+	// Closure modifiers.
+	for {
+		switch p.tok.kind {
+		case tPlus:
+			base = PathClosure{P: base, Min: 1, Max: -1}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tStar:
+			base = PathClosure{P: base, Min: 0, Max: -1}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tQuestion:
+			base = PathClosure{P: base, Min: 0, Max: 1}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		default:
+			return base, nil
+		}
+	}
+}
+
+// expr parses a FILTER expression: || over && over comparison over unary.
+func (p *parser) expr() (Expr, error) {
+	return p.exprOr()
+}
+
+func (p *parser) exprOr() (Expr, error) {
+	left, err := p.exprAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tOrOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.exprAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: OpOr, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) exprAnd() (Expr, error) {
+	left, err := p.exprCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tAndAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.exprCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: OpAnd, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) exprCmp() (Expr, error) {
+	left, err := p.exprUnary()
+	if err != nil {
+		return nil, err
+	}
+	var op BinOp
+	switch p.tok.kind {
+	case tEq:
+		op = OpEq
+	case tNe:
+		op = OpNe
+	case tLt:
+		op = OpLt
+	case tLe:
+		op = OpLe
+	case tGt:
+		op = OpGt
+	case tGe:
+		op = OpGe
+	default:
+		return left, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	right, err := p.exprUnary()
+	if err != nil {
+		return nil, err
+	}
+	return Binary{Op: op, L: left, R: right}, nil
+}
+
+func (p *parser) exprUnary() (Expr, error) {
+	switch {
+	case p.tok.kind == tBang:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.exprUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: inner}, nil
+	case p.tok.kind == tLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.tok.kind == tVar:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return VarRef{Name: v}, nil
+	case p.tok.kind == tIdent:
+		name := strings.ToUpper(p.tok.text)
+		switch name {
+		case "BOUND", "REGEX", "STR", "ISIRI", "ISLITERAL":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tLParen, "("); err != nil {
+				return nil, err
+			}
+			var args []Expr
+			if p.tok.kind != tRParen {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.tok.kind != tComma {
+						break
+					}
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := p.expect(tRParen, ")"); err != nil {
+				return nil, err
+			}
+			return Call{Name: name, Args: args}, nil
+		case "TRUE":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return Lit{Term: rdf.NewTypedLiteral("true", rdf.XSDBoolean)}, nil
+		case "FALSE":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return Lit{Term: rdf.NewTypedLiteral("false", rdf.XSDBoolean)}, nil
+		}
+		return nil, fmt.Errorf("sparql: unknown function %q", p.tok.text)
+	default:
+		t, err := p.termToken()
+		if err != nil {
+			return nil, err
+		}
+		return Lit{Term: t}, nil
+	}
+}

@@ -1,0 +1,419 @@
+// Package sqldb is the storage layer of the CroSSE relational substrate:
+// table schemas, row storage, hash indexes and the database catalog. It
+// plays the role PostgreSQL plays in the paper's SmartGround deployment.
+// Query planning/evaluation lives in internal/sqlexec; the user-facing
+// facade is internal/engine.
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"crosse/internal/sqlval"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name       string
+	Type       sqlval.Type
+	NotNull    bool
+	PrimaryKey bool
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColIndex returns the position of the named column (case-insensitive),
+// or -1 if absent.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Relation is a scannable named relation: local tables and (in internal/fdw)
+// foreign tables both implement it, so the executor is agnostic to where
+// rows live. Scan must call fn for each row; fn returning false stops the
+// scan. Implementations must not retain the row slice after fn returns.
+type Relation interface {
+	Name() string
+	Schema() Schema
+	Scan(fn func(row []sqlval.Value) bool) error
+}
+
+// FilteredRelation is an optional Relation extension for sources that can
+// evaluate simple per-column equality predicates themselves (predicate
+// pushdown — the FDW layer uses this to avoid shipping whole tables).
+type FilteredRelation interface {
+	Relation
+	// ScanEq scans only rows where column col equals v.
+	ScanEq(col string, v sqlval.Value, fn func(row []sqlval.Value) bool) error
+}
+
+// Table is an in-memory heap table with optional hash indexes.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  Schema
+	rows    [][]sqlval.Value
+	indexes map[string]*hashIndex // by lower-cased column name
+	pkCol   int                   // -1 when no primary key
+}
+
+// hashIndex maps an encoded column value to the row positions holding it.
+type hashIndex struct {
+	col  int
+	rows map[string][]int
+}
+
+func encodeKey(v sqlval.Value) string {
+	// Type tag + rendered value keeps 1 ("1") distinct from '1' (text).
+	return fmt.Sprintf("%d|%s", v.Type(), v.String())
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("sqldb: table %s needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	pk := -1
+	for i, c := range schema {
+		key := strings.ToLower(c.Name)
+		if seen[key] {
+			return nil, fmt.Errorf("sqldb: duplicate column %q in table %s", c.Name, name)
+		}
+		seen[key] = true
+		if c.PrimaryKey {
+			if pk >= 0 {
+				return nil, fmt.Errorf("sqldb: table %s has multiple primary keys", name)
+			}
+			pk = i
+		}
+	}
+	t := &Table{name: name, schema: schema, indexes: map[string]*hashIndex{}, pkCol: pk}
+	if pk >= 0 {
+		t.indexes[strings.ToLower(schema[pk].Name)] = &hashIndex{col: pk, rows: map[string][]int{}}
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert validates, coerces and appends a row.
+func (t *Table) Insert(row []sqlval.Value) error {
+	if len(row) != len(t.schema) {
+		return fmt.Errorf("sqldb: table %s expects %d values, got %d", t.name, len(t.schema), len(row))
+	}
+	coerced := make([]sqlval.Value, len(row))
+	for i, v := range row {
+		cv, err := sqlval.Coerce(v, t.schema[i].Type)
+		if err != nil {
+			return fmt.Errorf("sqldb: column %s: %w", t.schema[i].Name, err)
+		}
+		if cv.IsNull() && t.schema[i].NotNull {
+			return fmt.Errorf("sqldb: column %s of table %s is NOT NULL", t.schema[i].Name, t.name)
+		}
+		coerced[i] = cv
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.pkCol >= 0 {
+		idx := t.indexes[strings.ToLower(t.schema[t.pkCol].Name)]
+		if len(idx.rows[encodeKey(coerced[t.pkCol])]) > 0 {
+			return fmt.Errorf("sqldb: duplicate primary key %v in table %s", coerced[t.pkCol], t.name)
+		}
+	}
+	pos := len(t.rows)
+	t.rows = append(t.rows, coerced)
+	for _, idx := range t.indexes {
+		k := encodeKey(coerced[idx.col])
+		idx.rows[k] = append(idx.rows[k], pos)
+	}
+	return nil
+}
+
+// Scan iterates over all rows. The callback must not mutate the row.
+func (t *Table) Scan(fn func(row []sqlval.Value) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !fn(r) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanEq iterates over rows where column col equals v, using a hash index
+// when one exists and falling back to a filtered scan otherwise.
+func (t *Table) ScanEq(col string, v sqlval.Value, fn func(row []sqlval.Value) bool) error {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("sqldb: table %s has no column %q", t.name, col)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if idx, ok := t.indexes[strings.ToLower(t.schema[ci].Name)]; ok {
+		for _, pos := range idx.rows[encodeKey(v)] {
+			if !fn(t.rows[pos]) {
+				return nil
+			}
+		}
+		return nil
+	}
+	for _, r := range t.rows {
+		if r[ci].Equal(v) {
+			if !fn(r) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// HasIndex reports whether an index exists on the column.
+func (t *Table) HasIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[strings.ToLower(col)]
+	return ok
+}
+
+// CreateIndex builds a hash index on the column.
+func (t *Table) CreateIndex(col string) error {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("sqldb: table %s has no column %q", t.name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := strings.ToLower(t.schema[ci].Name)
+	if _, ok := t.indexes[key]; ok {
+		return nil // idempotent
+	}
+	idx := &hashIndex{col: ci, rows: map[string][]int{}}
+	for pos, r := range t.rows {
+		k := encodeKey(r[ci])
+		idx.rows[k] = append(idx.rows[k], pos)
+	}
+	t.indexes[key] = idx
+	return nil
+}
+
+// DeleteWhere removes rows for which pred returns true and reports how many
+// were removed. Indexes are rebuilt afterwards.
+func (t *Table) DeleteWhere(pred func(row []sqlval.Value) (bool, error)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rows[:0]
+	deleted := 0
+	for _, r := range t.rows {
+		del, err := pred(r)
+		if err != nil {
+			return 0, err
+		}
+		if del {
+			deleted++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.rows = kept
+	if deleted > 0 {
+		t.rebuildIndexesLocked()
+	}
+	return deleted, nil
+}
+
+// UpdateWhere applies fn to each row matching pred; fn returns the new row
+// (which is validated and coerced). It reports how many rows changed.
+func (t *Table) UpdateWhere(pred func(row []sqlval.Value) (bool, error), fn func(row []sqlval.Value) ([]sqlval.Value, error)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := 0
+	for i, r := range t.rows {
+		match, err := pred(r)
+		if err != nil {
+			return changed, err
+		}
+		if !match {
+			continue
+		}
+		nr, err := fn(r)
+		if err != nil {
+			return changed, err
+		}
+		if len(nr) != len(t.schema) {
+			return changed, fmt.Errorf("sqldb: update produced %d values, want %d", len(nr), len(t.schema))
+		}
+		coerced := make([]sqlval.Value, len(nr))
+		for ci, v := range nr {
+			cv, cerr := sqlval.Coerce(v, t.schema[ci].Type)
+			if cerr != nil {
+				return changed, fmt.Errorf("sqldb: column %s: %w", t.schema[ci].Name, cerr)
+			}
+			if cv.IsNull() && t.schema[ci].NotNull {
+				return changed, fmt.Errorf("sqldb: column %s of table %s is NOT NULL", t.schema[ci].Name, t.name)
+			}
+			coerced[ci] = cv
+		}
+		t.rows[i] = coerced
+		changed++
+	}
+	if changed > 0 {
+		t.rebuildIndexesLocked()
+	}
+	return changed, nil
+}
+
+func (t *Table) rebuildIndexesLocked() {
+	for _, idx := range t.indexes {
+		idx.rows = map[string][]int{}
+		for pos, r := range t.rows {
+			k := encodeKey(r[idx.col])
+			idx.rows[k] = append(idx.rows[k], pos)
+		}
+	}
+}
+
+// Database is the catalog: named local tables plus registered external
+// relations (foreign tables).
+type Database struct {
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	foreign map[string]Relation
+}
+
+// NewDatabase returns an empty catalog.
+func NewDatabase() *Database {
+	return &Database{tables: map[string]*Table{}, foreign: map[string]Relation{}}
+}
+
+// CreateTable adds a new table.
+func (d *Database) CreateTable(name string, schema Schema, ifNotExists bool) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(name)
+	if t, ok := d.tables[key]; ok {
+		if ifNotExists {
+			return t, nil
+		}
+		return nil, fmt.Errorf("sqldb: table %s already exists", name)
+	}
+	if _, ok := d.foreign[key]; ok {
+		return nil, fmt.Errorf("sqldb: %s is a foreign table", name)
+	}
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	d.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table (local or foreign registration).
+func (d *Database) DropTable(name string, ifExists bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := d.tables[key]; ok {
+		delete(d.tables, key)
+		return nil
+	}
+	if _, ok := d.foreign[key]; ok {
+		delete(d.foreign, key)
+		return nil
+	}
+	if ifExists {
+		return nil
+	}
+	return fmt.Errorf("sqldb: table %s does not exist", name)
+}
+
+// Table returns the named local table.
+func (d *Database) Table(name string) (*Table, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: table %s does not exist", name)
+	}
+	return t, nil
+}
+
+// RegisterForeign exposes an external Relation under its name. Used by the
+// FDW layer — the paper's postgres_fdw integration point.
+func (d *Database) RegisterForeign(r Relation) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := strings.ToLower(r.Name())
+	if _, ok := d.tables[key]; ok {
+		return fmt.Errorf("sqldb: %s already exists as a local table", r.Name())
+	}
+	if _, ok := d.foreign[key]; ok {
+		return fmt.Errorf("sqldb: foreign table %s already registered", r.Name())
+	}
+	d.foreign[key] = r
+	return nil
+}
+
+// Resolve returns the relation (local or foreign) under the name.
+func (d *Database) Resolve(name string) (Relation, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	key := strings.ToLower(name)
+	if t, ok := d.tables[key]; ok {
+		return t, nil
+	}
+	if r, ok := d.foreign[key]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("sqldb: relation %s does not exist", name)
+}
+
+// Names lists all relation names, sorted, local tables first.
+func (d *Database) Names() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var local, remote []string
+	for _, t := range d.tables {
+		local = append(local, t.Name())
+	}
+	for _, r := range d.foreign {
+		remote = append(remote, r.Name())
+	}
+	sort.Strings(local)
+	sort.Strings(remote)
+	return append(local, remote...)
+}
+
+var (
+	_ Relation         = (*Table)(nil)
+	_ FilteredRelation = (*Table)(nil)
+)

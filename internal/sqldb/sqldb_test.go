@@ -1,0 +1,298 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"crosse/internal/sqlval"
+)
+
+func testSchema() Schema {
+	return Schema{
+		{Name: "id", Type: sqlval.TypeInt, PrimaryKey: true, NotNull: true},
+		{Name: "name", Type: sqlval.TypeString, NotNull: true},
+		{Name: "area", Type: sqlval.TypeFloat},
+	}
+}
+
+func mkRow(id int64, name string, area any) []sqlval.Value {
+	a := sqlval.Null
+	if f, ok := area.(float64); ok {
+		a = sqlval.NewFloat(f)
+	}
+	return []sqlval.Value{sqlval.NewInt(id), sqlval.NewString(name), a}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("t", nil); err == nil {
+		t.Error("empty schema must fail")
+	}
+	if _, err := NewTable("t", Schema{{Name: "a", Type: sqlval.TypeInt}, {Name: "A", Type: sqlval.TypeInt}}); err == nil {
+		t.Error("duplicate column (case-insensitive) must fail")
+	}
+	if _, err := NewTable("t", Schema{
+		{Name: "a", Type: sqlval.TypeInt, PrimaryKey: true},
+		{Name: "b", Type: sqlval.TypeInt, PrimaryKey: true},
+	}); err == nil {
+		t.Error("two primary keys must fail")
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tab, err := NewTable("landfill", testSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(mkRow(1, "a", 10.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(mkRow(2, "b", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	var names []string
+	tab.Scan(func(row []sqlval.Value) bool {
+		names = append(names, row[1].Str())
+		return true
+	})
+	if strings.Join(names, ",") != "a,b" {
+		t.Errorf("scan order: %v", names)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	tab, _ := NewTable("t", testSchema())
+	if err := tab.Insert([]sqlval.Value{sqlval.NewInt(1)}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if err := tab.Insert(mkRow(1, "a", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(mkRow(1, "dup", nil)); err == nil {
+		t.Error("duplicate primary key must fail")
+	}
+	if err := tab.Insert([]sqlval.Value{sqlval.NewInt(2), sqlval.Null, sqlval.Null}); err == nil {
+		t.Error("NOT NULL violation must fail")
+	}
+	// Coercion applies: float 3.0 → int pk.
+	if err := tab.Insert([]sqlval.Value{sqlval.NewFloat(3.0), sqlval.NewString("c"), sqlval.NewInt(7)}); err != nil {
+		t.Errorf("coercible insert failed: %v", err)
+	}
+	var last []sqlval.Value
+	tab.Scan(func(row []sqlval.Value) bool { last = append([]sqlval.Value(nil), row...); return true })
+	if last[0].Type() != sqlval.TypeInt || last[2].Type() != sqlval.TypeFloat {
+		t.Errorf("types not coerced: %v %v", last[0].Type(), last[2].Type())
+	}
+}
+
+func TestScanEqWithAndWithoutIndex(t *testing.T) {
+	tab, _ := NewTable("t", testSchema())
+	for i := 0; i < 100; i++ {
+		name := fmt.Sprintf("n%d", i%10)
+		if err := tab.Insert(mkRow(int64(i), name, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func() int {
+		n := 0
+		tab.ScanEq("name", sqlval.NewString("n3"), func([]sqlval.Value) bool { n++; return true })
+		return n
+	}
+	if got := count(); got != 10 {
+		t.Errorf("unindexed ScanEq: %d, want 10", got)
+	}
+	if err := tab.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.HasIndex("name") {
+		t.Error("HasIndex after CreateIndex")
+	}
+	if got := count(); got != 10 {
+		t.Errorf("indexed ScanEq: %d, want 10", got)
+	}
+	// PK lookups use the automatic index.
+	n := 0
+	tab.ScanEq("id", sqlval.NewInt(42), func([]sqlval.Value) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("pk ScanEq: %d", n)
+	}
+	if err := tab.ScanEq("nope", sqlval.Null, func([]sqlval.Value) bool { return true }); err == nil {
+		t.Error("ScanEq on unknown column must fail")
+	}
+}
+
+func TestIndexDistinguishesTypes(t *testing.T) {
+	tab, _ := NewTable("t", Schema{{Name: "v", Type: sqlval.TypeString}})
+	tab.Insert([]sqlval.Value{sqlval.NewString("1")})
+	n := 0
+	tab.ScanEq("v", sqlval.NewInt(1), func([]sqlval.Value) bool { n++; return true })
+	if n != 0 {
+		t.Error("int 1 must not match text '1'")
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	tab, _ := NewTable("t", testSchema())
+	for i := 0; i < 10; i++ {
+		tab.Insert(mkRow(int64(i), fmt.Sprintf("n%d", i), float64(i)))
+	}
+	tab.CreateIndex("name")
+	n, err := tab.DeleteWhere(func(row []sqlval.Value) (bool, error) {
+		return row[0].Int()%2 == 0, nil
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("deleted %d, err %v", n, err)
+	}
+	if tab.Len() != 5 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+	// Index rebuilt: lookup still works.
+	cnt := 0
+	tab.ScanEq("name", sqlval.NewString("n1"), func([]sqlval.Value) bool { cnt++; return true })
+	if cnt != 1 {
+		t.Errorf("index stale after delete: %d", cnt)
+	}
+}
+
+func TestUpdateWhere(t *testing.T) {
+	tab, _ := NewTable("t", testSchema())
+	for i := 0; i < 5; i++ {
+		tab.Insert(mkRow(int64(i), "x", float64(i)))
+	}
+	n, err := tab.UpdateWhere(
+		func(row []sqlval.Value) (bool, error) { return row[0].Int() >= 3, nil },
+		func(row []sqlval.Value) ([]sqlval.Value, error) {
+			out := append([]sqlval.Value(nil), row...)
+			out[1] = sqlval.NewString("updated")
+			return out, nil
+		})
+	if err != nil || n != 2 {
+		t.Fatalf("updated %d, err %v", n, err)
+	}
+	cnt := 0
+	tab.Scan(func(row []sqlval.Value) bool {
+		if row[1].Str() == "updated" {
+			cnt++
+		}
+		return true
+	})
+	if cnt != 2 {
+		t.Errorf("updated rows visible: %d", cnt)
+	}
+	// Update violating NOT NULL fails.
+	_, err = tab.UpdateWhere(
+		func(row []sqlval.Value) (bool, error) { return true, nil },
+		func(row []sqlval.Value) ([]sqlval.Value, error) {
+			out := append([]sqlval.Value(nil), row...)
+			out[1] = sqlval.Null
+			return out, nil
+		})
+	if err == nil {
+		t.Error("NOT NULL violation in update must fail")
+	}
+}
+
+func TestDatabaseCatalog(t *testing.T) {
+	db := NewDatabase()
+	_, err := db.CreateTable("t", testSchema(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("T", testSchema(), false); err == nil {
+		t.Error("case-insensitive duplicate must fail")
+	}
+	if _, err := db.CreateTable("t", testSchema(), true); err != nil {
+		t.Error("IF NOT EXISTS must not fail")
+	}
+	if _, err := db.Table("t"); err != nil {
+		t.Error(err)
+	}
+	if _, err := db.Resolve("T"); err != nil {
+		t.Error("Resolve is case-insensitive")
+	}
+	if err := db.DropTable("t", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("t", false); err == nil {
+		t.Error("dropping absent table must fail")
+	}
+	if err := db.DropTable("t", true); err != nil {
+		t.Error("IF EXISTS drop of absent table must pass")
+	}
+}
+
+// fakeRel is a minimal foreign relation for catalog tests.
+type fakeRel struct{ name string }
+
+func (f fakeRel) Name() string   { return f.name }
+func (f fakeRel) Schema() Schema { return Schema{{Name: "x", Type: sqlval.TypeInt}} }
+func (f fakeRel) Scan(fn func([]sqlval.Value) bool) error {
+	fn([]sqlval.Value{sqlval.NewInt(1)})
+	return nil
+}
+
+func TestForeignRegistration(t *testing.T) {
+	db := NewDatabase()
+	if err := db.RegisterForeign(fakeRel{"remote"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterForeign(fakeRel{"remote"}); err == nil {
+		t.Error("duplicate foreign registration must fail")
+	}
+	if _, err := db.CreateTable("remote", testSchema(), false); err == nil {
+		t.Error("local table shadowing a foreign one must fail")
+	}
+	r, err := db.Resolve("remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	r.Scan(func([]sqlval.Value) bool { n++; return true })
+	if n != 1 {
+		t.Error("foreign scan")
+	}
+	db.CreateTable("local", testSchema(), false)
+	names := db.Names()
+	if len(names) != 2 || names[0] != "local" || names[1] != "remote" {
+		t.Errorf("Names = %v", names)
+	}
+	if err := db.DropTable("remote", false); err != nil {
+		t.Error("foreign tables can be dropped:", err)
+	}
+}
+
+func TestConcurrentInsertScan(t *testing.T) {
+	tab, _ := NewTable("t", Schema{{Name: "v", Type: sqlval.TypeInt}})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				tab.Insert([]sqlval.Value{sqlval.NewInt(int64(g*1000 + i))})
+				tab.Scan(func([]sqlval.Value) bool { return true })
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tab.Len() != 1000 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := testSchema()
+	if s.ColIndex("NAME") != 1 {
+		t.Error("ColIndex case-insensitive")
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Error("ColIndex missing")
+	}
+	if strings.Join(s.Names(), ",") != "id,name,area" {
+		t.Errorf("Names: %v", s.Names())
+	}
+}

@@ -1,0 +1,204 @@
+package sqlexec
+
+import (
+	"fmt"
+
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlparser"
+	"crosse/internal/sqlval"
+)
+
+// Result is the outcome of executing a statement: a result table for
+// SELECT, and an affected-rows count for DML/DDL.
+type Result struct {
+	Columns  []string
+	Rows     [][]sqlval.Value
+	Affected int
+}
+
+// Exec parses and executes one SQL statement against db.
+func Exec(db *sqldb.Database, src string) (*Result, error) {
+	st, err := sqlparser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ExecStatement(db, st)
+}
+
+// ExecStatement executes a parsed statement against db.
+func ExecStatement(db *sqldb.Database, st sqlparser.Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *sqlparser.Select:
+		return EvalSelect(db, s)
+	case *sqlparser.CreateTable:
+		return execCreateTable(db, s)
+	case *sqlparser.DropTable:
+		if err := db.DropTable(s.Name, s.IfExists); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.CreateIndex:
+		t, err := db.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex(s.Column); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.Insert:
+		return execInsert(db, s)
+	case *sqlparser.Update:
+		return execUpdate(db, s)
+	case *sqlparser.Delete:
+		return execDelete(db, s)
+	default:
+		return nil, fmt.Errorf("sqlexec: unsupported statement %T", st)
+	}
+}
+
+func execCreateTable(db *sqldb.Database, s *sqlparser.CreateTable) (*Result, error) {
+	schema := make(sqldb.Schema, len(s.Columns))
+	for i, c := range s.Columns {
+		schema[i] = sqldb.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull, PrimaryKey: c.PrimaryKey}
+	}
+	if _, err := db.CreateTable(s.Name, schema, s.IfNotExists); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func execInsert(db *sqldb.Database, s *sqlparser.Insert) (*Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+
+	// Map statement columns to schema positions.
+	positions := make([]int, 0, len(schema))
+	if len(s.Columns) == 0 {
+		for i := range schema {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			ci := schema.ColIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("sqlexec: table %s has no column %q", s.Table, name)
+			}
+			positions = append(positions, ci)
+		}
+	}
+
+	// INSERT ... SELECT: evaluate the query and insert its rows.
+	if s.Query != nil {
+		res, err := EvalSelect(db, s.Query)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, srcRow := range res.Rows {
+			if len(srcRow) != len(positions) {
+				return nil, fmt.Errorf("sqlexec: INSERT SELECT produces %d columns, want %d", len(srcRow), len(positions))
+			}
+			row := make([]sqlval.Value, len(schema))
+			for i, v := range srcRow {
+				row[positions[i]] = v
+			}
+			if err := t.Insert(row); err != nil {
+				return nil, err
+			}
+			n++
+		}
+		return &Result{Affected: n}, nil
+	}
+
+	empty := &Scope{}
+	n := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(positions) {
+			return nil, fmt.Errorf("sqlexec: INSERT row has %d values, want %d", len(exprRow), len(positions))
+		}
+		row := make([]sqlval.Value, len(schema))
+		for i, e := range exprRow {
+			v, err := Eval(e, empty)
+			if err != nil {
+				return nil, err
+			}
+			row[positions[i]] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func tablePredicate(t *sqldb.Table, where sqlparser.Expr) func(row []sqlval.Value) (bool, error) {
+	cols := make([]ScopeCol, len(t.Schema()))
+	for i, c := range t.Schema() {
+		cols[i] = ScopeCol{Qualifier: t.Name(), Name: c.Name}
+	}
+	return func(row []sqlval.Value) (bool, error) {
+		if where == nil {
+			return true, nil
+		}
+		tr, err := EvalBool(where, &Scope{Cols: cols, Row: row})
+		if err != nil {
+			return false, err
+		}
+		return tr == sqlval.True, nil
+	}
+}
+
+func execUpdate(db *sqldb.Database, s *sqlparser.Update) (*Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	cols := make([]ScopeCol, len(schema))
+	for i, c := range schema {
+		cols[i] = ScopeCol{Qualifier: t.Name(), Name: c.Name}
+	}
+	// Pre-resolve SET targets.
+	targets := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		ci := schema.ColIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("sqlexec: table %s has no column %q", s.Table, a.Column)
+		}
+		targets[i] = ci
+	}
+	n, err := t.UpdateWhere(tablePredicate(t, s.Where), func(row []sqlval.Value) ([]sqlval.Value, error) {
+		scope := &Scope{Cols: cols, Row: row}
+		out := make([]sqlval.Value, len(row))
+		copy(out, row)
+		for i, a := range s.Set {
+			v, err := Eval(a.Value, scope)
+			if err != nil {
+				return nil, err
+			}
+			out[targets[i]] = v
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}
+
+func execDelete(db *sqldb.Database, s *sqlparser.Delete) (*Result, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.DeleteWhere(tablePredicate(t, s.Where))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}

@@ -1,0 +1,730 @@
+// Package sqlexec evaluates parsed SQL statements against a sqldb.Database:
+// expression evaluation with SQL three-valued logic, scalar and aggregate
+// functions, and a materialising executor for SELECT (scans, equi-hash and
+// nested-loop joins, grouping, ordering) plus the DDL/DML statements.
+package sqlexec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"crosse/internal/sqlparser"
+	"crosse/internal/sqlval"
+)
+
+// ScopeCol names one column visible to an expression: its source qualifier
+// (table name or alias) and column name.
+type ScopeCol struct {
+	Qualifier string
+	Name      string
+}
+
+// Scope resolves column references during expression evaluation. Cols and
+// Row are parallel. Aggs carries pre-computed aggregate results in grouped
+// evaluation (keyed by the rendered SQL of the call).
+type Scope struct {
+	Cols []ScopeCol
+	Row  []sqlval.Value
+	Aggs map[string]sqlval.Value
+}
+
+// Lookup finds the value of a (possibly qualified) column reference.
+func (s *Scope) Lookup(qual, name string) (sqlval.Value, error) {
+	found := -1
+	for i, c := range s.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qual != "" && !strings.EqualFold(c.Qualifier, qual) {
+			continue
+		}
+		if found >= 0 {
+			return sqlval.Null, fmt.Errorf("sqlexec: ambiguous column reference %q", refName(qual, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return sqlval.Null, fmt.Errorf("sqlexec: unknown column %q", refName(qual, name))
+	}
+	return s.Row[found], nil
+}
+
+func refName(qual, name string) string {
+	if qual != "" {
+		return qual + "." + name
+	}
+	return name
+}
+
+// Eval evaluates an expression in the scope, producing a value (NULL encodes
+// SQL UNKNOWN for boolean expressions).
+func Eval(e sqlparser.Expr, s *Scope) (sqlval.Value, error) {
+	switch ex := e.(type) {
+	case *sqlparser.Literal:
+		return ex.Val, nil
+	case *sqlparser.ColRef:
+		return s.Lookup(ex.Qualifier, ex.Name)
+	case *sqlparser.BinExpr:
+		return evalBin(ex, s)
+	case *sqlparser.UnaryExpr:
+		return evalUnary(ex, s)
+	case *sqlparser.IsNull:
+		v, err := Eval(ex.E, s)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		if ex.Not {
+			return sqlval.NewBool(!v.IsNull()), nil
+		}
+		return sqlval.NewBool(v.IsNull()), nil
+	case *sqlparser.InList:
+		return evalIn(ex, s)
+	case *sqlparser.Between:
+		return evalBetween(ex, s)
+	case *sqlparser.FuncCall:
+		if IsAggregate(ex.Name) {
+			if s.Aggs == nil {
+				return sqlval.Null, fmt.Errorf("sqlexec: aggregate %s outside grouping context", ex.Name)
+			}
+			v, ok := s.Aggs[ex.SQL()]
+			if !ok {
+				return sqlval.Null, fmt.Errorf("sqlexec: aggregate %s not computed", ex.SQL())
+			}
+			return v, nil
+		}
+		return evalScalarFunc(ex, s)
+	case *sqlparser.CaseExpr:
+		return evalCase(ex, s)
+	default:
+		return sqlval.Null, fmt.Errorf("sqlexec: unsupported expression %T", e)
+	}
+}
+
+// EvalBool evaluates e as a predicate with 3VL: NULL ⇒ Unknown.
+func EvalBool(e sqlparser.Expr, s *Scope) (sqlval.Tri, error) {
+	v, err := Eval(e, s)
+	if err != nil {
+		return sqlval.Unknown, err
+	}
+	if v.IsNull() {
+		return sqlval.Unknown, nil
+	}
+	b, err := sqlval.Coerce(v, sqlval.TypeBool)
+	if err != nil {
+		return sqlval.Unknown, fmt.Errorf("sqlexec: predicate is not boolean: %w", err)
+	}
+	return sqlval.TriOf(b.Bool()), nil
+}
+
+func evalBin(ex *sqlparser.BinExpr, s *Scope) (sqlval.Value, error) {
+	switch ex.Op {
+	case sqlparser.OpAnd, sqlparser.OpOr:
+		l, err := EvalBool(ex.L, s)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		r, err := EvalBool(ex.R, s)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		if ex.Op == sqlparser.OpAnd {
+			return l.And(r).Value(), nil
+		}
+		return l.Or(r).Value(), nil
+	}
+
+	l, err := Eval(ex.L, s)
+	if err != nil {
+		return sqlval.Null, err
+	}
+	r, err := Eval(ex.R, s)
+	if err != nil {
+		return sqlval.Null, err
+	}
+
+	switch ex.Op {
+	case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+		if l.IsNull() || r.IsNull() {
+			return sqlval.Null, nil // UNKNOWN
+		}
+		c, err := sqlval.Compare(l, r)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		switch ex.Op {
+		case sqlparser.OpEq:
+			return sqlval.NewBool(c == 0), nil
+		case sqlparser.OpNe:
+			return sqlval.NewBool(c != 0), nil
+		case sqlparser.OpLt:
+			return sqlval.NewBool(c < 0), nil
+		case sqlparser.OpLe:
+			return sqlval.NewBool(c <= 0), nil
+		case sqlparser.OpGt:
+			return sqlval.NewBool(c > 0), nil
+		default:
+			return sqlval.NewBool(c >= 0), nil
+		}
+	case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv, sqlparser.OpMod:
+		return evalArith(ex.Op, l, r)
+	case sqlparser.OpConcat:
+		if l.IsNull() || r.IsNull() {
+			return sqlval.Null, nil
+		}
+		return sqlval.NewString(l.String() + r.String()), nil
+	case sqlparser.OpLike:
+		if l.IsNull() || r.IsNull() {
+			return sqlval.Null, nil
+		}
+		if l.Type() != sqlval.TypeString || r.Type() != sqlval.TypeString {
+			return sqlval.Null, fmt.Errorf("sqlexec: LIKE requires text operands")
+		}
+		return sqlval.NewBool(likeMatch(l.Str(), r.Str())), nil
+	default:
+		return sqlval.Null, fmt.Errorf("sqlexec: unsupported operator %v", ex.Op)
+	}
+}
+
+func evalArith(op sqlparser.BinOpKind, l, r sqlval.Value) (sqlval.Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return sqlval.Null, nil
+	}
+	numeric := func(v sqlval.Value) bool {
+		return v.Type() == sqlval.TypeInt || v.Type() == sqlval.TypeFloat
+	}
+	if !numeric(l) || !numeric(r) {
+		return sqlval.Null, fmt.Errorf("sqlexec: arithmetic on non-numeric values %s, %s", l.Type(), r.Type())
+	}
+	if l.Type() == sqlval.TypeInt && r.Type() == sqlval.TypeInt {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case sqlparser.OpAdd:
+			return sqlval.NewInt(a + b), nil
+		case sqlparser.OpSub:
+			return sqlval.NewInt(a - b), nil
+		case sqlparser.OpMul:
+			return sqlval.NewInt(a * b), nil
+		case sqlparser.OpDiv:
+			if b == 0 {
+				return sqlval.Null, fmt.Errorf("sqlexec: division by zero")
+			}
+			return sqlval.NewInt(a / b), nil
+		default:
+			if b == 0 {
+				return sqlval.Null, fmt.Errorf("sqlexec: division by zero")
+			}
+			return sqlval.NewInt(a % b), nil
+		}
+	}
+	a, b := l.Float(), r.Float()
+	switch op {
+	case sqlparser.OpAdd:
+		return sqlval.NewFloat(a + b), nil
+	case sqlparser.OpSub:
+		return sqlval.NewFloat(a - b), nil
+	case sqlparser.OpMul:
+		return sqlval.NewFloat(a * b), nil
+	case sqlparser.OpDiv:
+		if b == 0 {
+			return sqlval.Null, fmt.Errorf("sqlexec: division by zero")
+		}
+		return sqlval.NewFloat(a / b), nil
+	default:
+		if b == 0 {
+			return sqlval.Null, fmt.Errorf("sqlexec: division by zero")
+		}
+		return sqlval.NewFloat(math.Mod(a, b)), nil
+	}
+}
+
+func evalUnary(ex *sqlparser.UnaryExpr, s *Scope) (sqlval.Value, error) {
+	switch ex.Op {
+	case "NOT":
+		t, err := EvalBool(ex.E, s)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		return t.Not().Value(), nil
+	case "-":
+		v, err := Eval(ex.E, s)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		switch v.Type() {
+		case sqlval.TypeNull:
+			return sqlval.Null, nil
+		case sqlval.TypeInt:
+			return sqlval.NewInt(-v.Int()), nil
+		case sqlval.TypeFloat:
+			return sqlval.NewFloat(-v.Float()), nil
+		default:
+			return sqlval.Null, fmt.Errorf("sqlexec: cannot negate %s", v.Type())
+		}
+	default:
+		return sqlval.Null, fmt.Errorf("sqlexec: unknown unary operator %q", ex.Op)
+	}
+}
+
+func evalIn(ex *sqlparser.InList, s *Scope) (sqlval.Value, error) {
+	v, err := Eval(ex.E, s)
+	if err != nil {
+		return sqlval.Null, err
+	}
+	if v.IsNull() {
+		return sqlval.Null, nil
+	}
+	sawNull := false
+	for _, le := range ex.List {
+		lv, err := Eval(le, s)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		if lv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if c, err := sqlval.Compare(v, lv); err == nil && c == 0 {
+			return sqlval.NewBool(!ex.Not), nil
+		}
+	}
+	if sawNull {
+		return sqlval.Null, nil // UNKNOWN per SQL semantics
+	}
+	return sqlval.NewBool(ex.Not), nil
+}
+
+func evalBetween(ex *sqlparser.Between, s *Scope) (sqlval.Value, error) {
+	v, err := Eval(ex.E, s)
+	if err != nil {
+		return sqlval.Null, err
+	}
+	lo, err := Eval(ex.Lo, s)
+	if err != nil {
+		return sqlval.Null, err
+	}
+	hi, err := Eval(ex.Hi, s)
+	if err != nil {
+		return sqlval.Null, err
+	}
+	if v.IsNull() || lo.IsNull() || hi.IsNull() {
+		return sqlval.Null, nil
+	}
+	c1, err := sqlval.Compare(v, lo)
+	if err != nil {
+		return sqlval.Null, err
+	}
+	c2, err := sqlval.Compare(v, hi)
+	if err != nil {
+		return sqlval.Null, err
+	}
+	in := c1 >= 0 && c2 <= 0
+	if ex.Not {
+		in = !in
+	}
+	return sqlval.NewBool(in), nil
+}
+
+func evalCase(ex *sqlparser.CaseExpr, s *Scope) (sqlval.Value, error) {
+	if ex.Operand != nil {
+		op, err := Eval(ex.Operand, s)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		for _, w := range ex.Whens {
+			wv, err := Eval(w.Cond, s)
+			if err != nil {
+				return sqlval.Null, err
+			}
+			if !op.IsNull() && !wv.IsNull() {
+				if c, err := sqlval.Compare(op, wv); err == nil && c == 0 {
+					return Eval(w.Then, s)
+				}
+			}
+		}
+	} else {
+		for _, w := range ex.Whens {
+			t, err := EvalBool(w.Cond, s)
+			if err != nil {
+				return sqlval.Null, err
+			}
+			if t == sqlval.True {
+				return Eval(w.Then, s)
+			}
+		}
+	}
+	if ex.Else != nil {
+		return Eval(ex.Else, s)
+	}
+	return sqlval.Null, nil
+}
+
+// likeMatch implements SQL LIKE: '%' matches any run, '_' one character.
+func likeMatch(s, pattern string) bool {
+	// Dynamic-programming-free recursive matcher with memo-less greedy
+	// backtracking (patterns are short).
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	if p == "" {
+		return s == ""
+	}
+	switch p[0] {
+	case '%':
+		for i := 0; i <= len(s); i++ {
+			if likeRec(s[i:], p[1:]) {
+				return true
+			}
+		}
+		return false
+	case '_':
+		if s == "" {
+			return false
+		}
+		return likeRec(s[1:], p[1:])
+	default:
+		if s == "" || s[0] != p[0] {
+			return false
+		}
+		return likeRec(s[1:], p[1:])
+	}
+}
+
+// IsAggregate reports whether the (upper-cased) function name is an
+// aggregate.
+func IsAggregate(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// HasAggregate reports whether the expression tree contains an aggregate
+// function call.
+func HasAggregate(e sqlparser.Expr) bool {
+	switch ex := e.(type) {
+	case *sqlparser.FuncCall:
+		if IsAggregate(ex.Name) {
+			return true
+		}
+		for _, a := range ex.Args {
+			if HasAggregate(a) {
+				return true
+			}
+		}
+	case *sqlparser.BinExpr:
+		return HasAggregate(ex.L) || HasAggregate(ex.R)
+	case *sqlparser.UnaryExpr:
+		return HasAggregate(ex.E)
+	case *sqlparser.IsNull:
+		return HasAggregate(ex.E)
+	case *sqlparser.InList:
+		if HasAggregate(ex.E) {
+			return true
+		}
+		for _, le := range ex.List {
+			if HasAggregate(le) {
+				return true
+			}
+		}
+	case *sqlparser.Between:
+		return HasAggregate(ex.E) || HasAggregate(ex.Lo) || HasAggregate(ex.Hi)
+	case *sqlparser.CaseExpr:
+		if ex.Operand != nil && HasAggregate(ex.Operand) {
+			return true
+		}
+		for _, w := range ex.Whens {
+			if HasAggregate(w.Cond) || HasAggregate(w.Then) {
+				return true
+			}
+		}
+		if ex.Else != nil {
+			return HasAggregate(ex.Else)
+		}
+	}
+	return false
+}
+
+// collectAggregates gathers every aggregate FuncCall in the expression.
+func collectAggregates(e sqlparser.Expr, out *[]*sqlparser.FuncCall) {
+	switch ex := e.(type) {
+	case *sqlparser.FuncCall:
+		if IsAggregate(ex.Name) {
+			*out = append(*out, ex)
+			return
+		}
+		for _, a := range ex.Args {
+			collectAggregates(a, out)
+		}
+	case *sqlparser.BinExpr:
+		collectAggregates(ex.L, out)
+		collectAggregates(ex.R, out)
+	case *sqlparser.UnaryExpr:
+		collectAggregates(ex.E, out)
+	case *sqlparser.IsNull:
+		collectAggregates(ex.E, out)
+	case *sqlparser.InList:
+		collectAggregates(ex.E, out)
+		for _, le := range ex.List {
+			collectAggregates(le, out)
+		}
+	case *sqlparser.Between:
+		collectAggregates(ex.E, out)
+		collectAggregates(ex.Lo, out)
+		collectAggregates(ex.Hi, out)
+	case *sqlparser.CaseExpr:
+		if ex.Operand != nil {
+			collectAggregates(ex.Operand, out)
+		}
+		for _, w := range ex.Whens {
+			collectAggregates(w.Cond, out)
+			collectAggregates(w.Then, out)
+		}
+		if ex.Else != nil {
+			collectAggregates(ex.Else, out)
+		}
+	}
+}
+
+func evalScalarFunc(ex *sqlparser.FuncCall, s *Scope) (sqlval.Value, error) {
+	args := make([]sqlval.Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := Eval(a, s)
+		if err != nil {
+			return sqlval.Null, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("sqlexec: %s expects %d argument(s), got %d", ex.Name, n, len(args))
+		}
+		return nil
+	}
+	switch ex.Name {
+	case "UPPER":
+		if err := need(1); err != nil {
+			return sqlval.Null, err
+		}
+		if args[0].IsNull() {
+			return sqlval.Null, nil
+		}
+		return sqlval.NewString(strings.ToUpper(args[0].String())), nil
+	case "LOWER":
+		if err := need(1); err != nil {
+			return sqlval.Null, err
+		}
+		if args[0].IsNull() {
+			return sqlval.Null, nil
+		}
+		return sqlval.NewString(strings.ToLower(args[0].String())), nil
+	case "LENGTH":
+		if err := need(1); err != nil {
+			return sqlval.Null, err
+		}
+		if args[0].IsNull() {
+			return sqlval.Null, nil
+		}
+		return sqlval.NewInt(int64(len(args[0].String()))), nil
+	case "TRIM":
+		if err := need(1); err != nil {
+			return sqlval.Null, err
+		}
+		if args[0].IsNull() {
+			return sqlval.Null, nil
+		}
+		return sqlval.NewString(strings.TrimSpace(args[0].String())), nil
+	case "ABS":
+		if err := need(1); err != nil {
+			return sqlval.Null, err
+		}
+		switch args[0].Type() {
+		case sqlval.TypeNull:
+			return sqlval.Null, nil
+		case sqlval.TypeInt:
+			v := args[0].Int()
+			if v < 0 {
+				v = -v
+			}
+			return sqlval.NewInt(v), nil
+		case sqlval.TypeFloat:
+			return sqlval.NewFloat(math.Abs(args[0].Float())), nil
+		default:
+			return sqlval.Null, fmt.Errorf("sqlexec: ABS on %s", args[0].Type())
+		}
+	case "ROUND":
+		if len(args) == 1 {
+			if args[0].IsNull() {
+				return sqlval.Null, nil
+			}
+			return sqlval.NewFloat(math.Round(args[0].Float())), nil
+		}
+		if err := need(2); err != nil {
+			return sqlval.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return sqlval.Null, nil
+		}
+		scale := math.Pow(10, float64(args[1].Int()))
+		return sqlval.NewFloat(math.Round(args[0].Float()*scale) / scale), nil
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return sqlval.Null, nil
+	case "NULLIF":
+		if err := need(2); err != nil {
+			return sqlval.Null, err
+		}
+		if !args[0].IsNull() && !args[1].IsNull() {
+			if c, err := sqlval.Compare(args[0], args[1]); err == nil && c == 0 {
+				return sqlval.Null, nil
+			}
+		}
+		return args[0], nil
+	case "SUBSTR", "SUBSTRING":
+		if len(args) != 2 && len(args) != 3 {
+			return sqlval.Null, fmt.Errorf("sqlexec: SUBSTR expects 2 or 3 arguments")
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return sqlval.Null, nil
+		}
+		str := args[0].String()
+		start := int(args[1].Int()) - 1 // SQL is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(str) {
+			start = len(str)
+		}
+		end := len(str)
+		if len(args) == 3 {
+			if args[2].IsNull() {
+				return sqlval.Null, nil
+			}
+			end = start + int(args[2].Int())
+			if end > len(str) {
+				end = len(str)
+			}
+			if end < start {
+				end = start
+			}
+		}
+		return sqlval.NewString(str[start:end]), nil
+	case "CONCAT":
+		var b strings.Builder
+		for _, a := range args {
+			if !a.IsNull() {
+				b.WriteString(a.String())
+			}
+		}
+		return sqlval.NewString(b.String()), nil
+	default:
+		return sqlval.Null, fmt.Errorf("sqlexec: unknown function %s", ex.Name)
+	}
+}
+
+// aggState accumulates one aggregate over a group.
+type aggState struct {
+	call  *sqlparser.FuncCall
+	count int64
+	sum   float64
+	sumI  int64
+	isInt bool
+	first bool
+	min   sqlval.Value
+	max   sqlval.Value
+	seen  map[string]struct{} // DISTINCT support
+}
+
+func newAggState(call *sqlparser.FuncCall) *aggState {
+	st := &aggState{call: call, isInt: true, first: true}
+	if call.Distinct {
+		st.seen = map[string]struct{}{}
+	}
+	return st
+}
+
+func (a *aggState) add(s *Scope) error {
+	if a.call.Star { // COUNT(*)
+		a.count++
+		return nil
+	}
+	if len(a.call.Args) != 1 {
+		return fmt.Errorf("sqlexec: %s expects one argument", a.call.Name)
+	}
+	v, err := Eval(a.call.Args[0], s)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // aggregates skip NULLs
+	}
+	if a.seen != nil {
+		key := fmt.Sprintf("%d|%s", v.Type(), v.String())
+		if _, dup := a.seen[key]; dup {
+			return nil
+		}
+		a.seen[key] = struct{}{}
+	}
+	a.count++
+	switch a.call.Name {
+	case "SUM", "AVG":
+		switch v.Type() {
+		case sqlval.TypeInt:
+			a.sumI += v.Int()
+			a.sum += float64(v.Int())
+		case sqlval.TypeFloat:
+			a.isInt = false
+			a.sum += v.Float()
+		default:
+			return fmt.Errorf("sqlexec: %s on non-numeric value", a.call.Name)
+		}
+	case "MIN":
+		if a.first || sqlval.CompareForSort(v, a.min) < 0 {
+			a.min = v
+		}
+	case "MAX":
+		if a.first || sqlval.CompareForSort(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+	a.first = false
+	return nil
+}
+
+func (a *aggState) result() sqlval.Value {
+	switch a.call.Name {
+	case "COUNT":
+		return sqlval.NewInt(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return sqlval.Null
+		}
+		if a.isInt {
+			return sqlval.NewInt(a.sumI)
+		}
+		return sqlval.NewFloat(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return sqlval.Null
+		}
+		return sqlval.NewFloat(a.sum / float64(a.count))
+	case "MIN":
+		if a.count == 0 {
+			return sqlval.Null
+		}
+		return a.min
+	case "MAX":
+		if a.count == 0 {
+			return sqlval.Null
+		}
+		return a.max
+	default:
+		return sqlval.Null
+	}
+}

@@ -1,0 +1,247 @@
+package sqlexec
+
+import (
+	"strings"
+	"testing"
+
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlval"
+)
+
+// evalConst evaluates a constant expression through a FROM-less SELECT.
+func evalConst(t *testing.T, expr string) sqlval.Value {
+	t.Helper()
+	db := sqldb.NewDatabase()
+	r := mustExec(t, db, "SELECT "+expr)
+	return r.Rows[0][0]
+}
+
+func evalConstErr(t *testing.T, expr string) error {
+	t.Helper()
+	db := sqldb.NewDatabase()
+	_, err := Exec(db, "SELECT "+expr)
+	return err
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{`UPPER('abc')`, "ABC"},
+		{`LOWER('AbC')`, "abc"},
+		{`LENGTH('hello')`, "5"},
+		{`TRIM('  x  ')`, "x"},
+		{`ABS(-7)`, "7"},
+		{`ABS(-2.5)`, "2.5"},
+		{`ROUND(2.6)`, "3"},
+		{`ROUND(2.449, 1)`, "2.4"},
+		{`COALESCE(NULL, NULL, 'z')`, "z"},
+		{`COALESCE(NULL)`, "NULL"},
+		{`NULLIF(3, 3)`, "NULL"},
+		{`NULLIF(3, 4)`, "3"},
+		{`SUBSTR('smartground', 1, 5)`, "smart"},
+		{`SUBSTR('smartground', 6)`, "ground"},
+		{`SUBSTR('abc', 10)`, ""},
+		{`SUBSTR('abc', 2, 100)`, "bc"},
+		{`SUBSTR('abc', -5, 2)`, "ab"},
+		{`CONCAT('a', NULL, 'b', 1)`, "a" + "b1"},
+		{`UPPER(NULL)`, "NULL"},
+		{`LENGTH(NULL)`, "NULL"},
+		{`ABS(NULL)`, "NULL"},
+		{`ROUND(NULL)`, "NULL"},
+	}
+	for _, c := range cases {
+		got := evalConst(t, c.expr)
+		if got.String() != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got.String(), c.want)
+		}
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	bad := []string{
+		`UPPER()`,
+		`UPPER('a', 'b')`,
+		`LENGTH()`,
+		`ABS('text')`,
+		`SUBSTR('a')`,
+		`NULLIF(1)`,
+		`TRIM()`,
+		`NO_SUCH_FUNC(1)`,
+	}
+	for _, expr := range bad {
+		if err := evalConstErr(t, expr); err == nil {
+			t.Errorf("%s should fail", expr)
+		}
+	}
+}
+
+func TestArithmeticEdgeCases(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{`7 % 3`, "1"},
+		{`7.5 % 2`, "1.5"},
+		{`2 * 3.5`, "7"},
+		{`1 - 2`, "-1"},
+		{`-(-5)`, "5"},
+		{`-2.5`, "-2.5"},
+		{`NULL + 1`, "NULL"},
+		{`'a' || NULL`, "NULL"},
+		{`1 || 2`, "12"}, // concat renders numerics
+	}
+	for _, c := range cases {
+		if got := evalConst(t, c.expr).String(); got != c.want {
+			t.Errorf("%s = %q, want %q", c.expr, got, c.want)
+		}
+	}
+	for _, expr := range []string{`1/0`, `1%0`, `1.0/0`, `'a' + 1`, `TRUE * 2`, `-'text'`} {
+		if err := evalConstErr(t, expr); err == nil {
+			t.Errorf("%s should fail", expr)
+		}
+	}
+}
+
+func TestCaseOperandForm(t *testing.T) {
+	got := evalConst(t, `CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END`)
+	if got.Str() != "two" {
+		t.Errorf("got %v", got)
+	}
+	got = evalConst(t, `CASE 9 WHEN 1 THEN 'one' END`)
+	if !got.IsNull() {
+		t.Errorf("no-match CASE without ELSE must be NULL: %v", got)
+	}
+	// NULL operand never matches.
+	got = evalConst(t, `CASE NULL WHEN 1 THEN 'x' ELSE 'e' END`)
+	if got.Str() != "e" {
+		t.Errorf("NULL operand: %v", got)
+	}
+}
+
+func TestInListNullSemantics(t *testing.T) {
+	// value NOT IN (list containing NULL) is UNKNOWN when no match.
+	got := evalConst(t, `1 IN (2, NULL)`)
+	if !got.IsNull() {
+		t.Errorf("1 IN (2, NULL) = %v, want NULL", got)
+	}
+	got = evalConst(t, `1 IN (1, NULL)`)
+	if !got.Bool() {
+		t.Errorf("1 IN (1, NULL) = %v, want true", got)
+	}
+	got = evalConst(t, `NULL IN (1)`)
+	if !got.IsNull() {
+		t.Errorf("NULL IN (1) = %v", got)
+	}
+	got = evalConst(t, `1 NOT IN (1, NULL)`)
+	if got.Bool() {
+		t.Errorf("1 NOT IN (1, NULL) = %v, want false", got)
+	}
+}
+
+func TestBetweenNullSemantics(t *testing.T) {
+	if got := evalConst(t, `NULL BETWEEN 1 AND 2`); !got.IsNull() {
+		t.Errorf("NULL BETWEEN = %v", got)
+	}
+	if got := evalConst(t, `1 BETWEEN NULL AND 2`); !got.IsNull() {
+		t.Errorf("BETWEEN NULL lo = %v", got)
+	}
+	if got := evalConst(t, `3 NOT BETWEEN 1 AND 2`); !got.Bool() {
+		t.Errorf("NOT BETWEEN = %v", got)
+	}
+}
+
+func TestLikeNullAndTypeErrors(t *testing.T) {
+	if got := evalConst(t, `NULL LIKE 'x'`); !got.IsNull() {
+		t.Errorf("NULL LIKE = %v", got)
+	}
+	if err := evalConstErr(t, `1 LIKE 'x'`); err == nil {
+		t.Error("numeric LIKE must fail")
+	}
+}
+
+func TestMinMaxAggregateOnStrings(t *testing.T) {
+	db := sqldb.NewDatabase()
+	mustExec(t, db, `CREATE TABLE t (s TEXT)`)
+	mustExec(t, db, `INSERT INTO t VALUES ('banana'), ('apple'), ('cherry'), (NULL)`)
+	r := mustExec(t, db, `SELECT MIN(s), MAX(s) FROM t`)
+	if r.Rows[0][0].Str() != "apple" || r.Rows[0][1].Str() != "cherry" {
+		t.Errorf("MIN/MAX text: %v", rowsAsStrings(r))
+	}
+}
+
+func TestSumDistinct(t *testing.T) {
+	db := sqldb.NewDatabase()
+	mustExec(t, db, `CREATE TABLE t (n INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1), (1), (2), (3), (3)`)
+	r := mustExec(t, db, `SELECT SUM(DISTINCT n), SUM(n) FROM t`)
+	if r.Rows[0][0].Int() != 6 || r.Rows[0][1].Int() != 10 {
+		t.Errorf("SUM DISTINCT: %v", rowsAsStrings(r))
+	}
+}
+
+func TestAggregateArityAndTypeErrors(t *testing.T) {
+	db := sqldb.NewDatabase()
+	mustExec(t, db, `CREATE TABLE t (s TEXT)`)
+	mustExec(t, db, `INSERT INTO t VALUES ('x')`)
+	for _, q := range []string{
+		`SELECT SUM(s) FROM t`,
+		`SELECT AVG(s) FROM t`,
+		`SELECT SUM(s, s) FROM t`,
+	} {
+		if _, err := Exec(db, q); err == nil {
+			t.Errorf("%s should fail", q)
+		}
+	}
+}
+
+func TestHavingWithoutGroupBy(t *testing.T) {
+	db := sampleDB(t)
+	r := mustExec(t, db, `SELECT COUNT(*) FROM landfill HAVING COUNT(*) > 2`)
+	if len(r.Rows) != 1 || r.Rows[0][0].Int() != 4 {
+		t.Errorf("grand-total HAVING pass: %v", rowsAsStrings(r))
+	}
+	r = mustExec(t, db, `SELECT COUNT(*) FROM landfill HAVING COUNT(*) > 100`)
+	if len(r.Rows) != 0 {
+		t.Errorf("grand-total HAVING fail: %v", rowsAsStrings(r))
+	}
+}
+
+func TestOrderByOnUnderlyingQualifiedColumn(t *testing.T) {
+	db := sampleDB(t)
+	r := mustExec(t, db, `SELECT l.name FROM landfill l ORDER BY l.area DESC`)
+	got := rowsAsStrings(r)
+	// NULL area sorts first ascending ⇒ last on DESC.
+	if got[len(got)-1] != "d" {
+		t.Errorf("qualified order: %v", got)
+	}
+}
+
+func TestAliasShadowsColumnInOrderBy(t *testing.T) {
+	db := sampleDB(t)
+	// Alias "area" redefines the column: projected alias wins.
+	r := mustExec(t, db, `SELECT name, -1 * area AS area FROM landfill WHERE area IS NOT NULL ORDER BY area`)
+	got := rowsAsStrings(r)
+	if !strings.HasPrefix(got[0], "a|") {
+		t.Errorf("alias precedence in ORDER BY: %v", got)
+	}
+}
+
+func TestOffsetBeyondEnd(t *testing.T) {
+	db := sampleDB(t)
+	r := mustExec(t, db, `SELECT name FROM landfill LIMIT 10 OFFSET 100`)
+	if len(r.Rows) != 0 {
+		t.Errorf("offset beyond end: %v", rowsAsStrings(r))
+	}
+}
+
+func TestUnknownFromAndStar(t *testing.T) {
+	db := sampleDB(t)
+	if _, err := Exec(db, `SELECT zz.* FROM landfill l`); err == nil {
+		t.Error("star with unknown qualifier must fail")
+	}
+	if _, err := Exec(db, `SELECT * `); err == nil {
+		t.Error("bare star without FROM must fail")
+	}
+}

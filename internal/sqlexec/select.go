@@ -1,0 +1,733 @@
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlparser"
+	"crosse/internal/sqlval"
+)
+
+// DisableHashJoin forces nested-loop evaluation for equi-joins. It exists
+// for the ablation study (EXPERIMENTS.md): the hash fast path is what keeps
+// self-joins like paper Example 4.6 linear instead of quadratic. Not for
+// production use; reads are not synchronised.
+var DisableHashJoin = false
+
+// rowset is a materialised intermediate relation with scope metadata.
+type rowset struct {
+	cols []ScopeCol
+	rows [][]sqlval.Value
+}
+
+func (rs *rowset) scope(row []sqlval.Value) *Scope {
+	return &Scope{Cols: rs.cols, Row: row}
+}
+
+// colIndexes returns positions of a (qual, name) reference; used for
+// ambiguity checks and hash-join key extraction.
+func (rs *rowset) find(qual, name string) []int {
+	var out []int
+	for i, c := range rs.cols {
+		if strings.EqualFold(c.Name, name) && (qual == "" || strings.EqualFold(c.Qualifier, qual)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EvalSelect runs a SELECT against the database and returns the result.
+func EvalSelect(db *sqldb.Database, sel *sqlparser.Select) (*Result, error) {
+	// FROM-less SELECT evaluates items once against an empty scope.
+	if len(sel.From) == 0 {
+		return selectNoFrom(sel)
+	}
+
+	base, err := buildFrom(db, sel)
+	if err != nil {
+		return nil, err
+	}
+
+	// Residual WHERE conjuncts not consumed by join planning are applied
+	// by buildFrom; here base is already filtered.
+
+	grouped := len(sel.GroupBy) > 0 || sel.Having != nil || anyItemAggregate(sel)
+	var out *rowset
+	var headers []string
+	var underlying []*Scope // per-output-row scope for ORDER BY fallback
+	if grouped {
+		out, headers, underlying, err = selectGrouped(sel, base)
+	} else {
+		out, headers, underlying, err = selectPlain(sel, base)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Compute ORDER BY keys before DISTINCT so keys stay aligned with rows.
+	var keys [][]sqlval.Value
+	if len(sel.OrderBy) > 0 {
+		keys = make([][]sqlval.Value, len(out.rows))
+		for i, r := range out.rows {
+			ks := make([]sqlval.Value, len(sel.OrderBy))
+			for k, ob := range sel.OrderBy {
+				// Projected aliases first, then underlying columns.
+				v, err := Eval(ob.Expr, out.scope(r))
+				if err != nil {
+					v, err = Eval(ob.Expr, underlying[i])
+					if err != nil {
+						return nil, fmt.Errorf("sqlexec: ORDER BY: %w", err)
+					}
+				}
+				ks[k] = v
+			}
+			keys[i] = ks
+		}
+	}
+
+	if sel.Distinct {
+		out.rows, keys = distinctRows(out.rows, keys)
+	}
+
+	if len(sel.OrderBy) > 0 {
+		orderRows(sel, out, keys)
+	}
+
+	if out2, err := applyLimitOffset(sel, out.rows); err != nil {
+		return nil, err
+	} else {
+		out.rows = out2
+	}
+
+	return &Result{Columns: headers, Rows: out.rows}, nil
+}
+
+func selectNoFrom(sel *sqlparser.Select) (*Result, error) {
+	var headers []string
+	var row []sqlval.Value
+	empty := &Scope{}
+	for i, it := range sel.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sqlexec: SELECT * requires a FROM clause")
+		}
+		v, err := Eval(it.Expr, empty)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		headers = append(headers, itemName(it, i))
+	}
+	return &Result{Columns: headers, Rows: [][]sqlval.Value{row}}, nil
+}
+
+func anyItemAggregate(sel *sqlparser.Select) bool {
+	for _, it := range sel.Items {
+		if !it.Star && HasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- FROM construction with join planning ---
+
+// source is one relation instance in the FROM clause.
+type source struct {
+	rel   sqldb.Relation
+	alias string // effective qualifier
+	kind  sqlparser.JoinKind
+	on    sqlparser.Expr // nil for comma/cross sources
+}
+
+func buildFrom(db *sqldb.Database, sel *sqlparser.Select) (*rowset, error) {
+	var sources []source
+	for _, tr := range sel.From {
+		rel, err := db.Resolve(tr.Table)
+		if err != nil {
+			return nil, err
+		}
+		alias := tr.Alias
+		if alias == "" {
+			alias = tr.Table
+		}
+		sources = append(sources, source{rel: rel, alias: alias, kind: sqlparser.JoinCross})
+		for _, j := range tr.Joins {
+			jrel, err := db.Resolve(j.Table)
+			if err != nil {
+				return nil, err
+			}
+			jalias := j.Alias
+			if jalias == "" {
+				jalias = j.Table
+			}
+			sources = append(sources, source{rel: jrel, alias: jalias, kind: j.Kind, on: j.On})
+		}
+	}
+
+	// Split WHERE into conjuncts for early application / equi-join use.
+	conjuncts := splitAnd(sel.Where)
+
+	cur, err := scanSource(sources[0])
+	if err != nil {
+		return nil, err
+	}
+	cur, conjuncts, err = applyReadyFilters(cur, conjuncts)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, src := range sources[1:] {
+		right, err := scanSource(src)
+		if err != nil {
+			return nil, err
+		}
+		switch src.kind {
+		case sqlparser.JoinInner:
+			cur, err = joinInner(cur, right, src.on)
+		case sqlparser.JoinLeft:
+			cur, err = joinLeft(cur, right, src.on)
+		default: // cross/comma: look for a WHERE equi-conjunct to drive a hash join
+			var used int = -1
+			if !DisableHashJoin {
+				for ci, c := range conjuncts {
+					if lk, rk, ok := equiKeys(c, cur, right); ok {
+						cur, err = hashJoin(cur, right, lk, rk, false)
+						used = ci
+						break
+					}
+				}
+			}
+			if used >= 0 {
+				conjuncts = append(conjuncts[:used], conjuncts[used+1:]...)
+			} else {
+				cur = crossProduct(cur, right)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		cur, conjuncts, err = applyReadyFilters(cur, conjuncts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Any remaining conjuncts must now be evaluable.
+	for _, c := range conjuncts {
+		filtered := cur.rows[:0:0]
+		for _, r := range cur.rows {
+			t, err := EvalBool(c, cur.scope(r))
+			if err != nil {
+				return nil, err
+			}
+			if t == sqlval.True {
+				filtered = append(filtered, r)
+			}
+		}
+		cur = &rowset{cols: cur.cols, rows: filtered}
+	}
+	return cur, nil
+}
+
+func scanSource(src source) (*rowset, error) {
+	schema := src.rel.Schema()
+	cols := make([]ScopeCol, len(schema))
+	for i, c := range schema {
+		cols[i] = ScopeCol{Qualifier: src.alias, Name: c.Name}
+	}
+	rs := &rowset{cols: cols}
+	err := src.rel.Scan(func(row []sqlval.Value) bool {
+		cp := make([]sqlval.Value, len(row))
+		copy(cp, row)
+		rs.rows = append(rs.rows, cp)
+		return true
+	})
+	return rs, err
+}
+
+// splitAnd flattens a conjunction into its conjuncts.
+func splitAnd(e sqlparser.Expr) []sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*sqlparser.BinExpr); ok && be.Op == sqlparser.OpAnd {
+		return append(splitAnd(be.L), splitAnd(be.R)...)
+	}
+	return []sqlparser.Expr{e}
+}
+
+// exprCols lists the column references in an expression.
+func exprCols(e sqlparser.Expr, out *[]*sqlparser.ColRef) {
+	switch ex := e.(type) {
+	case *sqlparser.ColRef:
+		*out = append(*out, ex)
+	case *sqlparser.BinExpr:
+		exprCols(ex.L, out)
+		exprCols(ex.R, out)
+	case *sqlparser.UnaryExpr:
+		exprCols(ex.E, out)
+	case *sqlparser.IsNull:
+		exprCols(ex.E, out)
+	case *sqlparser.InList:
+		exprCols(ex.E, out)
+		for _, le := range ex.List {
+			exprCols(le, out)
+		}
+	case *sqlparser.Between:
+		exprCols(ex.E, out)
+		exprCols(ex.Lo, out)
+		exprCols(ex.Hi, out)
+	case *sqlparser.FuncCall:
+		for _, a := range ex.Args {
+			exprCols(a, out)
+		}
+	case *sqlparser.CaseExpr:
+		if ex.Operand != nil {
+			exprCols(ex.Operand, out)
+		}
+		for _, w := range ex.Whens {
+			exprCols(w.Cond, out)
+			exprCols(w.Then, out)
+		}
+		if ex.Else != nil {
+			exprCols(ex.Else, out)
+		}
+	}
+}
+
+// resolvable reports whether every column the expression references is
+// present (unambiguously) in the rowset.
+func resolvable(e sqlparser.Expr, rs *rowset) bool {
+	var refs []*sqlparser.ColRef
+	exprCols(e, &refs)
+	for _, r := range refs {
+		if len(rs.find(r.Qualifier, r.Name)) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// applyReadyFilters applies every conjunct that is already resolvable,
+// returning the filtered rowset and the remaining conjuncts.
+func applyReadyFilters(rs *rowset, conjuncts []sqlparser.Expr) (*rowset, []sqlparser.Expr, error) {
+	var rest []sqlparser.Expr
+	for _, c := range conjuncts {
+		if !resolvable(c, rs) {
+			rest = append(rest, c)
+			continue
+		}
+		var filtered [][]sqlval.Value
+		for _, r := range rs.rows {
+			t, err := EvalBool(c, rs.scope(r))
+			if err != nil {
+				return nil, nil, err
+			}
+			if t == sqlval.True {
+				filtered = append(filtered, r)
+			}
+		}
+		rs = &rowset{cols: rs.cols, rows: filtered}
+	}
+	return rs, rest, nil
+}
+
+// equiKeys recognises `left.col = right.col` conjuncts usable as hash-join
+// keys between the current rowset and the incoming right rowset.
+func equiKeys(e sqlparser.Expr, left, right *rowset) (int, int, bool) {
+	be, ok := e.(*sqlparser.BinExpr)
+	if !ok || be.Op != sqlparser.OpEq {
+		return 0, 0, false
+	}
+	lc, ok1 := be.L.(*sqlparser.ColRef)
+	rc, ok2 := be.R.(*sqlparser.ColRef)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	li, ri := left.find(lc.Qualifier, lc.Name), right.find(rc.Qualifier, rc.Name)
+	if len(li) == 1 && len(ri) == 1 {
+		return li[0], ri[0], true
+	}
+	// Try swapped orientation.
+	li, ri = left.find(rc.Qualifier, rc.Name), right.find(lc.Qualifier, lc.Name)
+	if len(li) == 1 && len(ri) == 1 {
+		return li[0], ri[0], true
+	}
+	return 0, 0, false
+}
+
+func concatCols(a, b []ScopeCol) []ScopeCol {
+	out := make([]ScopeCol, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func concatRows(a, b []sqlval.Value) []sqlval.Value {
+	out := make([]sqlval.Value, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func crossProduct(l, r *rowset) *rowset {
+	out := &rowset{cols: concatCols(l.cols, r.cols)}
+	for _, lr := range l.rows {
+		for _, rr := range r.rows {
+			out.rows = append(out.rows, concatRows(lr, rr))
+		}
+	}
+	return out
+}
+
+// hashJoin joins on equality of key columns; when leftOuter is true,
+// unmatched left rows survive padded with NULLs.
+func hashJoin(l, r *rowset, lk, rk int, leftOuter bool) (*rowset, error) {
+	index := make(map[string][][]sqlval.Value, len(r.rows))
+	for _, rr := range r.rows {
+		v := rr[rk]
+		if v.IsNull() {
+			continue // NULL never equi-joins
+		}
+		key := fmt.Sprintf("%d|%s", normType(v.Type()), v.String())
+		index[key] = append(index[key], rr)
+	}
+	out := &rowset{cols: concatCols(l.cols, r.cols)}
+	pad := make([]sqlval.Value, len(r.cols))
+	for _, lr := range l.rows {
+		v := lr[lk]
+		matched := false
+		if !v.IsNull() {
+			key := fmt.Sprintf("%d|%s", normType(v.Type()), v.String())
+			for _, rr := range index[key] {
+				out.rows = append(out.rows, concatRows(lr, rr))
+				matched = true
+			}
+		}
+		if leftOuter && !matched {
+			out.rows = append(out.rows, concatRows(lr, pad))
+		}
+	}
+	return out, nil
+}
+
+// normType folds int and float into one bucket so 2 = 2.0 joins correctly;
+// renderings agree ("2" vs "2") for integral floats because Value.String
+// uses %g. Mixed 2 vs 2.0 keys both render "2".
+func normType(t sqlval.Type) sqlval.Type {
+	if t == sqlval.TypeFloat {
+		return sqlval.TypeInt
+	}
+	return t
+}
+
+func joinInner(l, r *rowset, on sqlparser.Expr) (*rowset, error) {
+	if on != nil {
+		merged := &rowset{cols: concatCols(l.cols, r.cols)}
+		if lk, rk, ok := equiKeys(on, l, r); ok && !DisableHashJoin {
+			return hashJoin(l, r, lk, rk, false)
+		}
+		for _, lr := range l.rows {
+			for _, rr := range r.rows {
+				row := concatRows(lr, rr)
+				t, err := EvalBool(on, merged.scope(row))
+				if err != nil {
+					return nil, err
+				}
+				if t == sqlval.True {
+					merged.rows = append(merged.rows, row)
+				}
+			}
+		}
+		return merged, nil
+	}
+	return crossProduct(l, r), nil
+}
+
+func joinLeft(l, r *rowset, on sqlparser.Expr) (*rowset, error) {
+	if on == nil {
+		return nil, fmt.Errorf("sqlexec: LEFT JOIN requires ON")
+	}
+	if lk, rk, ok := equiKeys(on, l, r); ok && !DisableHashJoin {
+		return hashJoin(l, r, lk, rk, true)
+	}
+	out := &rowset{cols: concatCols(l.cols, r.cols)}
+	pad := make([]sqlval.Value, len(r.cols))
+	for _, lr := range l.rows {
+		matched := false
+		for _, rr := range r.rows {
+			row := concatRows(lr, rr)
+			t, err := EvalBool(on, out.scope(row))
+			if err != nil {
+				return nil, err
+			}
+			if t == sqlval.True {
+				out.rows = append(out.rows, row)
+				matched = true
+			}
+		}
+		if !matched {
+			out.rows = append(out.rows, concatRows(lr, pad))
+		}
+	}
+	return out, nil
+}
+
+// --- projection ---
+
+func itemName(it sqlparser.SelectItem, pos int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*sqlparser.ColRef); ok {
+		return cr.Name
+	}
+	if it.Expr != nil {
+		return it.Expr.SQL()
+	}
+	return fmt.Sprintf("col%d", pos+1)
+}
+
+// expandItems resolves stars into concrete column projections.
+func expandItems(sel *sqlparser.Select, base *rowset) ([]sqlparser.SelectItem, error) {
+	var out []sqlparser.SelectItem
+	for _, it := range sel.Items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		matched := false
+		for _, c := range base.cols {
+			if it.Qualifier != "" && !strings.EqualFold(c.Qualifier, it.Qualifier) {
+				continue
+			}
+			matched = true
+			out = append(out, sqlparser.SelectItem{
+				Expr:  &sqlparser.ColRef{Qualifier: c.Qualifier, Name: c.Name},
+				Alias: c.Name,
+			})
+		}
+		if !matched {
+			return nil, fmt.Errorf("sqlexec: %s.* matches no columns", it.Qualifier)
+		}
+	}
+	return out, nil
+}
+
+func selectPlain(sel *sqlparser.Select, base *rowset) (*rowset, []string, []*Scope, error) {
+	items, err := expandItems(sel, base)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	headers := make([]string, len(items))
+	cols := make([]ScopeCol, len(items))
+	for i, it := range items {
+		headers[i] = itemName(it, i)
+		cols[i] = ScopeCol{Name: headers[i]}
+	}
+	out := &rowset{cols: cols, rows: make([][]sqlval.Value, 0, len(base.rows))}
+	scopes := make([]*Scope, 0, len(base.rows))
+	for _, r := range base.rows {
+		s := base.scope(r)
+		row := make([]sqlval.Value, len(items))
+		for i, it := range items {
+			v, err := Eval(it.Expr, s)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			row[i] = v
+		}
+		out.rows = append(out.rows, row)
+		scopes = append(scopes, s)
+	}
+	return out, headers, scopes, nil
+}
+
+func selectGrouped(sel *sqlparser.Select, base *rowset) (*rowset, []string, []*Scope, error) {
+	items, err := expandItems(sel, base)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Gather all aggregate calls from items and HAVING.
+	var aggCalls []*sqlparser.FuncCall
+	for _, it := range items {
+		collectAggregates(it.Expr, &aggCalls)
+	}
+	if sel.Having != nil {
+		collectAggregates(sel.Having, &aggCalls)
+	}
+
+	type group struct {
+		firstRow []sqlval.Value
+		aggs     []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	keyOf := func(s *Scope) (string, error) {
+		var b strings.Builder
+		for _, g := range sel.GroupBy {
+			v, err := Eval(g, s)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%d|%s\x00", v.Type(), v.String())
+		}
+		return b.String(), nil
+	}
+
+	for _, r := range base.rows {
+		s := base.scope(r)
+		key, err := keyOf(s)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{firstRow: r}
+			for _, c := range aggCalls {
+				grp.aggs = append(grp.aggs, newAggState(c))
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for _, a := range grp.aggs {
+			if err := a.add(s); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+	}
+
+	// A grand-total aggregate over zero rows still yields one group.
+	if len(groups) == 0 && len(sel.GroupBy) == 0 {
+		grp := &group{firstRow: make([]sqlval.Value, len(base.cols))}
+		for _, c := range aggCalls {
+			grp.aggs = append(grp.aggs, newAggState(c))
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	headers := make([]string, len(items))
+	cols := make([]ScopeCol, len(items))
+	for i, it := range items {
+		headers[i] = itemName(it, i)
+		cols[i] = ScopeCol{Name: headers[i]}
+	}
+
+	out := &rowset{cols: cols}
+	var scopes []*Scope
+	for _, key := range order {
+		grp := groups[key]
+		aggVals := map[string]sqlval.Value{}
+		for _, a := range grp.aggs {
+			aggVals[a.call.SQL()] = a.result()
+		}
+		s := &Scope{Cols: base.cols, Row: grp.firstRow, Aggs: aggVals}
+		if sel.Having != nil {
+			t, err := EvalBool(sel.Having, s)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if t != sqlval.True {
+				continue
+			}
+		}
+		row := make([]sqlval.Value, len(items))
+		for i, it := range items {
+			v, err := Eval(it.Expr, s)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			row[i] = v
+		}
+		out.rows = append(out.rows, row)
+		scopes = append(scopes, s)
+	}
+	return out, headers, scopes, nil
+}
+
+// distinctRows deduplicates rows (keeping first occurrences), carrying the
+// parallel ORDER BY key slice along when present.
+func distinctRows(rows [][]sqlval.Value, keys [][]sqlval.Value) ([][]sqlval.Value, [][]sqlval.Value) {
+	seen := map[string]struct{}{}
+	out := rows[:0:0]
+	var outKeys [][]sqlval.Value
+	for i, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			fmt.Fprintf(&b, "%d|%s\x00", v.Type(), v.String())
+		}
+		key := b.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, r)
+		if keys != nil {
+			outKeys = append(outKeys, keys[i])
+		}
+	}
+	return out, outKeys
+}
+
+// orderRows sorts out.rows by the pre-computed keys.
+func orderRows(sel *sqlparser.Select, out *rowset, keys [][]sqlval.Value) {
+	type keyed struct {
+		row  []sqlval.Value
+		keys []sqlval.Value
+	}
+	items := make([]keyed, len(out.rows))
+	for i, r := range out.rows {
+		items[i] = keyed{row: r, keys: keys[i]}
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		for k, ob := range sel.OrderBy {
+			c := sqlval.CompareForSort(items[i].keys[k], items[j].keys[k])
+			if c != 0 {
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	for i := range items {
+		out.rows[i] = items[i].row
+	}
+}
+
+func applyLimitOffset(sel *sqlparser.Select, rows [][]sqlval.Value) ([][]sqlval.Value, error) {
+	empty := &Scope{}
+	if sel.Offset != nil {
+		v, err := Eval(sel.Offset, empty)
+		if err != nil {
+			return nil, err
+		}
+		n := int(v.Int())
+		if n < 0 {
+			return nil, fmt.Errorf("sqlexec: negative OFFSET")
+		}
+		if n >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[n:]
+		}
+	}
+	if sel.Limit != nil {
+		v, err := Eval(sel.Limit, empty)
+		if err != nil {
+			return nil, err
+		}
+		n := int(v.Int())
+		if n < 0 {
+			return nil, fmt.Errorf("sqlexec: negative LIMIT")
+		}
+		if n < len(rows) {
+			rows = rows[:n]
+		}
+	}
+	return rows, nil
+}

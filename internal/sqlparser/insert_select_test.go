@@ -1,0 +1,29 @@
+package sqlparser
+
+import "testing"
+
+func TestParseInsertSelect(t *testing.T) {
+	st, err := Parse(`INSERT INTO dst (a, b) SELECT x, y FROM src WHERE x > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	if ins.Query == nil || len(ins.Rows) != 0 {
+		t.Fatalf("%+v", ins)
+	}
+	if len(ins.Columns) != 2 || ins.Query.From[0].Table != "src" {
+		t.Errorf("%+v", ins)
+	}
+	// Without column list.
+	st2, err := Parse(`INSERT INTO dst SELECT * FROM src`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.(*Insert).Query == nil {
+		t.Error("query form not parsed")
+	}
+	// Trailing garbage after the SELECT is rejected.
+	if _, err := Parse(`INSERT INTO dst SELECT x FROM src VALUES (1)`); err == nil {
+		t.Error("mixed forms should fail")
+	}
+}

@@ -1,0 +1,121 @@
+package sqlparser
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randExpr generates a random SQL expression string.
+func randExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return fmt.Sprint(rng.Intn(1000))
+		case 1:
+			return fmt.Sprintf("%.2f", rng.Float64()*100)
+		case 2:
+			return "'str" + fmt.Sprint(rng.Intn(10)) + "'"
+		case 3:
+			return []string{"a", "b", "t.c", "u.d"}[rng.Intn(4)]
+		case 4:
+			return []string{"TRUE", "FALSE", "NULL"}[rng.Intn(3)]
+		default:
+			return "col" + fmt.Sprint(rng.Intn(5))
+		}
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return "(" + randExpr(rng, depth-1) + " + " + randExpr(rng, depth-1) + ")"
+	case 1:
+		return "(" + randExpr(rng, depth-1) + " * " + randExpr(rng, depth-1) + ")"
+	case 2:
+		return "(" + randExpr(rng, depth-1) + " = " + randExpr(rng, depth-1) + ")"
+	case 3:
+		return "(" + randExpr(rng, depth-1) + " AND " + randExpr(rng, depth-1) + ")"
+	case 4:
+		return "(" + randExpr(rng, depth-1) + " OR " + randExpr(rng, depth-1) + ")"
+	case 5:
+		return "(NOT " + randExpr(rng, depth-1) + ")"
+	case 6:
+		return "(" + randExpr(rng, depth-1) + " IS NULL)"
+	case 7:
+		return "(" + randExpr(rng, depth-1) + " IN (" + randExpr(rng, depth-1) + ", " + randExpr(rng, depth-1) + "))"
+	case 8:
+		return "COALESCE(" + randExpr(rng, depth-1) + ", " + randExpr(rng, depth-1) + ")"
+	default:
+		return "CASE WHEN " + randExpr(rng, depth-1) + " THEN " + randExpr(rng, depth-1) +
+			" ELSE " + randExpr(rng, depth-1) + " END"
+	}
+}
+
+// Property: parse → print → parse is a fixpoint for random expressions
+// (the printer emits exactly re-parseable, structurally identical SQL).
+func TestExprPrintParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 500; trial++ {
+		src := randExpr(rng, 4)
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, src, err)
+		}
+		printed := e1.SQL()
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("trial %d: reparse %q: %v", trial, printed, err)
+		}
+		if e2.SQL() != printed {
+			t.Fatalf("trial %d: fixpoint broken:\n 1: %s\n 2: %s", trial, printed, e2.SQL())
+		}
+	}
+}
+
+// Property: SELECT round trip via SelectSQL is a fixpoint for randomly
+// assembled queries.
+func TestSelectPrintParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		var b []byte
+		b = append(b, "SELECT "...)
+		if rng.Intn(3) == 0 {
+			b = append(b, "DISTINCT "...)
+		}
+		nItems := 1 + rng.Intn(3)
+		for i := 0; i < nItems; i++ {
+			if i > 0 {
+				b = append(b, ", "...)
+			}
+			b = append(b, randExpr(rng, 2)...)
+			if rng.Intn(2) == 0 {
+				b = append(b, fmt.Sprintf(" AS x%d", i)...)
+			}
+		}
+		b = append(b, " FROM t"...)
+		if rng.Intn(2) == 0 {
+			b = append(b, " JOIN u ON (t.id = u.id)"...)
+		}
+		if rng.Intn(2) == 0 {
+			b = append(b, " WHERE "...)
+			b = append(b, randExpr(rng, 2)...)
+		}
+		if rng.Intn(3) == 0 {
+			b = append(b, " ORDER BY a DESC"...)
+		}
+		if rng.Intn(3) == 0 {
+			b = append(b, fmt.Sprintf(" LIMIT %d", rng.Intn(50))...)
+		}
+		src := string(b)
+		s1, err := ParseSelect(src)
+		if err != nil {
+			t.Fatalf("trial %d: parse %q: %v", trial, src, err)
+		}
+		printed := SelectSQL(s1)
+		s2, err := ParseSelect(printed)
+		if err != nil {
+			t.Fatalf("trial %d: reparse %q: %v", trial, printed, err)
+		}
+		if SelectSQL(s2) != printed {
+			t.Fatalf("trial %d: fixpoint broken:\n 1: %s\n 2: %s", trial, printed, SelectSQL(s2))
+		}
+	}
+}

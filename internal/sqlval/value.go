@@ -1,0 +1,390 @@
+// Package sqlval defines the value domain of the relational engine:
+// typed scalar values, NULL, three-valued logic, comparison, and coercion
+// rules. Every layer above storage (expressions, executor, SESQL pipeline)
+// exchanges rows as []sqlval.Value.
+package sqlval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Type enumerates the scalar types supported by the engine.
+type Type int
+
+const (
+	// TypeNull is the type of the untyped NULL value.
+	TypeNull Type = iota
+	// TypeInt is a 64-bit signed integer.
+	TypeInt
+	// TypeFloat is a 64-bit IEEE-754 float.
+	TypeFloat
+	// TypeString is a UTF-8 string.
+	TypeString
+	// TypeBool is a boolean.
+	TypeBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return "INTEGER"
+	case TypeFloat:
+		return "DOUBLE"
+	case TypeString:
+		return "TEXT"
+	case TypeBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType maps a SQL type name (as written in DDL) to a Type.
+// Unknown names report an error so DDL typos fail loudly.
+func ParseType(name string) (Type, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "SERIAL":
+		return TypeInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "NUMERIC", "DECIMAL":
+		return TypeFloat, nil
+	case "TEXT", "VARCHAR", "CHAR", "STRING", "CHARACTER":
+		return TypeString, nil
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	default:
+		return TypeNull, fmt.Errorf("sqlval: unknown type name %q", name)
+	}
+}
+
+// Value is a single scalar cell. The zero Value is NULL.
+type Value struct {
+	typ Type
+	i   int64
+	f   float64
+	s   string
+	b   bool
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{typ: TypeInt, i: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{typ: TypeFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{typ: TypeString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value { return Value{typ: TypeBool, b: v} }
+
+// Type reports the type of the value.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.typ == TypeNull }
+
+// Int returns the integer payload; valid only when Type()==TypeInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload; for TypeInt it widens to float64.
+func (v Value) Float() float64 {
+	if v.typ == TypeInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Str returns the string payload; valid only when Type()==TypeString.
+func (v Value) Str() string { return v.s }
+
+// Bool returns the boolean payload; valid only when Type()==TypeBool.
+func (v Value) Bool() bool { return v.b }
+
+// String renders the value the way result tables print it.
+func (v Value) String() string {
+	switch v.typ {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeString:
+		return v.s
+	case TypeBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal that re-parses to the same
+// value. Strings are single-quoted with quote doubling. Used when the
+// enrichment pipeline generates the final SQL of Fig. 6.
+func (v Value) SQLLiteral() string {
+	switch v.typ {
+	case TypeNull:
+		return "NULL"
+	case TypeString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case TypeBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return v.String()
+	}
+}
+
+// Equal reports strict equality (same type class and same payload; ints and
+// floats compare numerically). NULL is not Equal to anything, NULL included —
+// use IsNull for NULL checks. Mirrors SQL's `=` semantics minus 3VL.
+func (v Value) Equal(o Value) bool {
+	c, err := Compare(v, o)
+	return err == nil && c == 0
+}
+
+// numeric reports whether the value belongs to the numeric type class.
+func (v Value) numeric() bool { return v.typ == TypeInt || v.typ == TypeFloat }
+
+// ErrIncomparable is returned by Compare for cross-class comparisons.
+type ErrIncomparable struct {
+	A, B Type
+}
+
+func (e *ErrIncomparable) Error() string {
+	return fmt.Sprintf("sqlval: cannot compare %s with %s", e.A, e.B)
+}
+
+// Compare orders two non-NULL values of the same type class.
+// It returns -1, 0, +1. Comparing NULL or values of different classes
+// (e.g. TEXT vs INTEGER) is an error; the expression layer turns that into
+// a typed query error rather than a silent false.
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, &ErrIncomparable{a.typ, b.typ}
+	}
+	switch {
+	case a.numeric() && b.numeric():
+		af, bf := a.Float(), b.Float()
+		// Compare in int64 space when both are ints to avoid float rounding.
+		if a.typ == TypeInt && b.typ == TypeInt {
+			switch {
+			case a.i < b.i:
+				return -1, nil
+			case a.i > b.i:
+				return 1, nil
+			}
+			return 0, nil
+		}
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	case a.typ == TypeString && b.typ == TypeString:
+		return strings.Compare(a.s, b.s), nil
+	case a.typ == TypeBool && b.typ == TypeBool:
+		switch {
+		case !a.b && b.b:
+			return -1, nil
+		case a.b && !b.b:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, &ErrIncomparable{a.typ, b.typ}
+}
+
+// CompareForSort is a total order used by ORDER BY and DISTINCT: NULLs sort
+// first, then type classes (numeric < string < bool), then value order.
+func CompareForSort(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	ca, cb := classOf(a.typ), classOf(b.typ)
+	if ca != cb {
+		if ca < cb {
+			return -1
+		}
+		return 1
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+func classOf(t Type) int {
+	switch t {
+	case TypeInt, TypeFloat:
+		return 0
+	case TypeString:
+		return 1
+	case TypeBool:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// Coerce converts v to the target column type t, following lenient SQL
+// assignment rules: ints widen to float, floats narrow to int when integral,
+// numeric/bool to string via formatting, and strings parse to numerics or
+// bools when well formed. NULL coerces to every type.
+func Coerce(v Value, t Type) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	if v.typ == t {
+		return v, nil
+	}
+	switch t {
+	case TypeInt:
+		switch v.typ {
+		case TypeFloat:
+			if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+				return NewInt(int64(v.f)), nil
+			}
+			return Null, fmt.Errorf("sqlval: cannot coerce non-integral %v to INTEGER", v.f)
+		case TypeString:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err != nil {
+				return Null, fmt.Errorf("sqlval: cannot coerce %q to INTEGER", v.s)
+			}
+			return NewInt(i), nil
+		case TypeBool:
+			if v.b {
+				return NewInt(1), nil
+			}
+			return NewInt(0), nil
+		}
+	case TypeFloat:
+		switch v.typ {
+		case TypeInt:
+			return NewFloat(float64(v.i)), nil
+		case TypeString:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return Null, fmt.Errorf("sqlval: cannot coerce %q to DOUBLE", v.s)
+			}
+			return NewFloat(f), nil
+		}
+	case TypeString:
+		return NewString(v.String()), nil
+	case TypeBool:
+		switch v.typ {
+		case TypeInt:
+			return NewBool(v.i != 0), nil
+		case TypeString:
+			switch strings.ToLower(strings.TrimSpace(v.s)) {
+			case "true", "t", "1":
+				return NewBool(true), nil
+			case "false", "f", "0":
+				return NewBool(false), nil
+			}
+			return Null, fmt.Errorf("sqlval: cannot coerce %q to BOOLEAN", v.s)
+		}
+	}
+	return Null, fmt.Errorf("sqlval: cannot coerce %s to %s", v.typ, t)
+}
+
+// Tri is SQL three-valued logic: True, False or Unknown.
+type Tri int
+
+// Three-valued logic constants.
+const (
+	False Tri = iota
+	True
+	Unknown
+)
+
+// TriOf lifts a Go bool into Tri.
+func TriOf(b bool) Tri {
+	if b {
+		return True
+	}
+	return False
+}
+
+// And is 3VL conjunction.
+func (t Tri) And(o Tri) Tri {
+	switch {
+	case t == False || o == False:
+		return False
+	case t == Unknown || o == Unknown:
+		return Unknown
+	default:
+		return True
+	}
+}
+
+// Or is 3VL disjunction.
+func (t Tri) Or(o Tri) Tri {
+	switch {
+	case t == True || o == True:
+		return True
+	case t == Unknown || o == Unknown:
+		return Unknown
+	default:
+		return False
+	}
+}
+
+// Not is 3VL negation.
+func (t Tri) Not() Tri {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// Value converts the Tri back to a SQL value (Unknown ⇒ NULL).
+func (t Tri) Value() Value {
+	switch t {
+	case True:
+		return NewBool(true)
+	case False:
+		return NewBool(false)
+	default:
+		return Null
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (t Tri) String() string {
+	switch t {
+	case True:
+		return "TRUE"
+	case False:
+		return "FALSE"
+	default:
+		return "UNKNOWN"
+	}
+}
