@@ -338,3 +338,91 @@ func BenchmarkSPARQL(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStoreCount measures pattern-cardinality probes across store
+// sizes. With the dictionary-encoded store, Count reads index sizes instead
+// of enumerating matches, so ns/op must stay flat (O(1)) as the store grows —
+// this is the probe the SPARQL join orderer issues once per candidate
+// pattern per BGP.
+func BenchmarkStoreCount(b *testing.B) {
+	for _, size := range []int{1000, 100000} {
+		st := rdf.NewStore()
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < size; i++ {
+			st.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://x/s%d", rng.Intn(size/10+1))),
+				P: rdf.NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(20))),
+				O: rdf.NewIRI(fmt.Sprintf("http://x/o%d", rng.Intn(size/2+1))),
+			})
+		}
+		s0 := rdf.NewIRI("http://x/s0")
+		p0 := rdf.NewIRI("http://x/p0")
+		o0 := rdf.NewIRI("http://x/o0")
+		pats := []rdf.Pattern{
+			{S: s0},               // S??
+			{P: p0},               // ?P?
+			{O: o0},               // ??O
+			{S: s0, P: p0},        // SP?
+			{P: p0, O: o0},        // ?PO
+			{S: s0, O: o0},        // S?O
+			{},                    // ???
+			{S: s0, P: p0, O: o0}, // SPO
+		}
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st.Count(pats[i%len(pats)])
+			}
+		})
+	}
+}
+
+// BenchmarkStoreClone measures the point-in-time snapshot path: Clone
+// bulk-copies the encoded indexes under one lock instead of re-inserting
+// (and re-hashing) every triple.
+func BenchmarkStoreClone(b *testing.B) {
+	for _, size := range []int{1000, 10000, 100000} {
+		st := rdf.NewStore()
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < size; i++ {
+			st.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://x/s%d", rng.Intn(size/10+1))),
+				P: rdf.NewIRI(fmt.Sprintf("http://x/p%d", rng.Intn(20))),
+				O: rdf.NewIRI(fmt.Sprintf("http://x/o%d", rng.Intn(size/2+1))),
+			})
+		}
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if c := st.Clone(); c.Len() != st.Len() {
+					b.Fatal("clone lost triples")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineCache compares a full SESQL evaluation with the
+// compiled-query cache enabled (the default) versus disabled: the delta is
+// the lexing/parsing work repeated enrichment queries now skip.
+func BenchmarkPipelineCache(b *testing.B) {
+	const query = `SELECT elem_name, landfill_name FROM elem_contained
+ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`
+	b.Run("Cached", func(b *testing.B) {
+		enr := benchFixture(b, 200, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := enr.Query("alice", query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Uncached", func(b *testing.B) {
+		enr := benchFixture(b, 200, 0)
+		enr.SetQueryCache(nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := enr.Query("alice", query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -18,5 +18,24 @@
 //	internal/dataset  synthetic SmartGround databank + ontologies
 //	internal/experiments  the measurement study (EXPERIMENTS.md)
 //
+// # Storage and query-compilation architecture
+//
+// The triple store (internal/rdf) is dictionary-encoded: every distinct RDF
+// term is interned once into a dense uint32 ID (rdf.Dict), and the three
+// permutation indexes (SPO, POS, OSP) plus a flat membership set are keyed
+// on those IDs. Pattern cardinalities — the probes the SPARQL join orderer
+// issues per candidate pattern — are answered in O(1) from per-sub-index
+// counters and set lengths, never by enumeration. Store.Clone provides
+// point-in-time snapshots by bulk-copying the encoded indexes under a
+// single lock (the KB layer maintains its per-user views incrementally via
+// Add/Remove; Clone serves callers that need an independent copy).
+//
+// The enrichment pipeline (internal/core) keeps a compiled-query cache for
+// both SESQL and SPARQL, keyed on the exact query text. Compiled plans hold
+// structure only, no data, so knowledge-base mutations never invalidate
+// cache entries — a cached plan simply re-evaluates against the updated
+// graph. Repeated enrichment queries therefore skip lexing and parsing
+// entirely (see QueryCache in internal/core).
+//
 // See README.md for a tour and DESIGN.md for the reproduction inventory.
 package crosse

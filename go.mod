@@ -1,0 +1,3 @@
+module crosse
+
+go 1.24

@@ -26,14 +26,49 @@ type Enricher struct {
 	// Activity, when non-nil, records which properties each user's
 	// enriched queries engage (feeds the peer-discovery services).
 	Activity *Activity
+
+	// cache memoises compiled SESQL and SPARQL queries by text. Nil
+	// disables caching (every call re-parses); New installs one by default.
+	cache *QueryCache
 }
 
 // New wires an Enricher. A nil mapping gets the default SmartGround one.
+// The enricher starts with a default compiled-query cache; use
+// SetQueryCache(nil) to disable it.
 func New(db *engine.DB, platform *kb.Platform, mapping *Mapping) *Enricher {
 	if mapping == nil {
 		mapping = NewMapping("")
 	}
-	return &Enricher{DB: db, Platform: platform, Mapping: mapping}
+	return &Enricher{DB: db, Platform: platform, Mapping: mapping, cache: NewQueryCache(0)}
+}
+
+// SetQueryCache replaces the enricher's compiled-query cache. A nil cache
+// disables compiled-query reuse (useful for benchmarking the parse path).
+func (e *Enricher) SetQueryCache(c *QueryCache) { e.cache = c }
+
+// QueryCacheStats reports the cache's cumulative hits and misses; zeros when
+// caching is disabled.
+func (e *Enricher) QueryCacheStats() (hits, misses int) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.Stats()
+}
+
+// parseSESQL compiles a SESQL text, consulting the cache when enabled.
+func (e *Enricher) parseSESQL(text string) (*sesql.Query, error) {
+	if e.cache == nil {
+		return sesql.Parse(text)
+	}
+	return e.cache.SESQL(text)
+}
+
+// parseSPARQL compiles a SPARQL text, consulting the cache when enabled.
+func (e *Enricher) parseSPARQL(text string) (*sparql.Query, error) {
+	if e.cache == nil {
+		return sparql.Parse(text)
+	}
+	return e.cache.SPARQL(text)
 }
 
 // Stats reports per-stage timings and artifacts of one SESQL evaluation —
@@ -70,7 +105,7 @@ func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error
 	st := &Stats{}
 
 	t0 := time.Now()
-	q, err := sesql.Parse(text)
+	q, err := e.parseSESQL(text)
 	st.Parse = time.Since(t0)
 	if err != nil {
 		return nil, st, err
@@ -614,7 +649,12 @@ func (e *Enricher) replacementValues(en sesql.Enrichment, user string, view rdf.
 func (e *Enricher) runSPARQL(view rdf.Graph, text string, st *Stats) (*sparql.Result, error) {
 	st.SPARQLQueries = append(st.SPARQLQueries, text)
 	t0 := time.Now()
-	res, err := sparql.Eval(view, text)
+	q, err := e.parseSPARQL(text)
+	if err != nil {
+		st.SPARQL += time.Since(t0)
+		return nil, fmt.Errorf("core: SPARQL: %w", err)
+	}
+	res, err := sparql.EvalQuery(view, q)
 	st.SPARQL += time.Since(t0)
 	if err != nil {
 		return nil, fmt.Errorf("core: SPARQL: %w", err)

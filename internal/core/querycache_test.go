@@ -1,0 +1,147 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestQueryCacheReusesCompiledQueries(t *testing.T) {
+	c := NewQueryCache(0)
+	const sesqlText = `SELECT a FROM t ENRICH SCHEMAEXTENSION(a, p)`
+	q1, err := c.SESQL(sesqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := c.SESQL(sesqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Error("second SESQL compile must return the cached object")
+	}
+
+	const sparqlText = `SELECT ?s ?o WHERE { ?s <http://x/p> ?o }`
+	s1, err := c.SPARQL(sparqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.SPARQL(sparqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("second SPARQL compile must return the cached object")
+	}
+
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("stats = (%d hits, %d misses), want (2, 2)", hits, misses)
+	}
+}
+
+func TestQueryCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewQueryCache(0)
+	for i := 0; i < 2; i++ {
+		if _, err := c.SESQL("SELEKT nope"); err == nil {
+			t.Fatal("bad SESQL must fail")
+		}
+		if _, err := c.SPARQL("SELEKT nope"); err == nil {
+			t.Fatal("bad SPARQL must fail")
+		}
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("parse failures must not populate the cache, stats = (%d, %d)", hits, misses)
+	}
+}
+
+func TestQueryCacheBound(t *testing.T) {
+	c := NewQueryCache(2)
+	texts := []string{
+		`SELECT a FROM t`,
+		`SELECT b FROM t`,
+		`SELECT c FROM t`,
+	}
+	for _, q := range texts {
+		if _, err := c.SESQL(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overflow flushed the map; re-compiling the survivor is a miss, not a
+	// crash — the bound only limits memory, never correctness.
+	if _, err := c.SESQL(texts[2]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryCacheConcurrent(t *testing.T) {
+	c := NewQueryCache(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := c.SESQL(`SELECT a FROM t ENRICH SCHEMAEXTENSION(a, p)`); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.SPARQL(`SELECT ?s WHERE { ?s <http://x/p> ?o }`); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The cache must be behaviour-transparent: repeated evaluations through the
+// cache produce exactly the same results as a cache-disabled enricher, and
+// the second run must be served from cache (hits advance, misses don't).
+func TestEnricherCacheTransparent(t *testing.T) {
+	queries := []string{
+		`SELECT elem_name, landfill_name FROM elem_contained WHERE landfill_name = 'a'
+ENRICH SCHEMAEXTENSION( elem_name, dangerLevel)`,
+		`SELECT name, city FROM landfill ENRICH SCHEMAREPLACEMENT(city, inCountry)`,
+	}
+	cached := fixture(t)
+	uncached := fixture(t)
+	uncached.SetQueryCache(nil)
+
+	for round := 0; round < 2; round++ {
+		for _, q := range queries {
+			rc, err := cached.Query("alice", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ru, err := uncached.Query("alice", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Join(rc.Columns, ",") != strings.Join(ru.Columns, ",") {
+				t.Errorf("round %d: columns differ: %v vs %v", round, rc.Columns, ru.Columns)
+			}
+			if strings.Join(resultRows(rc), " ") != strings.Join(resultRows(ru), " ") {
+				t.Errorf("round %d: rows differ for %q", round, q)
+			}
+		}
+	}
+	hits, misses := cached.QueryCacheStats()
+	if hits == 0 {
+		t.Error("second round must be served from the compiled-query cache")
+	}
+	// Each distinct SESQL text and constructed SPARQL text compiles once.
+	firstRoundMisses := misses
+	for _, q := range queries {
+		if _, err := cached.Query("alice", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, misses2 := cached.QueryCacheStats(); misses2 != firstRoundMisses {
+		t.Errorf("extra rounds must not compile again: misses %d -> %d", firstRoundMisses, misses2)
+	}
+	if h, m := uncached.QueryCacheStats(); h != 0 || m != 0 {
+		t.Errorf("disabled cache must report zero stats, got (%d, %d)", h, m)
+	}
+}

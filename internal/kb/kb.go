@@ -82,6 +82,40 @@ func (s *Statement) BelievedBy(user string) bool {
 	return ok
 }
 
+// snapshot returns a defensive copy of the statement whose believers set is
+// detached from the platform's mutable state. Statement and Explore return
+// snapshots so callers can hold them (and call Believers/BelievedBy) while
+// Import/ImportFrom/Retract keep mutating the platform. Believers maps are
+// copy-on-write (mutators install a fresh map under the platform lock, they
+// never write into a published one), so the snapshot shares the current map
+// without copying it.
+func (s *Statement) snapshot() *Statement {
+	return &Statement{ID: s.ID, Triple: s.Triple, Owner: s.Owner, Ref: s.Ref,
+		believers: s.believers}
+}
+
+// believersWith returns a copy of the statement's believers set with user
+// added. Part of the copy-on-write discipline: published maps are immutable.
+func (s *Statement) believersWith(user string) map[string]struct{} {
+	c := make(map[string]struct{}, len(s.believers)+1)
+	for u := range s.believers {
+		c[u] = struct{}{}
+	}
+	c[user] = struct{}{}
+	return c
+}
+
+// believersWithout is believersWith's removal counterpart.
+func (s *Statement) believersWithout(user string) map[string]struct{} {
+	c := make(map[string]struct{}, len(s.believers))
+	for u := range s.believers {
+		if u != user {
+			c[u] = struct{}{}
+		}
+	}
+	return c
+}
+
 // ConceptChecker validates that a subject is a concept extracted from the
 // original data source (integrated annotation scenario). The CroSSE core
 // wires this to a databank lookup through the resource mapping.
@@ -250,7 +284,7 @@ func (p *Platform) Retract(user, id string) error {
 		}
 		return nil
 	}
-	delete(st.believers, user)
+	st.believers = st.believersWithout(user)
 	p.dropFromView(user, st.Triple)
 	return nil
 }
@@ -280,7 +314,9 @@ func (p *Platform) Import(user, id string) error {
 	if !ok {
 		return fmt.Errorf("kb: no statement %q", id)
 	}
-	st.believers[user] = struct{}{}
+	if _, already := st.believers[user]; !already {
+		st.believers = st.believersWith(user)
+	}
 	p.views[user].Add(st.Triple)
 	return nil
 }
@@ -308,14 +344,16 @@ func (p *Platform) ImportFrom(user, fromUser string, filter func(*Statement) boo
 		if _, already := st.believers[user]; already {
 			continue
 		}
-		st.believers[user] = struct{}{}
+		st.believers = st.believersWith(user)
 		p.views[user].Add(st.Triple)
 		n++
 	}
 	return n, nil
 }
 
-// Statement returns a statement by id.
+// Statement returns a snapshot of a statement by id. The snapshot's
+// believers set is fixed at call time; later Import/Retract calls do not
+// show through (re-fetch to observe them).
 func (p *Platform) Statement(id string) (*Statement, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -323,11 +361,13 @@ func (p *Platform) Statement(id string) (*Statement, error) {
 	if !ok {
 		return nil, fmt.Errorf("kb: no statement %q", id)
 	}
-	return st, nil
+	return st.snapshot(), nil
 }
 
-// Explore lists statements in insertion order; annotations are public
-// (Sec. III-A), so every user sees everything. The filter may be nil.
+// Explore lists statement snapshots in insertion order; annotations are
+// public (Sec. III-A), so every user sees everything. The filter may be nil;
+// it runs under the platform lock against the live statement, so it must not
+// call back into the platform.
 func (p *Platform) Explore(filter func(*Statement) bool) []*Statement {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -335,7 +375,7 @@ func (p *Platform) Explore(filter func(*Statement) bool) []*Statement {
 	for _, id := range p.order {
 		st := p.statements[id]
 		if filter == nil || filter(st) {
-			out = append(out, st)
+			out = append(out, st.snapshot())
 		}
 	}
 	return out

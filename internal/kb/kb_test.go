@@ -331,3 +331,66 @@ func TestConcurrentPlatformAccess(t *testing.T) {
 	}
 	<-done
 }
+
+// Regression test for the Statement/Explore vs Import data race: statements
+// handed out to callers used to share their believers map with the platform,
+// so a reader calling BelievedBy/Believers while another goroutine ran
+// Import/ImportFrom raced on the map. Snapshots must detach that state.
+// Run with -race to exercise the guarantee.
+func TestStatementSnapshotNoRace(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob", "carol")
+	var ids []string
+	for i := 0; i < 50; i++ {
+		id, err := p.Insert("alice", tr("S"+string(rune('a'+i%26)), "p", "O"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			for _, id := range ids {
+				p.Import("bob", id)
+			}
+			p.ImportFrom("carol", "alice", nil)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		for _, st := range p.Explore(nil) {
+			st.Believers()
+			st.BelievedBy("bob")
+		}
+		if st, err := p.Statement(ids[i%len(ids)]); err == nil {
+			st.Believers()
+		}
+	}
+	<-done
+
+	st, err := p.Statement(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []string{"alice", "bob", "carol"} {
+		if !st.BelievedBy(u) {
+			t.Errorf("statement should be believed by %s", u)
+		}
+	}
+	// A snapshot must not see later imports: retract and re-check the old
+	// snapshot still reports the belief.
+	if err := p.Retract("bob", ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !st.BelievedBy("bob") {
+		t.Error("snapshot must be detached from later platform mutations")
+	}
+	fresh, err := p.Statement(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.BelievedBy("bob") {
+		t.Error("fresh snapshot must observe the retraction")
+	}
+}

@@ -1,0 +1,130 @@
+package rdf
+
+// This file implements the dictionary-encoding layer of the triple store.
+// Every distinct Term a store has seen is interned once into a dense uint32
+// ID, and the store's SPO/POS/OSP indexes are built on those IDs instead of
+// full Term structs. This is the standard layout of production RDF engines:
+// hashing a 4-byte integer is far cheaper than hashing a three-field struct
+// with two strings, index maps shrink (IDs instead of repeated term copies),
+// and bulk operations like Clone become flat map copies.
+
+// TermID is a dense identifier for an interned Term. IDs are scoped to the
+// Dict that issued them: the same term may have different IDs in different
+// stores. ID 0 is reserved so the zero value never aliases a real term.
+type TermID uint32
+
+// Dict is a bidirectional Term ↔ TermID intern table. It is not safe for
+// concurrent use on its own; the owning Store guards it with its lock.
+//
+// typedKey identifies a typed literal without ambiguity: value and datatype
+// stay separate fields, so no byte sequence in either can alias another term.
+type typedKey struct {
+	value, datatype string
+}
+
+// Internally terms are keyed per kind on their string value rather than on
+// the full Term struct: hashing one string is measurably cheaper than Go's
+// generated struct hash over (Kind, Value, Datatype), and the intern maps
+// sit on the hot path of every Add and every bound-pattern probe. Typed
+// literals — the only kind carrying a second string — live in their own map
+// under a two-field struct key.
+type Dict struct {
+	iris      map[string]TermID
+	blanks    map[string]TermID
+	plainLits map[string]TermID
+	typedLits map[typedKey]TermID
+	terms     []Term // terms[id-1] is the term for id; ids are dense from 1
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		iris:      make(map[string]TermID),
+		blanks:    make(map[string]TermID),
+		plainLits: make(map[string]TermID),
+		typedLits: make(map[typedKey]TermID),
+	}
+}
+
+// kindMap returns the intern map for terms keyed on their value alone; typed
+// literals are handled separately by Encode/Lookup.
+func (d *Dict) kindMap(t Term) map[string]TermID {
+	switch t.Kind {
+	case IRI:
+		return d.iris
+	case Blank:
+		return d.blanks
+	default:
+		return d.plainLits
+	}
+}
+
+// Encode interns the term, returning its ID (allocating a new one for a term
+// never seen before). Terms are never released: a store's dictionary only
+// grows, which keeps IDs stable for the life of the store.
+func (d *Dict) Encode(t Term) TermID {
+	if t.Kind == Literal && t.Datatype != "" {
+		key := typedKey{t.Value, t.Datatype}
+		if id, ok := d.typedLits[key]; ok {
+			return id
+		}
+		d.terms = append(d.terms, t)
+		id := TermID(len(d.terms))
+		d.typedLits[key] = id
+		return id
+	}
+	m := d.kindMap(t)
+	if id, ok := m[t.Value]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id := TermID(len(d.terms))
+	m[t.Value] = id
+	return id
+}
+
+// Lookup returns the ID of an already-interned term without interning it.
+// The second result is false when the term has never been seen; callers use
+// that as an immediate "no matches" answer for bound pattern positions.
+func (d *Dict) Lookup(t Term) (TermID, bool) {
+	if t.Kind == Literal && t.Datatype != "" {
+		id, ok := d.typedLits[typedKey{t.Value, t.Datatype}]
+		return id, ok
+	}
+	id, ok := d.kindMap(t)[t.Value]
+	return id, ok
+}
+
+// Term returns the term for a previously issued ID.
+func (d *Dict) Term(id TermID) Term {
+	return d.terms[id-1]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) }
+
+// Clone returns an independent copy of the dictionary. The copy preserves
+// every issued ID, so index structures keyed on those IDs remain valid
+// against the clone.
+func (d *Dict) Clone() *Dict {
+	c := &Dict{
+		iris:      make(map[string]TermID, len(d.iris)),
+		blanks:    make(map[string]TermID, len(d.blanks)),
+		plainLits: make(map[string]TermID, len(d.plainLits)),
+		typedLits: make(map[typedKey]TermID, len(d.typedLits)),
+		terms:     append([]Term(nil), d.terms...),
+	}
+	for k, id := range d.iris {
+		c.iris[k] = id
+	}
+	for k, id := range d.blanks {
+		c.blanks[k] = id
+	}
+	for k, id := range d.plainLits {
+		c.plainLits[k] = id
+	}
+	for k, id := range d.typedLits {
+		c.typedLits[k] = id
+	}
+	return c
+}

@@ -5,87 +5,131 @@ import (
 	"sync"
 )
 
-// Store is an in-memory triple store with three full indexes (SPO, POS, OSP)
-// so that every triple-pattern shape resolves through an index rather than a
-// scan. It is safe for concurrent use: reads take a shared lock, mutations an
-// exclusive one. This is the CroSSE semantic platform's storage engine
-// (the role Jena plays in the paper).
+// idSet is a third-level index entry: the set of IDs completing a triple.
+type idSet map[TermID]struct{}
+
+// tripleKey is an encoded triple, used as the key of the store's flat
+// membership set: one 12-byte hash probe answers Has/duplicate-Add/exact
+// Count without walking three index levels.
+type tripleKey [3]TermID
+
+// subIndex is one first-level entry of a three-level index: the second-level
+// key → third-level set mapping, plus the total number of triples stored
+// under this entry so Count answers S??/?P?/??O shapes in O(1) instead of
+// enumerating.
+type subIndex struct {
+	m map[TermID]idSet
+	n int
+}
+
+// index is a full three-level permutation index over encoded triples.
+type index map[TermID]*subIndex
+
+// add records an (a, b, c) entry. The caller has already established via the
+// store's flat triple set that the entry is new.
+func (idx index) add(a, b, c TermID) {
+	s1, ok := idx[a]
+	if !ok {
+		s1 = &subIndex{m: make(map[TermID]idSet)}
+		idx[a] = s1
+	}
+	s2, ok := s1.m[b]
+	if !ok {
+		s2 = make(idSet)
+		s1.m[b] = s2
+	}
+	s2[c] = struct{}{}
+	s1.n++
+}
+
+// del removes an (a, b, c) entry. The caller has already established via the
+// store's flat triple set that the entry is present.
+func (idx index) del(a, b, c TermID) {
+	s1 := idx[a]
+	s2 := s1.m[b]
+	delete(s2, c)
+	s1.n--
+	if len(s2) == 0 {
+		delete(s1.m, b)
+		if len(s1.m) == 0 {
+			delete(idx, a)
+		}
+	}
+}
+
+// clone deep-copies the index structure. The copied maps are keyed on the
+// same IDs, so the copy must be paired with a Dict.Clone of the source.
+func (idx index) clone() index {
+	c := make(index, len(idx))
+	for a, s1 := range idx {
+		m := make(map[TermID]idSet, len(s1.m))
+		for b, s2 := range s1.m {
+			set := make(idSet, len(s2))
+			for k := range s2 {
+				set[k] = struct{}{}
+			}
+			m[b] = set
+		}
+		c[a] = &subIndex{m: m, n: s1.n}
+	}
+	return c
+}
+
+// Store is an in-memory triple store with three full permutation indexes
+// (SPO, POS, OSP) over dictionary-encoded terms, so that every triple-pattern
+// shape resolves through an index rather than a scan and every pattern
+// cardinality is answered from index sizes without enumeration. It is safe
+// for concurrent use: reads take a shared lock, mutations an exclusive one.
+// This is the CroSSE semantic platform's storage engine (the role Jena plays
+// in the paper).
 type Store struct {
-	mu sync.RWMutex
-	// spo: S → P → set of O, and the two rotations.
-	spo map[Term]map[Term]map[Term]struct{}
-	pos map[Term]map[Term]map[Term]struct{}
-	osp map[Term]map[Term]map[Term]struct{}
-	n   int
+	mu      sync.RWMutex
+	dict    *Dict
+	triples map[tripleKey]struct{} // flat membership set: dup/Has/exact-Count probes
+	spo     index
+	pos     index
+	osp     index
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
-		spo: make(map[Term]map[Term]map[Term]struct{}),
-		pos: make(map[Term]map[Term]map[Term]struct{}),
-		osp: make(map[Term]map[Term]map[Term]struct{}),
+		dict:    NewDict(),
+		triples: make(map[tripleKey]struct{}),
+		spo:     make(index),
+		pos:     make(index),
+		osp:     make(index),
 	}
-}
-
-func addIdx(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
-	m1, ok := idx[a]
-	if !ok {
-		m1 = make(map[Term]map[Term]struct{})
-		idx[a] = m1
-	}
-	m2, ok := m1[b]
-	if !ok {
-		m2 = make(map[Term]struct{})
-		m1[b] = m2
-	}
-	if _, dup := m2[c]; dup {
-		return false
-	}
-	m2[c] = struct{}{}
-	return true
-}
-
-func delIdx(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
-	m1, ok := idx[a]
-	if !ok {
-		return false
-	}
-	m2, ok := m1[b]
-	if !ok {
-		return false
-	}
-	if _, ok := m2[c]; !ok {
-		return false
-	}
-	delete(m2, c)
-	if len(m2) == 0 {
-		delete(m1, b)
-		if len(m1) == 0 {
-			delete(idx, a)
-		}
-	}
-	return true
 }
 
 // Add inserts a triple. It reports whether the triple was new.
 func (s *Store) Add(t Triple) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !addIdx(s.spo, t.S, t.P, t.O) {
+	return s.addLocked(t)
+}
+
+func (s *Store) addLocked(t Triple) bool {
+	si, pi, oi := s.dict.Encode(t.S), s.dict.Encode(t.P), s.dict.Encode(t.O)
+	k := tripleKey{si, pi, oi}
+	if _, dup := s.triples[k]; dup {
 		return false
 	}
-	addIdx(s.pos, t.P, t.O, t.S)
-	addIdx(s.osp, t.O, t.S, t.P)
-	s.n++
+	s.triples[k] = struct{}{}
+	s.spo.add(si, pi, oi)
+	s.pos.add(pi, oi, si)
+	s.osp.add(oi, si, pi)
 	return true
 }
 
-// AddAll inserts a batch of triples, returning how many were new.
+// AddAll inserts a batch of triples under a single lock acquisition,
+// returning how many were new.
 func (s *Store) AddAll(ts []Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	added := 0
 	for _, t := range ts {
-		if s.Add(t) {
+		if s.addLocked(t) {
 			added++
 		}
 	}
@@ -93,15 +137,24 @@ func (s *Store) AddAll(ts []Triple) int {
 }
 
 // Remove deletes a triple. It reports whether the triple was present.
+// Removed terms stay interned in the dictionary (IDs are never recycled).
 func (s *Store) Remove(t Triple) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !delIdx(s.spo, t.S, t.P, t.O) {
+	si, okS := s.dict.Lookup(t.S)
+	pi, okP := s.dict.Lookup(t.P)
+	oi, okO := s.dict.Lookup(t.O)
+	if !okS || !okP || !okO {
 		return false
 	}
-	delIdx(s.pos, t.P, t.O, t.S)
-	delIdx(s.osp, t.O, t.S, t.P)
-	s.n--
+	k := tripleKey{si, pi, oi}
+	if _, ok := s.triples[k]; !ok {
+		return false
+	}
+	delete(s.triples, k)
+	s.spo.del(si, pi, oi)
+	s.pos.del(pi, oi, si)
+	s.osp.del(oi, si, pi)
 	return true
 }
 
@@ -109,20 +162,44 @@ func (s *Store) Remove(t Triple) bool {
 func (s *Store) Has(t Triple) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if m1, ok := s.spo[t.S]; ok {
-		if m2, ok := m1[t.P]; ok {
-			_, ok := m2[t.O]
-			return ok
-		}
+	si, okS := s.dict.Lookup(t.S)
+	pi, okP := s.dict.Lookup(t.P)
+	oi, okO := s.dict.Lookup(t.O)
+	if !okS || !okP || !okO {
+		return false
 	}
-	return false
+	_, ok := s.triples[tripleKey{si, pi, oi}]
+	return ok
 }
 
 // Len returns the number of triples.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.n
+	return len(s.triples)
+}
+
+// encodePattern resolves the bound positions of a pattern to IDs. ok is
+// false when some bound term was never interned — nothing can match then.
+func (s *Store) encodePattern(p Pattern) (si, pi, oi TermID, sb, pb, ob, ok bool) {
+	sb, pb, ob = !p.S.IsZero(), !p.P.IsZero(), !p.O.IsZero()
+	ok = true
+	if sb {
+		if si, ok = s.dict.Lookup(p.S); !ok {
+			return
+		}
+	}
+	if pb {
+		if pi, ok = s.dict.Lookup(p.P); !ok {
+			return
+		}
+	}
+	if ob {
+		if oi, ok = s.dict.Lookup(p.O); !ok {
+			return
+		}
+	}
+	return
 }
 
 // Match returns every triple matching the pattern. The index used is chosen
@@ -148,83 +225,133 @@ func (s *Store) ForEach(p Pattern, fn func(Triple) bool) {
 }
 
 // Count returns the number of triples matching the pattern without
-// materialising them.
+// materialising or enumerating them: every shape is answered from index
+// sizes (sub-index counters for single-bound shapes, set lengths for
+// double-bound ones), so the SPARQL join orderer can probe candidate
+// patterns in O(1) regardless of store size.
 func (s *Store) Count(p Pattern) int {
-	n := 0
-	s.ForEach(p, func(Triple) bool { n++; return true })
-	return n
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	si, pi, oi, sb, pb, ob, ok := s.encodePattern(p)
+	if !ok {
+		return 0
+	}
+	switch {
+	case sb && pb && ob:
+		if _, ok := s.triples[tripleKey{si, pi, oi}]; ok {
+			return 1
+		}
+		return 0
+	case sb && pb:
+		if s1, ok := s.spo[si]; ok {
+			return len(s1.m[pi])
+		}
+		return 0
+	case pb && ob:
+		if s1, ok := s.pos[pi]; ok {
+			return len(s1.m[oi])
+		}
+		return 0
+	case sb && ob:
+		if s1, ok := s.osp[oi]; ok {
+			return len(s1.m[si])
+		}
+		return 0
+	case sb:
+		if s1, ok := s.spo[si]; ok {
+			return s1.n
+		}
+		return 0
+	case pb:
+		if s1, ok := s.pos[pi]; ok {
+			return s1.n
+		}
+		return 0
+	case ob:
+		if s1, ok := s.osp[oi]; ok {
+			return s1.n
+		}
+		return 0
+	default:
+		return len(s.triples)
+	}
 }
 
 func (s *Store) matchLocked(p Pattern, fn func(Triple) bool) {
-	sb, pb, ob := !p.S.IsZero(), !p.P.IsZero(), !p.O.IsZero()
+	si, pi, oi, sb, pb, ob, ok := s.encodePattern(p)
+	if !ok {
+		return
+	}
+	d := s.dict
 	switch {
 	case sb && pb && ob:
-		if m1, ok := s.spo[p.S]; ok {
-			if m2, ok := m1[p.P]; ok {
-				if _, ok := m2[p.O]; ok {
-					fn(Triple{p.S, p.P, p.O})
-				}
-			}
+		if _, ok := s.triples[tripleKey{si, pi, oi}]; ok {
+			fn(Triple{p.S, p.P, p.O})
 		}
 	case sb && pb:
-		if m1, ok := s.spo[p.S]; ok {
-			for o := range m1[p.P] {
-				if !fn(Triple{p.S, p.P, o}) {
+		if s1, ok := s.spo[si]; ok {
+			for o := range s1.m[pi] {
+				if !fn(Triple{p.S, p.P, d.Term(o)}) {
 					return
 				}
 			}
 		}
 	case pb && ob:
-		if m1, ok := s.pos[p.P]; ok {
-			for sub := range m1[p.O] {
-				if !fn(Triple{sub, p.P, p.O}) {
+		if s1, ok := s.pos[pi]; ok {
+			for sub := range s1.m[oi] {
+				if !fn(Triple{d.Term(sub), p.P, p.O}) {
 					return
 				}
 			}
 		}
 	case sb && ob:
-		if m1, ok := s.osp[p.O]; ok {
-			for pr := range m1[p.S] {
-				if !fn(Triple{p.S, pr, p.O}) {
+		if s1, ok := s.osp[oi]; ok {
+			for pr := range s1.m[si] {
+				if !fn(Triple{p.S, d.Term(pr), p.O}) {
 					return
 				}
 			}
 		}
 	case sb:
-		if m1, ok := s.spo[p.S]; ok {
-			for pr, objs := range m1 {
+		if s1, ok := s.spo[si]; ok {
+			for pr, objs := range s1.m {
+				pt := d.Term(pr)
 				for o := range objs {
-					if !fn(Triple{p.S, pr, o}) {
+					if !fn(Triple{p.S, pt, d.Term(o)}) {
 						return
 					}
 				}
 			}
 		}
 	case pb:
-		if m1, ok := s.pos[p.P]; ok {
-			for o, subs := range m1 {
+		if s1, ok := s.pos[pi]; ok {
+			for o, subs := range s1.m {
+				ot := d.Term(o)
 				for sub := range subs {
-					if !fn(Triple{sub, p.P, o}) {
+					if !fn(Triple{d.Term(sub), p.P, ot}) {
 						return
 					}
 				}
 			}
 		}
 	case ob:
-		if m1, ok := s.osp[p.O]; ok {
-			for sub, preds := range m1 {
+		if s1, ok := s.osp[oi]; ok {
+			for sub, preds := range s1.m {
+				st := d.Term(sub)
 				for pr := range preds {
-					if !fn(Triple{sub, pr, p.O}) {
+					if !fn(Triple{st, d.Term(pr), p.O}) {
 						return
 					}
 				}
 			}
 		}
 	default:
-		for sub, m1 := range s.spo {
-			for pr, objs := range m1 {
+		for sub, s1 := range s.spo {
+			st := d.Term(sub)
+			for pr, objs := range s1.m {
+				pt := d.Term(pr)
 				for o := range objs {
-					if !fn(Triple{sub, pr, o}) {
+					if !fn(Triple{st, pt, d.Term(o)}) {
 						return
 					}
 				}
@@ -233,39 +360,54 @@ func (s *Store) matchLocked(p Pattern, fn func(Triple) bool) {
 	}
 }
 
-// MatchSorted returns matching triples in deterministic (lexicographic by
-// rendered form) order. Useful for golden tests and stable exports.
+// MatchSorted returns matching triples in deterministic order (by subject,
+// predicate, object under Term.Compare). Useful for golden tests and stable
+// exports.
 func (s *Store) MatchSorted(p Pattern) []Triple {
 	ts := s.Match(p)
-	sort.Slice(ts, func(i, j int) bool { return ts[i].String() < ts[j].String() })
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
 	return ts
 }
 
 // Subjects returns the distinct subjects of triples matching (?, p, o).
 func (s *Store) Subjects(p, o Term) []Term {
-	seen := make(map[Term]struct{})
-	var out []Term
-	s.ForEach(Pattern{P: p, O: o}, func(t Triple) bool {
-		if _, ok := seen[t.S]; !ok {
-			seen[t.S] = struct{}{}
-			out = append(out, t.S)
-		}
-		return true
-	})
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pi, okP := s.dict.Lookup(p)
+	oi, okO := s.dict.Lookup(o)
+	if !okP || !okO {
+		return nil
+	}
+	s1, ok := s.pos[pi]
+	if !ok {
+		return nil
+	}
+	set := s1.m[oi]
+	out := make([]Term, 0, len(set))
+	for sub := range set {
+		out = append(out, s.dict.Term(sub))
+	}
 	return out
 }
 
 // Objects returns the distinct objects of triples matching (s, p, ?).
 func (s *Store) Objects(sub, p Term) []Term {
-	seen := make(map[Term]struct{})
-	var out []Term
-	s.ForEach(Pattern{S: sub, P: p}, func(t Triple) bool {
-		if _, ok := seen[t.O]; !ok {
-			seen[t.O] = struct{}{}
-			out = append(out, t.O)
-		}
-		return true
-	})
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	si, okS := s.dict.Lookup(sub)
+	pi, okP := s.dict.Lookup(p)
+	if !okS || !okP {
+		return nil
+	}
+	s1, ok := s.spo[si]
+	if !ok {
+		return nil
+	}
+	set := s1.m[pi]
+	out := make([]Term, 0, len(set))
+	for o := range set {
+		out = append(out, s.dict.Term(o))
+	}
 	return out
 }
 
@@ -275,36 +417,44 @@ func (s *Store) Predicates() []Term {
 	defer s.mu.RUnlock()
 	out := make([]Term, 0, len(s.pos))
 	for p := range s.pos {
-		out = append(out, p)
+		out = append(out, s.dict.Term(p))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
 	return out
 }
 
-// Clone returns a deep snapshot of the store. Used by the KB layer to build
-// per-user materialised views without blocking writers.
+// Clone returns a deep snapshot of the store, built by bulk-copying the
+// encoded indexes and the dictionary under a single shared lock — no
+// per-triple re-encoding or re-locking — so cloning costs one flat pass over
+// the index maps. It is the snapshot API for callers that need a
+// point-in-time copy to read or mutate without blocking the original
+// (per-user view forks, offline analysis); the KB layer itself maintains its
+// views incrementally via Add/Remove.
 func (s *Store) Clone() *Store {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	c := NewStore()
-	for sub, m1 := range s.spo {
-		for pr, objs := range m1 {
-			for o := range objs {
-				c.Add(Triple{sub, pr, o})
-			}
-		}
+	triples := make(map[tripleKey]struct{}, len(s.triples))
+	for k := range s.triples {
+		triples[k] = struct{}{}
 	}
-	return c
+	return &Store{
+		dict:    s.dict.Clone(),
+		triples: triples,
+		spo:     s.spo.clone(),
+		pos:     s.pos.clone(),
+		osp:     s.osp.clone(),
+	}
 }
 
-// Clear removes every triple.
+// Clear removes every triple and resets the dictionary.
 func (s *Store) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.spo = make(map[Term]map[Term]map[Term]struct{})
-	s.pos = make(map[Term]map[Term]map[Term]struct{})
-	s.osp = make(map[Term]map[Term]map[Term]struct{})
-	s.n = 0
+	s.dict = NewDict()
+	s.triples = make(map[tripleKey]struct{})
+	s.spo = make(index)
+	s.pos = make(index)
+	s.osp = make(index)
 }
 
 // Graph is the read-only view the SPARQL engine evaluates against. Both

@@ -155,13 +155,38 @@ func TestMatchSortedDeterministic(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		st.Add(tr(fmt.Sprintf("s%02d", i), "p", "o"))
 	}
+	// Mixed kinds exercise the kind-major ordering of Triple.Compare.
+	st.Add(Triple{NewBlank("b"), iri("p"), NewLiteral("lit")})
 	a := st.MatchSorted(Pattern{})
 	b := st.MatchSorted(Pattern{})
 	if !reflect.DeepEqual(a, b) {
 		t.Error("MatchSorted must be deterministic")
 	}
-	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i].String() < a[j].String() }) {
-		t.Error("MatchSorted must be sorted")
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i].Compare(a[j]) < 0 }) {
+		t.Error("MatchSorted must be sorted by Triple.Compare")
+	}
+}
+
+func TestTermCompare(t *testing.T) {
+	cases := []struct {
+		a, b Term
+		want int
+	}{
+		{iri("a"), iri("a"), 0},
+		{iri("a"), iri("b"), -1},
+		{iri("b"), iri("a"), 1},
+		{NewIRI("x"), NewLiteral("x"), -1},            // IRI < Literal
+		{NewLiteral("x"), NewBlank("x"), -1},          // Literal < Blank
+		{NewLiteral("1"), NewTypedLiteral("1", XSDInteger), -1}, // datatype tiebreak
+		{Term{}, NewIRI("a"), -1},                     // zero term sorts first
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Compare(c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 // Package rdf implements the contextual-knowledge substrate of CroSSE:
-// an RDF data model (IRIs, literals, blank nodes, triples) and an indexed
-// in-memory triple store with pattern matching. It plays the role the paper
+// an RDF data model (IRIs, literals, blank nodes, triples) and a
+// dictionary-encoded, indexed in-memory triple store with pattern matching.
+// Terms are interned to dense uint32 IDs (Dict) and the SPO/POS/OSP
+// permutation indexes are keyed on those IDs, which makes pattern counting
+// O(1) and store snapshots flat map copies. It plays the role the paper
 // assigns to the Jena triple store (Sec. III-B, Fig. 4), and is the storage
 // layer underneath the SPARQL engine (internal/sparql) and the knowledge-base
 // management layer (internal/kb).
@@ -80,6 +83,22 @@ func (t Term) IsLiteral() bool { return t.Kind == Literal }
 // IsBlank reports whether the term is a blank node.
 func (t Term) IsBlank() bool { return t.Kind == Blank }
 
+// Compare totally orders terms by kind, then value, then datatype, without
+// rendering them. It underlies MatchSorted and the SPARQL engine's ORDER BY
+// fallback comparison.
+func (t Term) Compare(u Term) int {
+	if t.Kind != u.Kind {
+		if t.Kind < u.Kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.Value, u.Value); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Datatype, u.Datatype)
+}
+
 // String renders the term in N-Triples-like syntax.
 func (t Term) String() string {
 	switch t.Kind {
@@ -114,6 +133,18 @@ func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
 // String renders the triple in N-Triples syntax (without the final dot).
 func (t Triple) String() string {
 	return t.S.String() + " " + t.P.String() + " " + t.O.String()
+}
+
+// Compare orders triples by subject, then predicate, then object under
+// Term.Compare.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
 }
 
 // Pattern is a triple pattern: zero-value terms act as wildcards.

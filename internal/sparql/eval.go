@@ -735,13 +735,7 @@ func compareTerms(a, b rdf.Term) int {
 			}
 		}
 	}
-	if a.Kind != b.Kind {
-		if a.Kind < b.Kind {
-			return -1
-		}
-		return 1
-	}
-	return strings.Compare(a.Value, b.Value)
+	return a.Compare(b)
 }
 
 func parseNum(t rdf.Term) (float64, bool) {
