@@ -65,11 +65,9 @@ func BenchmarkAblationBGPOrder(b *testing.B) {
 			name = "SourceOrder"
 		}
 		b.Run(name, func(b *testing.B) {
-			old := sparql.DisableReorder
-			sparql.DisableReorder = disabled
-			defer func() { sparql.DisableReorder = old }()
+			opts := sparql.Options{DisableReorder: disabled}
 			for i := 0; i < b.N; i++ {
-				if _, err := sparql.Eval(st, q); err != nil {
+				if _, err := sparql.EvalOpts(st, q, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

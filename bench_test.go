@@ -304,7 +304,9 @@ func BenchmarkSQL(b *testing.B) {
 
 // --- E10: SPARQL engine ---
 
-func BenchmarkSPARQL(b *testing.B) {
+// sparqlBenchStore builds the 20k-triple store the SPARQL benchmark
+// families share: 10% hazard facts, a level per element, a subclass chain.
+func sparqlBenchStore() *rdf.Store {
 	const ns = core.DefaultIRIPrefix
 	st := rdf.NewStore()
 	rng := rand.New(rand.NewSource(3))
@@ -323,13 +325,22 @@ func BenchmarkSPARQL(b *testing.B) {
 			O: rdf.NewIRI(fmt.Sprintf("%sclass%d", ns, i+1)),
 		})
 	}
+	return st
+}
+
+const sparqlBenchBGPJoin = `SELECT ?x ?l WHERE { ?x <` + core.DefaultIRIPrefix + `isA> <` + core.DefaultIRIPrefix + `Hazard> . ?x <` + core.DefaultIRIPrefix + `level> ?l }`
+
+func BenchmarkSPARQL(b *testing.B) {
+	const ns = core.DefaultIRIPrefix
+	st := sparqlBenchStore()
 	queries := map[string]string{
-		"BGPJoin": `SELECT ?x ?l WHERE { ?x <` + ns + `isA> <` + ns + `Hazard> . ?x <` + ns + `level> ?l }`,
+		"BGPJoin": sparqlBenchBGPJoin,
 		"Filter":  `SELECT ?x WHERE { ?x <` + ns + `level> ?l . FILTER (?l > 7) }`,
 		"PathTC":  `SELECT ?c WHERE { <` + ns + `class0> <` + ns + `sub>+ ?c }`,
 	}
 	for name, q := range queries {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := sparql.Eval(st, q); err != nil {
 					b.Fatal(err)
@@ -337,6 +348,103 @@ func BenchmarkSPARQL(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSPARQLCompiledPlan isolates what the compiled-plan cache buys on
+// the hot enrichment path: Cached evaluates a pre-compiled plan (what a
+// QueryCache hit executes — no lexing, parsing or planning), ParsePlanEval
+// is the full pipeline per call, and ParseCompile is the planning work
+// alone (the part a cache hit skips).
+func BenchmarkSPARQLCompiledPlan(b *testing.B) {
+	st := sparqlBenchStore()
+	q := sparqlBenchBGPJoin
+
+	b.Run("Cached", func(b *testing.B) {
+		b.ReportAllocs()
+		parsed, err := sparql.Parse(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := sparql.Compile(parsed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Eval(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ParsePlanEval", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sparql.Eval(st, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ParseCompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			parsed, err := sparql.Parse(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sparql.Compile(parsed); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSPARQLBGPJoinAllocs contrasts the two result-delivery modes of
+// the ID-native executor on the BGP join: Bindings materialises the public
+// map-based form per solution, Stream decodes on access and allocates no
+// per-solution state — the path internal/core's enrichment pipeline uses.
+// Compare allocs/op against the PR 1 term-level engine (~18k allocs/op on
+// this query) for the executor's allocation story.
+func BenchmarkSPARQLBGPJoinAllocs(b *testing.B) {
+	st := sparqlBenchStore()
+	parsed, err := sparql.Parse(sparqlBenchBGPJoin)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sparql.Compile(parsed)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("Bindings", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := plan.Eval(st)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Bindings) == 0 {
+				b.Fatal("no solutions")
+			}
+		}
+	})
+	b.Run("Stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			err := plan.Stream(st, func(s sparql.Solution) bool {
+				if t, ok := s.Term(0); ok && t.IsIRI() {
+					n++
+				}
+				return true
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("no solutions")
+			}
+		}
+	})
 }
 
 // BenchmarkStoreCount measures pattern-cardinality probes across store

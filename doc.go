@@ -25,17 +25,40 @@
 // permutation indexes (SPO, POS, OSP) plus a flat membership set are keyed
 // on those IDs. Pattern cardinalities — the probes the SPARQL join orderer
 // issues per candidate pattern — are answered in O(1) from per-sub-index
-// counters and set lengths, never by enumeration. Store.Clone provides
-// point-in-time snapshots by bulk-copying the encoded indexes under a
-// single lock (the KB layer maintains its per-user views incrementally via
-// Add/Remove; Clone serves callers that need an independent copy).
+// counters and set lengths, never by enumeration. The encoded layer is
+// public: rdf.PatternIDs / Store.ForEachIDs / Store.CountIDs match and
+// count without decoding a single term, Dict.TermOf / Dict.IDOf translate
+// at the edges, and Store.ReadIDs opens a one-lock read transaction whose
+// rdf.IDReader serves nested probes lock-free — the access shape of a join.
+// Store.Clone provides point-in-time snapshots by bulk-copying the encoded
+// indexes under a single lock (the KB layer maintains its per-user views
+// incrementally via Add/Remove; Clone serves callers that need an
+// independent copy).
+//
+// SPARQL evaluation (internal/sparql) is a compiled, ID-native, streaming
+// executor. sparql.Compile lowers a parsed query into an immutable physical
+// Plan: every variable gets a dense slot index, triple patterns and
+// property paths reference slots plus a shared constant table, FILTER
+// expressions become slot-resolved evaluator trees with constant regex()
+// patterns precompiled (invalid ones fail at compile time), and projection,
+// ORDER BY and DISTINCT are resolved to slot lists. A solution in flight is
+// a []rdf.TermID row, not a string-keyed map: BGP joins run as a push-based
+// backtracking pipeline under one Store.ReadIDs transaction, filters
+// execute at the first join step where their variables are bound, DISTINCT
+// deduplicates on projected ID tuples, ASK and LIMIT-without-ORDER-BY
+// terminate the pipeline early, and terms are decoded only at projection.
+// Plan.Stream exposes the zero-materialisation path (no Binding maps);
+// Eval/EvalQuery keep the map-based Result for compatibility.
 //
 // The enrichment pipeline (internal/core) keeps a compiled-query cache for
-// both SESQL and SPARQL, keyed on the exact query text. Compiled plans hold
-// structure only, no data, so knowledge-base mutations never invalidate
-// cache entries — a cached plan simply re-evaluates against the updated
-// graph. Repeated enrichment queries therefore skip lexing and parsing
-// entirely (see QueryCache in internal/core).
+// both SESQL and SPARQL, keyed on the exact query text. For SPARQL the
+// cache stores the compiled physical Plan — slot table, join-ready
+// patterns, precompiled regexes — so a cache hit goes straight to ID-native
+// execution with no lexing, parsing or planning. Plans hold structure only,
+// never data or dictionary IDs (constants re-resolve against the target
+// graph's dictionary per evaluation), so knowledge-base mutations never
+// invalidate cache entries and one cached plan serves every user's view
+// concurrently (see QueryCache in internal/core).
 //
 // See README.md for a tour and DESIGN.md for the reproduction inventory.
 package crosse

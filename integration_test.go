@@ -229,7 +229,9 @@ func TestEndToEndStatsShapesSane(t *testing.T) {
 	if len(sparqls) != 1 || !strings.Contains(sparqls[0].(string), "dangerLevel") {
 		t.Errorf("sparql queries: %v", sparqls)
 	}
-	if !strings.Contains(stats["final_sql"].(string), "sesql_result") {
-		t.Errorf("final sql: %v", stats["final_sql"])
+	// A schema-only enrichment needs no final SQL: the projection is
+	// answered from the join buffer, so the stats report an empty text.
+	if s, ok := stats["final_sql"].(string); ok && s != "" {
+		t.Errorf("final sql should be skipped for a pure projection: %v", s)
 	}
 }

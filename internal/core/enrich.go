@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,12 +64,18 @@ func (e *Enricher) parseSESQL(text string) (*sesql.Query, error) {
 	return e.cache.SESQL(text)
 }
 
-// parseSPARQL compiles a SPARQL text, consulting the cache when enabled.
-func (e *Enricher) parseSPARQL(text string) (*sparql.Query, error) {
+// planSPARQL compiles a SPARQL text into a physical plan, consulting the
+// cache when enabled. A cache hit skips lexing, parsing and planning: the
+// returned plan is ready for ID-native execution against any KB view.
+func (e *Enricher) planSPARQL(text string) (*sparql.Plan, error) {
 	if e.cache == nil {
-		return sparql.Parse(text)
+		q, err := sparql.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+		return sparql.Compile(q)
 	}
-	return e.cache.SPARQL(text)
+	return e.cache.SPARQLPlan(text)
 }
 
 // Stats reports per-stage timings and artifacts of one SESQL evaluation —
@@ -189,6 +196,30 @@ func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error
 			return nil, st, err
 		}
 		visible = len(work.headers) - len(hidden.order) // new columns are visible
+	}
+
+	// Fast path: when nothing was deferred to the final query (no ORDER
+	// BY / LIMIT / OFFSET left to re-apply), Fig. 6's final SQL is a pure
+	// projection of the visible columns — answer it straight from the
+	// JoinManager's buffer instead of materialising a temporary support
+	// database and re-scanning it. FinalSQLText stays empty to record that
+	// no final query ran.
+	if !deferOrder || (len(q.Select.OrderBy) == 0 && q.Select.Limit == nil && q.Select.Offset == nil) {
+		t0 = time.Now()
+		visibleN := len(work.headers) - len(hidden.order)
+		res := &sqlexec.Result{Columns: append([]string(nil), work.headers[:visibleN]...)}
+		if visibleN == len(work.headers) {
+			res.Rows = work.rows
+		} else {
+			rows := make([][]sqlval.Value, len(work.rows))
+			for i, r := range work.rows {
+				rows[i] = r[:visibleN]
+			}
+			res.Rows = rows
+		}
+		st.Join += time.Since(t0)
+		st.FinalRows = len(res.Rows)
+		return res, st, nil
 	}
 
 	// --- Materialise into the temporary support database, then run the
@@ -552,37 +583,28 @@ func insertHeader(headers []string, visible int, name string) []string {
 // either a property from the contextual ontology, or the identifier of a
 // previously stored SPARQL query").
 func (e *Enricher) propertyPairs(en sesql.Enrichment, user string, view rdf.Graph, st *Stats) (map[string][]sqlval.Value, error) {
+	text := ""
+	minVarsErr := ""
 	if sq, ok := e.Platform.LookupQuery(user, en.Property); ok {
-		res, err := e.runSPARQL(view, sq.Text, st)
-		if err != nil {
-			return nil, err
-		}
-		if len(res.Vars) < 2 {
-			return nil, fmt.Errorf("core: stored query %q must project (subject, object) for %s", en.Property, en.Kind)
-		}
-		pairs := map[string][]sqlval.Value{}
-		for _, b := range res.Bindings {
-			s, okS := b[res.Vars[0]]
-			o, okO := b[res.Vars[1]]
-			if !okS || !okO {
-				continue
-			}
-			key := valueKey(e.Mapping.FromTerm(s))
-			pairs[key] = append(pairs[key], e.Mapping.FromTerm(o))
-		}
-		return pairs, nil
-	}
-
-	prop := e.Mapping.PropertyIRI(en.Property)
-	text := fmt.Sprintf("SELECT ?s ?o WHERE { ?s <%s> ?o }", prop.Value)
-	res, err := e.runSPARQL(view, text, st)
-	if err != nil {
-		return nil, err
+		text = sq.Text
+		minVarsErr = fmt.Sprintf("stored query %q must project (subject, object) for %s", en.Property, en.Kind)
+	} else {
+		prop := e.Mapping.PropertyIRI(en.Property)
+		text = fmt.Sprintf("SELECT ?s ?o WHERE { ?s <%s> ?o }", prop.Value)
 	}
 	pairs := map[string][]sqlval.Value{}
-	for _, b := range res.Bindings {
-		key := valueKey(e.Mapping.FromTerm(b["s"]))
-		pairs[key] = append(pairs[key], e.Mapping.FromTerm(b["o"]))
+	err := e.streamSPARQL(view, text, st, 2, minVarsErr, func(sol sparql.Solution) bool {
+		s, okS := sol.Term(0)
+		o, okO := sol.Term(1)
+		if !okS || !okO {
+			return true
+		}
+		key := valueKey(e.Mapping.FromTerm(s))
+		pairs[key] = append(pairs[key], e.Mapping.FromTerm(o))
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pairs, nil
 }
@@ -597,13 +619,15 @@ func (e *Enricher) conceptMembers(en sesql.Enrichment, user string, view rdf.Gra
 		parts = append(parts, fmt.Sprintf("{ ?s <%s> %s }", prop.Value, c.String()))
 	}
 	text := "SELECT DISTINCT ?s WHERE { " + strings.Join(parts, " UNION ") + " }"
-	res, err := e.runSPARQL(view, text, st)
+	members := map[string]struct{}{}
+	err := e.streamSPARQL(view, text, st, 1, "", func(sol sparql.Solution) bool {
+		if s, ok := sol.Term(0); ok {
+			members[valueKey(e.Mapping.FromTerm(s))] = struct{}{}
+		}
+		return true
+	})
 	if err != nil {
 		return nil, err
-	}
-	members := map[string]struct{}{}
-	for _, b := range res.Bindings {
-		members[valueKey(e.Mapping.FromTerm(b["s"]))] = struct{}{}
 	}
 	return members, nil
 }
@@ -612,66 +636,72 @@ func (e *Enricher) conceptMembers(en sesql.Enrichment, user string, view rdf.Gra
 // enrichment: the results of a stored query, or the objects of triples
 // whose subject is the constant.
 func (e *Enricher) replacementValues(en sesql.Enrichment, user string, view rdf.Graph, st *Stats) ([]sqlval.Value, error) {
+	text := ""
+	minVarsErr := ""
 	if sq, ok := e.Platform.LookupQuery(user, en.Property); ok {
-		res, err := e.runSPARQL(view, sq.Text, st)
-		if err != nil {
-			return nil, err
+		text = sq.Text
+		minVarsErr = fmt.Sprintf("stored query %q projects no variables", en.Property)
+	} else {
+		prop := e.Mapping.PropertyIRI(en.Property)
+		var parts []string
+		for _, c := range e.Mapping.ConceptTerms(en.Attr) {
+			parts = append(parts, fmt.Sprintf("{ %s <%s> ?o }", c.String(), prop.Value))
 		}
-		if len(res.Vars) < 1 {
-			return nil, fmt.Errorf("core: stored query %q projects no variables", en.Property)
-		}
-		var out []sqlval.Value
-		for _, b := range res.Bindings {
-			if t, ok := b[res.Vars[0]]; ok {
-				out = append(out, e.Mapping.FromTerm(t))
-			}
-		}
-		return out, nil
-	}
-
-	prop := e.Mapping.PropertyIRI(en.Property)
-	var parts []string
-	for _, c := range e.Mapping.ConceptTerms(en.Attr) {
-		parts = append(parts, fmt.Sprintf("{ %s <%s> ?o }", c.String(), prop.Value))
-	}
-	text := "SELECT ?o WHERE { " + strings.Join(parts, " UNION ") + " }"
-	res, err := e.runSPARQL(view, text, st)
-	if err != nil {
-		return nil, err
+		text = "SELECT ?o WHERE { " + strings.Join(parts, " UNION ") + " }"
 	}
 	var out []sqlval.Value
-	for _, b := range res.Bindings {
-		out = append(out, e.Mapping.FromTerm(b["o"]))
+	err := e.streamSPARQL(view, text, st, 1, minVarsErr, func(sol sparql.Solution) bool {
+		if t, ok := sol.Term(0); ok {
+			out = append(out, e.Mapping.FromTerm(t))
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func (e *Enricher) runSPARQL(view rdf.Graph, text string, st *Stats) (*sparql.Result, error) {
+// streamSPARQL compiles (through the plan cache) and streams a SPARQL query
+// over the user's KB view: solutions reach fn as ID rows decoded on access,
+// with no per-solution Binding map materialised. minVars guards stored
+// queries that must project a minimum number of variables; minVarsErr is
+// the error reported when they don't.
+func (e *Enricher) streamSPARQL(view rdf.Graph, text string, st *Stats, minVars int, minVarsErr string, fn func(sparql.Solution) bool) error {
 	st.SPARQLQueries = append(st.SPARQLQueries, text)
 	t0 := time.Now()
-	q, err := e.parseSPARQL(text)
+	defer func() { st.SPARQL += time.Since(t0) }()
+	p, err := e.planSPARQL(text)
 	if err != nil {
-		st.SPARQL += time.Since(t0)
-		return nil, fmt.Errorf("core: SPARQL: %w", err)
+		return fmt.Errorf("core: SPARQL: %w", err)
 	}
-	res, err := sparql.EvalQuery(view, q)
-	st.SPARQL += time.Since(t0)
-	if err != nil {
-		return nil, fmt.Errorf("core: SPARQL: %w", err)
+	if p.NumVars() < minVars {
+		return fmt.Errorf("core: %s", minVarsErr)
 	}
-	return res, nil
+	if err := p.Stream(view, fn); err != nil {
+		return fmt.Errorf("core: SPARQL: %w", err)
+	}
+	return nil
 }
 
 // --- helpers ---
 
 // valueKey encodes a SQL value for hash joining ontology results with
-// relational values (numeric types fold together).
+// relational values (numeric types fold together). It runs once per base
+// row per enrichment, so it builds the key directly instead of going
+// through fmt.
 func valueKey(v sqlval.Value) string {
 	t := v.Type()
 	if t == sqlval.TypeFloat {
 		t = sqlval.TypeInt
 	}
-	return fmt.Sprintf("%d|%s", t, v.String())
+	s := v.String()
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	b.WriteString(strconv.Itoa(int(t)))
+	b.WriteByte('|')
+	b.WriteString(s)
+	return b.String()
 }
 
 // valueKeyMapped routes the relational value through the resource mapping

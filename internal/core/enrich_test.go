@@ -404,11 +404,26 @@ ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`)
 	if len(stats.SPARQLQueries) != 1 || !strings.Contains(stats.SPARQLQueries[0], "dangerLevel") {
 		t.Errorf("SPARQL queries: %v", stats.SPARQLQueries)
 	}
-	if stats.FinalSQLText == "" || !strings.Contains(stats.FinalSQLText, "sesql_result") {
-		t.Errorf("final SQL: %q", stats.FinalSQLText)
+	// A schema-only enrichment defers nothing to the final query, so the
+	// projection is answered straight from the join buffer: no final SQL.
+	if stats.FinalSQLText != "" {
+		t.Errorf("final SQL should be skipped for a pure projection, got %q", stats.FinalSQLText)
 	}
 	if stats.Total() <= 0 {
 		t.Error("total time must be positive")
+	}
+
+	// A WHERE enrichment with a deferred ORDER BY/LIMIT still goes through
+	// the temporary support database.
+	_, stats2, err := e.QueryStats("alice", `SELECT landfill_name FROM elem_contained
+WHERE ${elem_name = HazardousWaste:c1}
+ORDER BY landfill_name LIMIT 2
+ENRICH REPLACECONSTANT(c1, HazardousWaste, dangerQuery)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.FinalSQLText == "" || !strings.Contains(stats2.FinalSQLText, "sesql_result") {
+		t.Errorf("deferred ORDER BY must run a final SQL, got %q", stats2.FinalSQLText)
 	}
 }
 

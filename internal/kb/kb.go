@@ -408,12 +408,18 @@ func (p *Platform) ViewSize(user string) int {
 func queryKey(owner, name string) string { return owner + "\x00" + name }
 
 // RegisterQuery saves a named SPARQL query. owner "" makes it shared.
-// The text is parsed eagerly so registration fails fast on syntax errors.
+// The text is parsed and compiled eagerly so registration fails fast on
+// syntax errors and on plan-time errors such as invalid constant regex()
+// patterns.
 func (p *Platform) RegisterQuery(owner, name, text string) error {
 	if name == "" {
 		return fmt.Errorf("kb: empty query name")
 	}
-	if _, err := sparql.Parse(text); err != nil {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return fmt.Errorf("kb: query %q: %w", name, err)
+	}
+	if _, err := sparql.Compile(q); err != nil {
 		return fmt.Errorf("kb: query %q: %w", name, err)
 	}
 	p.mu.Lock()

@@ -100,6 +100,26 @@ func (d *Dict) Term(id TermID) Term {
 	return d.terms[id-1]
 }
 
+// TermOf returns the term for an ID, reporting whether the ID was ever
+// issued. The zero TermID (reserved, never issued) always reports false.
+// This is the checked counterpart of Term for callers — like the SPARQL
+// executor — that decode IDs coming from computed rows rather than directly
+// from an index walk.
+func (d *Dict) TermOf(id TermID) (Term, bool) {
+	// Compare in uint64 so IDs near the top of the uint32 range (the SPARQL
+	// executor's synthetic constants) stay out of range on 32-bit platforms
+	// instead of wrapping negative through int.
+	if id == 0 || uint64(id) > uint64(len(d.terms)) {
+		return Term{}, false
+	}
+	return d.terms[id-1], true
+}
+
+// IDOf returns the ID of an already-interned term without interning it; the
+// second result is false when the term has never been seen. It is Lookup
+// under the name the encoded-layer consumers use.
+func (d *Dict) IDOf(t Term) (TermID, bool) { return d.Lookup(t) }
+
 // Len returns the number of interned terms.
 func (d *Dict) Len() int { return len(d.terms) }
 

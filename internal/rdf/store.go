@@ -179,6 +179,14 @@ func (s *Store) Len() int {
 	return len(s.triples)
 }
 
+// PatternIDs is a triple pattern over dictionary-encoded terms: the zero
+// TermID (reserved, never issued to a real term) acts as a wildcard. It is
+// the unit of the store's ID-native match API, which the SPARQL executor
+// joins on without decoding terms.
+type PatternIDs struct {
+	S, P, O TermID
+}
+
 // encodePattern resolves the bound positions of a pattern to IDs. ok is
 // false when some bound term was never interned — nothing can match then.
 func (s *Store) encodePattern(p Pattern) (si, pi, oi TermID, sb, pb, ob, ok bool) {
@@ -232,43 +240,50 @@ func (s *Store) ForEach(p Pattern, fn func(Triple) bool) {
 func (s *Store) Count(p Pattern) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	si, pi, oi, sb, pb, ob, ok := s.encodePattern(p)
+	si, pi, oi, _, _, _, ok := s.encodePattern(p)
 	if !ok {
 		return 0
 	}
+	return s.countIDs(PatternIDs{si, pi, oi})
+}
+
+// countIDs answers a pattern cardinality from index sizes. Caller holds the
+// lock. A never-issued (including synthetic) ID in any position yields 0.
+func (s *Store) countIDs(p PatternIDs) int {
+	sb, pb, ob := p.S != 0, p.P != 0, p.O != 0
 	switch {
 	case sb && pb && ob:
-		if _, ok := s.triples[tripleKey{si, pi, oi}]; ok {
+		if _, ok := s.triples[tripleKey{p.S, p.P, p.O}]; ok {
 			return 1
 		}
 		return 0
 	case sb && pb:
-		if s1, ok := s.spo[si]; ok {
-			return len(s1.m[pi])
+		if s1, ok := s.spo[p.S]; ok {
+			return len(s1.m[p.P])
 		}
 		return 0
 	case pb && ob:
-		if s1, ok := s.pos[pi]; ok {
-			return len(s1.m[oi])
+		if s1, ok := s.pos[p.P]; ok {
+			return len(s1.m[p.O])
 		}
 		return 0
 	case sb && ob:
-		if s1, ok := s.osp[oi]; ok {
-			return len(s1.m[si])
+		if s1, ok := s.osp[p.O]; ok {
+			return len(s1.m[p.S])
 		}
 		return 0
 	case sb:
-		if s1, ok := s.spo[si]; ok {
+		if s1, ok := s.spo[p.S]; ok {
 			return s1.n
 		}
 		return 0
 	case pb:
-		if s1, ok := s.pos[pi]; ok {
+		if s1, ok := s.pos[p.P]; ok {
 			return s1.n
 		}
 		return 0
 	case ob:
-		if s1, ok := s.osp[oi]; ok {
+		if s1, ok := s.osp[p.O]; ok {
 			return s1.n
 		}
 		return 0
@@ -277,69 +292,66 @@ func (s *Store) Count(p Pattern) int {
 	}
 }
 
-func (s *Store) matchLocked(p Pattern, fn func(Triple) bool) {
-	si, pi, oi, sb, pb, ob, ok := s.encodePattern(p)
-	if !ok {
-		return
-	}
-	d := s.dict
+// matchIDs streams encoded triples matching the pattern into fn without any
+// term decoding; fn returning false stops the enumeration. Caller holds the
+// lock. This is the layer both the term-level match API and the SPARQL
+// executor's ID-native joins sit on.
+func (s *Store) matchIDs(p PatternIDs, fn func(si, pi, oi TermID) bool) {
+	sb, pb, ob := p.S != 0, p.P != 0, p.O != 0
 	switch {
 	case sb && pb && ob:
-		if _, ok := s.triples[tripleKey{si, pi, oi}]; ok {
-			fn(Triple{p.S, p.P, p.O})
+		if _, ok := s.triples[tripleKey{p.S, p.P, p.O}]; ok {
+			fn(p.S, p.P, p.O)
 		}
 	case sb && pb:
-		if s1, ok := s.spo[si]; ok {
-			for o := range s1.m[pi] {
-				if !fn(Triple{p.S, p.P, d.Term(o)}) {
+		if s1, ok := s.spo[p.S]; ok {
+			for o := range s1.m[p.P] {
+				if !fn(p.S, p.P, o) {
 					return
 				}
 			}
 		}
 	case pb && ob:
-		if s1, ok := s.pos[pi]; ok {
-			for sub := range s1.m[oi] {
-				if !fn(Triple{d.Term(sub), p.P, p.O}) {
+		if s1, ok := s.pos[p.P]; ok {
+			for sub := range s1.m[p.O] {
+				if !fn(sub, p.P, p.O) {
 					return
 				}
 			}
 		}
 	case sb && ob:
-		if s1, ok := s.osp[oi]; ok {
-			for pr := range s1.m[si] {
-				if !fn(Triple{p.S, d.Term(pr), p.O}) {
+		if s1, ok := s.osp[p.O]; ok {
+			for pr := range s1.m[p.S] {
+				if !fn(p.S, pr, p.O) {
 					return
 				}
 			}
 		}
 	case sb:
-		if s1, ok := s.spo[si]; ok {
+		if s1, ok := s.spo[p.S]; ok {
 			for pr, objs := range s1.m {
-				pt := d.Term(pr)
 				for o := range objs {
-					if !fn(Triple{p.S, pt, d.Term(o)}) {
+					if !fn(p.S, pr, o) {
 						return
 					}
 				}
 			}
 		}
 	case pb:
-		if s1, ok := s.pos[pi]; ok {
+		if s1, ok := s.pos[p.P]; ok {
 			for o, subs := range s1.m {
-				ot := d.Term(o)
 				for sub := range subs {
-					if !fn(Triple{d.Term(sub), p.P, ot}) {
+					if !fn(sub, p.P, o) {
 						return
 					}
 				}
 			}
 		}
 	case ob:
-		if s1, ok := s.osp[oi]; ok {
+		if s1, ok := s.osp[p.O]; ok {
 			for sub, preds := range s1.m {
-				st := d.Term(sub)
 				for pr := range preds {
-					if !fn(Triple{st, d.Term(pr), p.O}) {
+					if !fn(sub, pr, p.O) {
 						return
 					}
 				}
@@ -347,17 +359,100 @@ func (s *Store) matchLocked(p Pattern, fn func(Triple) bool) {
 		}
 	default:
 		for sub, s1 := range s.spo {
-			st := d.Term(sub)
 			for pr, objs := range s1.m {
-				pt := d.Term(pr)
 				for o := range objs {
-					if !fn(Triple{st, pt, d.Term(o)}) {
+					if !fn(sub, pr, o) {
 						return
 					}
 				}
 			}
 		}
 	}
+}
+
+func (s *Store) matchLocked(p Pattern, fn func(Triple) bool) {
+	si, pi, oi, _, _, _, ok := s.encodePattern(p)
+	if !ok {
+		return
+	}
+	d := s.dict
+	s.matchIDs(PatternIDs{si, pi, oi}, func(a, b, c TermID) bool {
+		return fn(Triple{d.Term(a), d.Term(b), d.Term(c)})
+	})
+}
+
+// ForEachIDs streams encoded triples matching the ID pattern into fn; fn
+// returning false stops early. No term is decoded. Each call acquires the
+// read lock once; callers that issue many dependent probes (nested joins)
+// should use ReadIDs instead to hold a single read transaction.
+func (s *Store) ForEachIDs(p PatternIDs, fn func(si, pi, oi TermID) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.matchIDs(p, fn)
+}
+
+// CountIDs is Count over an already-encoded pattern: every shape is answered
+// from index sizes in O(1).
+func (s *Store) CountIDs(p PatternIDs) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.countIDs(p)
+}
+
+// TermOf decodes an ID issued by this store's dictionary.
+func (s *Store) TermOf(id TermID) (Term, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dict.TermOf(id)
+}
+
+// IDOf returns the ID this store's dictionary has issued for the term, or
+// false if the term has never been interned (in which case no triple of the
+// store mentions it).
+func (s *Store) IDOf(t Term) (TermID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dict.IDOf(t)
+}
+
+// IDReader is the ID-native read surface handed out by ReadIDs: pattern
+// matching, O(1) pattern counting and term↔ID translation over the store's
+// dictionary-encoded indexes, valid for the duration of one read
+// transaction. Implementations are NOT safe to retain after the ReadIDs
+// callback returns.
+type IDReader interface {
+	// ForEachIDs streams encoded triples matching the pattern; fn returning
+	// false stops early.
+	ForEachIDs(p PatternIDs, fn func(s, p, o TermID) bool)
+	// CountIDs returns the pattern's cardinality from index sizes.
+	CountIDs(p PatternIDs) int
+	// TermOf decodes an issued ID.
+	TermOf(id TermID) (Term, bool)
+	// IDOf resolves an interned term to its ID.
+	IDOf(t Term) (TermID, bool)
+}
+
+// storeReader implements IDReader without per-call locking; the enclosing
+// ReadIDs holds the store's read lock for the reader's whole lifetime.
+type storeReader struct{ s *Store }
+
+func (r storeReader) ForEachIDs(p PatternIDs, fn func(s, p, o TermID) bool) {
+	r.s.matchIDs(p, fn)
+}
+func (r storeReader) CountIDs(p PatternIDs) int     { return r.s.countIDs(p) }
+func (r storeReader) TermOf(id TermID) (Term, bool) { return r.s.dict.TermOf(id) }
+func (r storeReader) IDOf(t Term) (TermID, bool)    { return r.s.dict.IDOf(t) }
+
+// ReadIDs runs fn as one read transaction over the encoded layer: the
+// store's read lock is acquired once and every IDReader call inside fn is
+// lock-free. This is how the SPARQL executor evaluates a whole query —
+// nested index probes per join row — without re-locking per probe and
+// without the lock-order hazards of re-entrant RLock acquisition. fn must
+// not call the store's own locked methods (Add, Match, Count, …).
+func (s *Store) ReadIDs(fn func(IDReader)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(storeReader{s})
 }
 
 // MatchSorted returns matching triples in deterministic order (by subject,
@@ -468,4 +563,17 @@ type Graph interface {
 	Count(p Pattern) int
 }
 
+// IDGraph is a Graph whose storage exposes the dictionary-encoded layer.
+// The SPARQL executor type-asserts its input Graph to IDGraph and, when the
+// assertion holds (it does for *Store and hence for every KB view), runs the
+// whole query ID-natively under a single ReadIDs transaction; other Graph
+// implementations fall back to an adapter that interns terms on the fly.
+type IDGraph interface {
+	Graph
+	// ReadIDs runs fn as one lock-free-inside read transaction over the
+	// encoded layer.
+	ReadIDs(fn func(IDReader))
+}
+
 var _ Graph = (*Store)(nil)
+var _ IDGraph = (*Store)(nil)

@@ -1,19 +1,17 @@
 package sparql
 
+// eval.go — the public result model and the term-level helpers shared by
+// the compiled executor (exec.go). Evaluation itself is ID-native: Eval and
+// EvalQuery compile the query into a Plan (plan.go) and run it as a
+// streaming pipeline over dictionary-ID rows; the map-based Binding form
+// below is materialised only at projection, for API compatibility.
+
 import (
 	"fmt"
-	"regexp"
-	"sort"
 	"strconv"
-	"strings"
 
 	"crosse/internal/rdf"
 )
-
-// DisableReorder turns off greedy selectivity-first BGP join ordering and
-// evaluates triple patterns in source order. Ablation knob (EXPERIMENTS.md);
-// not for production use.
-var DisableReorder = false
 
 // Binding maps variable names to the RDF terms they are bound to in one
 // solution.
@@ -37,95 +35,8 @@ type Result struct {
 	Bool bool
 }
 
-// Eval parses and evaluates src against g.
-func Eval(g rdf.Graph, src string) (*Result, error) {
-	q, err := Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	return EvalQuery(g, q)
-}
-
-// EvalQuery evaluates a parsed query against g.
-func EvalQuery(g rdf.Graph, q *Query) (*Result, error) {
-	sols, err := evalGroup(g, q.Where, []Binding{{}})
-	if err != nil {
-		return nil, err
-	}
-	if q.Form == Ask {
-		return &Result{Bool: len(sols) > 0}, nil
-	}
-
-	vars := q.Vars
-	if q.Star {
-		seen := map[string]struct{}{}
-		collectVars(q.Where, &vars, seen)
-	}
-
-	// ORDER BY.
-	if len(q.Order) > 0 {
-		sort.SliceStable(sols, func(i, j int) bool {
-			for _, k := range q.Order {
-				c := compareTerms(sols[i][k.Var], sols[j][k.Var])
-				if c != 0 {
-					if k.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-	}
-
-	// Projection (+ DISTINCT).
-	out := make([]Binding, 0, len(sols))
-	var dedup map[string]struct{}
-	if q.Distinct {
-		dedup = map[string]struct{}{}
-	}
-	for _, s := range sols {
-		proj := make(Binding, len(vars))
-		for _, v := range vars {
-			if t, ok := s[v]; ok {
-				proj[v] = t
-			}
-		}
-		if q.Distinct {
-			key := bindingKey(proj, vars)
-			if _, dup := dedup[key]; dup {
-				continue
-			}
-			dedup[key] = struct{}{}
-		}
-		out = append(out, proj)
-	}
-
-	// OFFSET / LIMIT.
-	if q.Offset > 0 {
-		if q.Offset >= len(out) {
-			out = nil
-		} else {
-			out = out[q.Offset:]
-		}
-	}
-	if q.Limit >= 0 && q.Limit < len(out) {
-		out = out[:q.Limit]
-	}
-	return &Result{Vars: vars, Bindings: out}, nil
-}
-
-func bindingKey(b Binding, vars []string) string {
-	var sb strings.Builder
-	for _, v := range vars {
-		if t, ok := b[v]; ok {
-			sb.WriteString(t.String())
-		}
-		sb.WriteByte('\x00')
-	}
-	return sb.String()
-}
-
+// collectVars gathers the variables a SELECT * projects: every variable
+// appearing in a triple pattern position, in first-appearance order.
 func collectVars(g *Group, out *[]string, seen map[string]struct{}) {
 	addVar := func(name string) {
 		if name == "" {
@@ -153,549 +64,9 @@ func collectVars(g *Group, out *[]string, seen map[string]struct{}) {
 	}
 }
 
-// evalGroup evaluates the group's elements in an order that runs triple
-// patterns before filters that reference still-unbound variables would fail;
-// we keep the simple left-to-right order of the source (standard SPARQL
-// group semantics evaluate filters over the whole group, so we defer filters
-// to the end) while joining triple patterns greedily by selectivity.
-func evalGroup(g rdf.Graph, grp *Group, input []Binding) ([]Binding, error) {
-	var triples []TriplePattern
-	var others []Element
-	var filters []Filter
-	for _, e := range grp.Elems {
-		switch el := e.(type) {
-		case TriplePattern:
-			triples = append(triples, el)
-		case Filter:
-			filters = append(filters, el)
-		default:
-			others = append(others, e)
-		}
-	}
-
-	sols := input
-	// Join triple patterns greedily: repeatedly pick the pattern with the
-	// lowest estimated cardinality given current bound variables.
-	remaining := append([]TriplePattern(nil), triples...)
-	for len(remaining) > 0 {
-		best := 0
-		if !DisableReorder {
-			bound := map[string]struct{}{}
-			for _, s := range sols {
-				for v := range s {
-					bound[v] = struct{}{}
-				}
-				break // all solutions share the same variable set here
-			}
-			bestCost := int(^uint(0) >> 1)
-			for i, tp := range remaining {
-				c := estimate(g, tp, bound)
-				if c < bestCost {
-					best, bestCost = i, c
-				}
-			}
-		}
-		tp := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
-		var err error
-		sols, err = joinPattern(g, tp, sols)
-		if err != nil {
-			return nil, err
-		}
-		if len(sols) == 0 {
-			break
-		}
-	}
-
-	// OPTIONAL and UNION blocks, in source order.
-	for _, e := range others {
-		switch el := e.(type) {
-		case Optional:
-			var out []Binding
-			for _, s := range sols {
-				sub, err := evalGroup(g, el.Group, []Binding{s})
-				if err != nil {
-					return nil, err
-				}
-				if len(sub) == 0 {
-					out = append(out, s)
-				} else {
-					out = append(out, sub...)
-				}
-			}
-			sols = out
-		case Union:
-			var out []Binding
-			for _, s := range sols {
-				l, err := evalGroup(g, el.Left, []Binding{s})
-				if err != nil {
-					return nil, err
-				}
-				r, err := evalGroup(g, el.Right, []Binding{s})
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, l...)
-				out = append(out, r...)
-			}
-			sols = out
-		}
-	}
-
-	// Filters last (group scope). Per the SPARQL spec, an expression error
-	// (e.g. an unbound variable) makes the filter false for that solution —
-	// the solution is dropped, not the whole query.
-	for _, f := range filters {
-		var out []Binding
-		for _, s := range sols {
-			v, err := evalExpr(f.Expr, s)
-			if err == nil && isTrue(v) {
-				out = append(out, s)
-			}
-		}
-		sols = out
-	}
-	return sols, nil
-}
-
-// estimate guesses the cardinality of a pattern given bound variables, so
-// the BGP join starts with the most selective pattern.
-func estimate(g rdf.Graph, tp TriplePattern, bound map[string]struct{}) int {
-	pat := rdf.Pattern{}
-	if !tp.S.IsVar() {
-		pat.S = tp.S.Term
-	} else if _, ok := bound[tp.S.Var]; ok {
-		// A bound variable behaves like a constant, but we don't know its
-		// value here; approximate by pretending it is bound with a small
-		// discount applied below.
-	}
-	if pi, ok := tp.P.(PathIRI); ok {
-		pat.P = pi.IRI
-	}
-	if !tp.O.IsVar() {
-		pat.O = tp.O.Term
-	}
-	c := g.Count(pat)
-	if tp.S.IsVar() {
-		if _, ok := bound[tp.S.Var]; ok && c > 1 {
-			c = c/2 + 1
-		}
-	}
-	if tp.O.IsVar() {
-		if _, ok := bound[tp.O.Var]; ok && c > 1 {
-			c = c/2 + 1
-		}
-	}
-	return c
-}
-
-// joinPattern extends each input binding with all matches of the pattern.
-func joinPattern(g rdf.Graph, tp TriplePattern, input []Binding) ([]Binding, error) {
-	var out []Binding
-	for _, b := range input {
-		sTerm, sBound := resolveNode(tp.S, b)
-		oTerm, oBound := resolveNode(tp.O, b)
-
-		switch p := tp.P.(type) {
-		case PathVar:
-			// Variable predicate: enumerate.
-			pTerm, pBound := rdf.Term{}, false
-			if t, ok := b[p.Name]; ok {
-				pTerm, pBound = t, true
-			}
-			pat := rdf.Pattern{}
-			if sBound {
-				pat.S = sTerm
-			}
-			if pBound {
-				pat.P = pTerm
-			}
-			if oBound {
-				pat.O = oTerm
-			}
-			g.ForEach(pat, func(t rdf.Triple) bool {
-				nb, ok := extend(b, tp.S, t.S)
-				if !ok {
-					return true
-				}
-				if !pBound {
-					nb = nb.clone()
-					nb[p.Name] = t.P
-				} else if pTerm != t.P {
-					return true
-				}
-				nb2, ok := extendB(nb, tp.O, t.O)
-				if !ok {
-					return true
-				}
-				out = append(out, nb2)
-				return true
-			})
-		default:
-			// Path evaluation: enumerate (s, o) pairs reachable via path.
-			pairs := evalPath(g, tp.P, sTerm, sBound, oTerm, oBound)
-			for _, pr := range pairs {
-				nb, ok := extend(b, tp.S, pr[0])
-				if !ok {
-					continue
-				}
-				nb2, ok := extendB(nb, tp.O, pr[1])
-				if !ok {
-					continue
-				}
-				out = append(out, nb2)
-			}
-		}
-	}
-	return out, nil
-}
-
-func resolveNode(n NodePattern, b Binding) (rdf.Term, bool) {
-	if !n.IsVar() {
-		return n.Term, true
-	}
-	t, ok := b[n.Var]
-	return t, ok
-}
-
-// extend binds n to t on a fresh copy of b (or checks consistency).
-func extend(b Binding, n NodePattern, t rdf.Term) (Binding, bool) {
-	if !n.IsVar() {
-		if n.Term == t {
-			return b, true
-		}
-		return nil, false
-	}
-	if old, ok := b[n.Var]; ok {
-		if old == t {
-			return b, true
-		}
-		return nil, false
-	}
-	nb := b.clone()
-	nb[n.Var] = t
-	return nb, true
-}
-
-// extendB is extend for the second position, avoiding double-cloning when
-// the first extend already cloned.
-func extendB(b Binding, n NodePattern, t rdf.Term) (Binding, bool) {
-	if !n.IsVar() {
-		if n.Term == t {
-			return b, true
-		}
-		return nil, false
-	}
-	if old, ok := b[n.Var]; ok {
-		if old == t {
-			return b, true
-		}
-		return nil, false
-	}
-	nb := b.clone()
-	nb[n.Var] = t
-	return nb, true
-}
-
-// evalPath returns (subject, object) pairs connected by the path. When one
-// side is bound the search is directed from that side.
-func evalPath(g rdf.Graph, p Path, s rdf.Term, sBound bool, o rdf.Term, oBound bool) [][2]rdf.Term {
-	switch pp := p.(type) {
-	case PathIRI:
-		var out [][2]rdf.Term
-		pat := rdf.Pattern{P: pp.IRI}
-		if sBound {
-			pat.S = s
-		}
-		if oBound {
-			pat.O = o
-		}
-		g.ForEach(pat, func(t rdf.Triple) bool {
-			out = append(out, [2]rdf.Term{t.S, t.O})
-			return true
-		})
-		return out
-	case PathInverse:
-		inv := evalPath(g, pp.P, o, oBound, s, sBound)
-		out := make([][2]rdf.Term, len(inv))
-		for i, pr := range inv {
-			out[i] = [2]rdf.Term{pr[1], pr[0]}
-		}
-		return out
-	case PathSeq:
-		var out [][2]rdf.Term
-		seen := map[[2]rdf.Term]struct{}{}
-		left := evalPath(g, pp.Left, s, sBound, rdf.Term{}, false)
-		for _, lp := range left {
-			rights := evalPath(g, pp.Right, lp[1], true, o, oBound)
-			for _, rp := range rights {
-				pair := [2]rdf.Term{lp[0], rp[1]}
-				if _, dup := seen[pair]; !dup {
-					seen[pair] = struct{}{}
-					out = append(out, pair)
-				}
-			}
-		}
-		return out
-	case PathAlt:
-		out := evalPath(g, pp.Left, s, sBound, o, oBound)
-		seen := map[[2]rdf.Term]struct{}{}
-		for _, pr := range out {
-			seen[pr] = struct{}{}
-		}
-		for _, pr := range evalPath(g, pp.Right, s, sBound, o, oBound) {
-			if _, dup := seen[pr]; !dup {
-				out = append(out, pr)
-			}
-		}
-		return out
-	case PathClosure:
-		return evalClosure(g, pp, s, sBound, o, oBound)
-	case PathVar:
-		// Handled in joinPattern; treat as single wildcard step here.
-		var out [][2]rdf.Term
-		pat := rdf.Pattern{}
-		if sBound {
-			pat.S = s
-		}
-		if oBound {
-			pat.O = o
-		}
-		g.ForEach(pat, func(t rdf.Triple) bool {
-			out = append(out, [2]rdf.Term{t.S, t.O})
-			return true
-		})
-		return out
-	default:
-		return nil
-	}
-}
-
-// evalClosure evaluates p+, p*, p? by BFS.
-func evalClosure(g rdf.Graph, pc PathClosure, s rdf.Term, sBound bool, o rdf.Term, oBound bool) [][2]rdf.Term {
-	reach := func(start rdf.Term) []rdf.Term {
-		visited := map[rdf.Term]int{start: 0}
-		frontier := []rdf.Term{start}
-		depth := 0
-		for len(frontier) > 0 {
-			depth++
-			if pc.Max >= 0 && depth > pc.Max {
-				break
-			}
-			var next []rdf.Term
-			for _, node := range frontier {
-				for _, pr := range evalPath(g, pc.P, node, true, rdf.Term{}, false) {
-					if _, ok := visited[pr[1]]; !ok {
-						visited[pr[1]] = depth
-						next = append(next, pr[1])
-					}
-				}
-			}
-			frontier = next
-		}
-		var out []rdf.Term
-		for node, d := range visited {
-			if d >= pc.Min {
-				out = append(out, node)
-			}
-		}
-		return out
-	}
-
-	switch {
-	case sBound:
-		var out [][2]rdf.Term
-		for _, t := range reach(s) {
-			if oBound && t != o {
-				continue
-			}
-			out = append(out, [2]rdf.Term{s, t})
-		}
-		return out
-	case oBound:
-		// Reverse search: invert the inner path.
-		inv := evalClosure(g, PathClosure{P: PathInverse{P: pc.P}, Min: pc.Min, Max: pc.Max}, o, true, rdf.Term{}, false)
-		out := make([][2]rdf.Term, len(inv))
-		for i, pr := range inv {
-			out[i] = [2]rdf.Term{pr[1], pr[0]}
-		}
-		return out
-	default:
-		// Neither side bound: enumerate all subjects appearing in the
-		// graph and expand each. Potentially expensive; acceptable for
-		// the KB sizes CroSSE handles per user.
-		subjects := map[rdf.Term]struct{}{}
-		g.ForEach(rdf.Pattern{}, func(t rdf.Triple) bool {
-			subjects[t.S] = struct{}{}
-			return true
-		})
-		var out [][2]rdf.Term
-		for sub := range subjects {
-			for _, t := range reach(sub) {
-				out = append(out, [2]rdf.Term{sub, t})
-			}
-		}
-		return out
-	}
-}
-
-// --- FILTER expression evaluation ---
-
 // errUnbound marks evaluation over an unbound variable; SPARQL semantics
 // make the enclosing filter an error → solution dropped.
 var errUnbound = fmt.Errorf("sparql: unbound variable in expression")
-
-func evalExpr(e Expr, b Binding) (rdf.Term, error) {
-	switch ex := e.(type) {
-	case Lit:
-		return ex.Term, nil
-	case VarRef:
-		t, ok := b[ex.Name]
-		if !ok {
-			return rdf.Term{}, errUnbound
-		}
-		return t, nil
-	case Not:
-		v, err := evalExpr(ex.E, b)
-		if err != nil {
-			return rdf.Term{}, err
-		}
-		return boolTerm(!isTrue(v)), nil
-	case Binary:
-		return evalBinary(ex, b)
-	case Call:
-		return evalCall(ex, b)
-	default:
-		return rdf.Term{}, fmt.Errorf("sparql: unknown expression %T", e)
-	}
-}
-
-func evalBinary(ex Binary, b Binding) (rdf.Term, error) {
-	switch ex.Op {
-	case OpAnd, OpOr:
-		l, lerr := evalExpr(ex.L, b)
-		r, rerr := evalExpr(ex.R, b)
-		// Simple (non-3VL) semantics: errors propagate unless the other
-		// side decides the outcome.
-		if ex.Op == OpAnd {
-			if lerr == nil && !isTrue(l) || rerr == nil && !isTrue(r) {
-				return boolTerm(false), nil
-			}
-			if lerr != nil {
-				return rdf.Term{}, lerr
-			}
-			if rerr != nil {
-				return rdf.Term{}, rerr
-			}
-			return boolTerm(true), nil
-		}
-		if lerr == nil && isTrue(l) || rerr == nil && isTrue(r) {
-			return boolTerm(true), nil
-		}
-		if lerr != nil {
-			return rdf.Term{}, lerr
-		}
-		if rerr != nil {
-			return rdf.Term{}, rerr
-		}
-		return boolTerm(false), nil
-	}
-	l, err := evalExpr(ex.L, b)
-	if err != nil {
-		return rdf.Term{}, err
-	}
-	r, err := evalExpr(ex.R, b)
-	if err != nil {
-		return rdf.Term{}, err
-	}
-	c := compareTerms(l, r)
-	switch ex.Op {
-	case OpEq:
-		return boolTerm(c == 0), nil
-	case OpNe:
-		return boolTerm(c != 0), nil
-	case OpLt:
-		return boolTerm(c < 0), nil
-	case OpLe:
-		return boolTerm(c <= 0), nil
-	case OpGt:
-		return boolTerm(c > 0), nil
-	case OpGe:
-		return boolTerm(c >= 0), nil
-	}
-	return rdf.Term{}, fmt.Errorf("sparql: unknown operator %v", ex.Op)
-}
-
-func evalCall(ex Call, b Binding) (rdf.Term, error) {
-	switch ex.Name {
-	case "BOUND":
-		if len(ex.Args) != 1 {
-			return rdf.Term{}, fmt.Errorf("sparql: BOUND takes 1 argument")
-		}
-		v, ok := ex.Args[0].(VarRef)
-		if !ok {
-			return rdf.Term{}, fmt.Errorf("sparql: BOUND argument must be a variable")
-		}
-		_, bound := b[v.Name]
-		return boolTerm(bound), nil
-	case "STR":
-		if len(ex.Args) != 1 {
-			return rdf.Term{}, fmt.Errorf("sparql: STR takes 1 argument")
-		}
-		t, err := evalExpr(ex.Args[0], b)
-		if err != nil {
-			return rdf.Term{}, err
-		}
-		return rdf.NewLiteral(t.Value), nil
-	case "ISIRI":
-		if len(ex.Args) != 1 {
-			return rdf.Term{}, fmt.Errorf("sparql: ISIRI takes 1 argument")
-		}
-		t, err := evalExpr(ex.Args[0], b)
-		if err != nil {
-			return rdf.Term{}, err
-		}
-		return boolTerm(t.IsIRI()), nil
-	case "ISLITERAL":
-		if len(ex.Args) != 1 {
-			return rdf.Term{}, fmt.Errorf("sparql: ISLITERAL takes 1 argument")
-		}
-		t, err := evalExpr(ex.Args[0], b)
-		if err != nil {
-			return rdf.Term{}, err
-		}
-		return boolTerm(t.IsLiteral()), nil
-	case "REGEX":
-		if len(ex.Args) != 2 && len(ex.Args) != 3 {
-			return rdf.Term{}, fmt.Errorf("sparql: REGEX takes 2 or 3 arguments")
-		}
-		t, err := evalExpr(ex.Args[0], b)
-		if err != nil {
-			return rdf.Term{}, err
-		}
-		p, err := evalExpr(ex.Args[1], b)
-		if err != nil {
-			return rdf.Term{}, err
-		}
-		pat := p.Value
-		if len(ex.Args) == 3 {
-			f, err := evalExpr(ex.Args[2], b)
-			if err != nil {
-				return rdf.Term{}, err
-			}
-			if strings.Contains(f.Value, "i") {
-				pat = "(?i)" + pat
-			}
-		}
-		re, err := regexp.Compile(pat)
-		if err != nil {
-			return rdf.Term{}, fmt.Errorf("sparql: bad REGEX pattern: %w", err)
-		}
-		return boolTerm(re.MatchString(t.Value)), nil
-	default:
-		return rdf.Term{}, fmt.Errorf("sparql: unknown function %s", ex.Name)
-	}
-}
 
 func boolTerm(b bool) rdf.Term {
 	if b {

@@ -75,16 +75,37 @@ SELECT ?x WHERE { ?x s:isA s:HazardousWaste . FILTER ISLITERAL(?x) }`)
 	}
 }
 
-func TestFilterErrorsDropSolutions(t *testing.T) {
+func TestBadConstantRegexIsCompileError(t *testing.T) {
 	st := sampleStore()
-	// Bad regex pattern: filter errors, all solutions dropped — query OK.
-	r, err := Eval(st, `PREFIX s: <`+onto+`>
+	// Constant regex patterns are precompiled into the plan, so an invalid
+	// one is rejected before evaluation instead of silently dropping every
+	// solution per-row.
+	if _, err := Eval(st, `PREFIX s: <`+onto+`>
+SELECT ?x WHERE { ?x s:isA ?c . FILTER REGEX(STR(?x), "[unclosed") }`); err == nil {
+		t.Fatal("invalid constant REGEX pattern must fail at compile time")
+	}
+	q, err := Parse(`PREFIX s: <` + onto + `>
 SELECT ?x WHERE { ?x s:isA ?c . FILTER REGEX(STR(?x), "[unclosed") }`)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if _, err := Compile(q); err == nil {
+		t.Fatal("Compile must reject the invalid pattern")
+	}
+}
+
+func TestBadDynamicRegexDropsSolutions(t *testing.T) {
+	st := sampleStore()
+	// A pattern computed per solution can only fail at evaluation time;
+	// there the original semantics hold: filter errors drop the solution,
+	// they never fail the query.
+	r, err := Eval(st, `PREFIX s: <`+onto+`>
+SELECT ?x WHERE { ?x s:dangerLevel ?d . FILTER REGEX(STR(?x), STR(?d)) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Bindings) != 0 {
-		t.Errorf("bad regex must drop all: %d", len(r.Bindings))
+		t.Errorf("dynamic regex matching nothing: %d", len(r.Bindings))
 	}
 }
 

@@ -1,0 +1,1070 @@
+package sparql
+
+// exec.go — the ID-native streaming executor. A compiled Plan evaluates as
+// a push-based pipeline over []rdf.TermID rows: each BGP pattern step binds
+// variable slots from an index probe and pushes the row to the next step
+// (backtracking in place, so intermediate solutions are never materialised),
+// OPTIONAL/UNION blocks transform the stream recursively, filters run at
+// the first step where all their variables are bound, and terms are decoded
+// only at projection. Early termination (ASK, LIMIT without ORDER BY)
+// propagates as a stop signal back up the pipeline.
+//
+// Against *rdf.Store (and every KB view) the whole query runs under a
+// single Store.ReadIDs read transaction, so no per-probe locking happens on
+// the join path. Other rdf.Graph implementations fall back to an adapter
+// that interns terms into a private dictionary on the fly; such graphs must
+// tolerate nested ForEach calls.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"crosse/internal/rdf"
+)
+
+// Eval parses, compiles and evaluates src against g.
+func Eval(g rdf.Graph, src string) (*Result, error) {
+	return EvalOpts(g, src, Options{})
+}
+
+// EvalOpts is Eval with evaluation options.
+func EvalOpts(g rdf.Graph, src string, o Options) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return EvalQueryOpts(g, q, o)
+}
+
+// EvalQuery compiles and evaluates a parsed query against g. Callers that
+// re-evaluate the same query should Compile once and use Plan.Eval.
+func EvalQuery(g rdf.Graph, q *Query) (*Result, error) {
+	return EvalQueryOpts(g, q, Options{})
+}
+
+// EvalQueryOpts is EvalQuery with evaluation options.
+func EvalQueryOpts(g rdf.Graph, q *Query, o Options) (*Result, error) {
+	p, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return p.EvalOpts(g, o)
+}
+
+// Eval evaluates the compiled plan against g.
+func (p *Plan) Eval(g rdf.Graph) (*Result, error) {
+	return p.EvalOpts(g, Options{})
+}
+
+// EvalOpts evaluates the compiled plan against g with options.
+func (p *Plan) EvalOpts(g rdf.Graph, o Options) (*Result, error) {
+	var res *Result
+	if ig, ok := g.(rdf.IDGraph); ok {
+		ig.ReadIDs(func(r rdf.IDReader) { res = p.run(r, o, nil) })
+	} else {
+		res = p.run(newGraphAdapter(g), o, nil)
+	}
+	return res, nil
+}
+
+// Solution is one projected solution surfaced by Plan.Stream. It is valid
+// only inside the streaming callback; the terms it decodes are plain values
+// and safe to retain.
+type Solution struct {
+	e   *exec
+	row []rdf.TermID
+}
+
+// Len returns the number of projected variables.
+func (s Solution) Len() int { return len(s.e.p.vars) }
+
+// Term returns the value of the i-th projected variable (the order of
+// Plan.Vars), reporting false when it is unbound in this solution.
+func (s Solution) Term(i int) (rdf.Term, bool) {
+	id := s.row[s.e.p.projSlots[i]]
+	if id == 0 {
+		return rdf.Term{}, false
+	}
+	return s.e.termOf(id)
+}
+
+// Var returns the value of a projected variable by name, reporting false
+// when the variable is not projected or unbound.
+func (s Solution) Var(name string) (rdf.Term, bool) {
+	i, ok := s.e.p.varIndex[name]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	return s.Term(i)
+}
+
+// Stream evaluates a SELECT plan and pushes each solution to fn without
+// materialising Binding maps — the allocation-free path internal/core's
+// enrichment pipeline consumes. DISTINCT, ORDER BY, OFFSET and LIMIT are
+// honoured exactly as in Eval; fn returning false stops evaluation early.
+func (p *Plan) Stream(g rdf.Graph, fn func(Solution) bool) error {
+	if p.q.Form == Ask {
+		return fmt.Errorf("sparql: Stream requires a SELECT query")
+	}
+	if ig, ok := g.(rdf.IDGraph); ok {
+		ig.ReadIDs(func(r rdf.IDReader) { p.run(r, Options{}, fn) })
+		return nil
+	}
+	p.run(newGraphAdapter(g), Options{}, fn)
+	return nil
+}
+
+// --- executor state ---
+
+type exec struct {
+	p    *Plan
+	r    rdf.IDReader
+	opts Options
+
+	// ids resolves the plan's constant table against the target graph's
+	// dictionary. Constants the graph has never interned get synthetic IDs
+	// (allocated downward from the top of the ID space, far above any dense
+	// dictionary ID) recorded in extra: index probes on them naturally match
+	// nothing, while decoding and zero-length path semantics still work.
+	ids   []rdf.TermID
+	extra map[rdf.TermID]rdf.Term
+
+	row    []rdf.TermID
+	groups []groupState
+
+	// boundEp/epoch implement clear-free "is this slot bound" scratch marks
+	// for the per-activation join ordering and filter placement.
+	boundEp []uint32
+	epoch   uint32
+
+	// result collection
+	sinkFn   func() bool
+	streamFn func(Solution) bool
+	distinct bool
+	seen     map[string]struct{}
+	keyBuf   []byte
+	skip     int
+	limit    int
+	count    int
+	out      []Binding
+	found    bool
+	arena    []rdf.TermID // materialised rows for the ORDER BY path
+}
+
+type groupState struct {
+	e          *exec
+	gp         *groupPlan
+	steps      []stepCtx
+	otherCtxs  []otherCtx
+	order      []*stepCtx
+	head       *stepCtx
+	chosen     []bool
+	fdone      []bool
+	preFilters []*filterPlan
+	endFilters []*filterPlan
+	emit       func() bool
+}
+
+// stepCtx is the per-pattern execution context. Its match callback and
+// chain links are prepared once per exec (and relinked per activation), so
+// the hot join loop allocates nothing.
+type stepCtx struct {
+	e                   *exec
+	gs                  *groupState
+	pp                  *patternPlan
+	next                *stepCtx
+	filters             []*filterPlan
+	fn                  func(a, b, c rdf.TermID) bool
+	sSlot, pSlot, oSlot int
+	stopped             bool
+}
+
+type otherCtx struct {
+	e       *exec
+	gs      *groupState
+	opt     *optionalPlan
+	uni     *unionPlan
+	next    *otherCtx
+	matched bool
+	onOptFn func() bool
+	nextFn  func() bool
+}
+
+func (p *Plan) run(r rdf.IDReader, o Options, streamFn func(Solution) bool) *Result {
+	e := &exec{
+		p:       p,
+		r:       r,
+		opts:    o,
+		row:     make([]rdf.TermID, len(p.slotNames)),
+		boundEp: make([]uint32, len(p.slotNames)),
+		groups:  make([]groupState, p.ngroups),
+	}
+	e.resolveConsts()
+	e.initGroup(p.root)
+
+	if p.q.Form == Ask {
+		e.sinkFn = e.collectAsk
+		e.runGroup(p.root, e.sinkFn)
+		return &Result{Bool: e.found}
+	}
+
+	e.distinct = p.q.Distinct
+	if e.distinct {
+		e.seen = map[string]struct{}{}
+	}
+	e.skip = p.q.Offset
+	e.limit = p.q.Limit
+	e.streamFn = streamFn
+	if p.q.Limit == 0 {
+		return &Result{Vars: p.vars}
+	}
+
+	if len(p.order) == 0 {
+		e.sinkFn = e.collect
+		e.runGroup(p.root, e.sinkFn)
+	} else {
+		e.sinkFn = e.collectRow
+		e.runGroup(p.root, e.sinkFn)
+		e.emitSorted()
+	}
+	return &Result{Vars: p.vars, Bindings: e.out}
+}
+
+// resolveConsts translates the plan's constant table to the target graph's
+// IDs, assigning synthetic IDs to terms the graph has never seen.
+func (e *exec) resolveConsts() {
+	if len(e.p.consts) == 0 {
+		return
+	}
+	e.ids = make([]rdf.TermID, len(e.p.consts))
+	next := rdf.TermID(^uint32(0))
+	for i, t := range e.p.consts {
+		if id, ok := e.r.IDOf(t); ok {
+			e.ids[i] = id
+			continue
+		}
+		if e.extra == nil {
+			e.extra = map[rdf.TermID]rdf.Term{}
+		}
+		e.ids[i] = next
+		e.extra[next] = t
+		next--
+	}
+}
+
+func (e *exec) termOf(id rdf.TermID) (rdf.Term, bool) {
+	if t, ok := e.r.TermOf(id); ok {
+		return t, true
+	}
+	if e.extra != nil {
+		t, ok := e.extra[id]
+		return t, ok
+	}
+	return rdf.Term{}, false
+}
+
+// initGroup wires the static per-group execution contexts (one-time per
+// evaluation; activations only relink them).
+func (e *exec) initGroup(gp *groupPlan) {
+	gs := &e.groups[gp.id]
+	gs.e = e
+	gs.gp = gp
+	gs.steps = make([]stepCtx, len(gp.patterns))
+	for i, pp := range gp.patterns {
+		sc := &gs.steps[i]
+		sc.e = e
+		sc.gs = gs
+		sc.pp = pp
+		sc.sSlot = pp.s.slot
+		sc.pSlot = pp.pvar
+		sc.oSlot = pp.o.slot
+		sc.fn = sc.match
+	}
+	gs.order = make([]*stepCtx, 0, len(gp.patterns))
+	gs.chosen = make([]bool, len(gp.patterns))
+	gs.fdone = make([]bool, len(gp.filters))
+	gs.otherCtxs = make([]otherCtx, len(gp.others))
+	for i, op := range gp.others {
+		oc := &gs.otherCtxs[i]
+		oc.e = e
+		oc.gs = gs
+		if i+1 < len(gp.others) {
+			oc.next = &gs.otherCtxs[i+1]
+		}
+		oc.nextFn = oc.runNext
+		switch o := op.(type) {
+		case *optionalPlan:
+			oc.opt = o
+			oc.onOptFn = oc.optMatch
+			e.initGroup(o.group)
+		case *unionPlan:
+			oc.uni = o
+			e.initGroup(o.left)
+			e.initGroup(o.right)
+		}
+	}
+}
+
+// runGroup activates the group for the current row and streams extended
+// rows to emit. It reports false when a downstream sink stopped evaluation.
+func (e *exec) runGroup(gp *groupPlan, emit func() bool) bool {
+	gs := &e.groups[gp.id]
+	gs.emit = emit
+	e.activate(gs)
+	for _, f := range gs.preFilters {
+		if !e.filterPasses(f) {
+			return true
+		}
+	}
+	if gs.head != nil {
+		return gs.head.run()
+	}
+	return gs.afterPatterns()
+}
+
+// activate picks the join order for the group's patterns given what the
+// current row already binds (greedy selectivity-first, mirroring the
+// engine's pre-compilation behaviour), links the step chain, and places
+// each filter at the earliest point where all its variables are guaranteed
+// bound: before any pattern (preFilters), after a join step, or — when some
+// variable is only ever bound by OPTIONAL/UNION blocks, or never — after
+// those blocks (endFilters), preserving group-scope FILTER semantics.
+func (e *exec) activate(gs *groupState) {
+	gp := gs.gp
+	n := len(gp.patterns)
+	gs.order = gs.order[:0]
+	if e.opts.DisableReorder || n <= 1 {
+		for i := 0; i < n; i++ {
+			gs.order = append(gs.order, &gs.steps[i])
+		}
+	} else {
+		e.epoch++
+		ep := e.epoch
+		for i := range gs.chosen {
+			gs.chosen[i] = false
+		}
+		for len(gs.order) < n {
+			best, bestCost := -1, int(^uint(0)>>1)
+			for i := 0; i < n; i++ {
+				if gs.chosen[i] {
+					continue
+				}
+				if cost := e.estimate(gp.patterns[i], ep); cost < bestCost {
+					best, bestCost = i, cost
+				}
+			}
+			gs.chosen[best] = true
+			gs.order = append(gs.order, &gs.steps[best])
+			for _, s := range gp.patterns[best].varSlots {
+				e.boundEp[s] = ep
+			}
+		}
+	}
+	for i, sc := range gs.order {
+		if i+1 < len(gs.order) {
+			sc.next = gs.order[i+1]
+		} else {
+			sc.next = nil
+		}
+		sc.filters = sc.filters[:0]
+	}
+	gs.head = nil
+	if len(gs.order) > 0 {
+		gs.head = gs.order[0]
+	}
+
+	gs.preFilters = gs.preFilters[:0]
+	gs.endFilters = gs.endFilters[:0]
+	if len(gp.filters) == 0 {
+		return
+	}
+	e.epoch++
+	ep := e.epoch
+	for i := range gs.fdone {
+		gs.fdone[i] = false
+	}
+	for fi, f := range gp.filters {
+		if e.allBound(f.slots, ep) {
+			gs.preFilters = append(gs.preFilters, f)
+			gs.fdone[fi] = true
+		}
+	}
+	for _, sc := range gs.order {
+		for _, s := range sc.pp.varSlots {
+			e.boundEp[s] = ep
+		}
+		for fi, f := range gp.filters {
+			if !gs.fdone[fi] && e.allBound(f.slots, ep) {
+				sc.filters = append(sc.filters, f)
+				gs.fdone[fi] = true
+			}
+		}
+	}
+	for fi, f := range gp.filters {
+		if !gs.fdone[fi] {
+			gs.endFilters = append(gs.endFilters, f)
+		}
+	}
+}
+
+func (e *exec) allBound(slots []int, ep uint32) bool {
+	for _, s := range slots {
+		if e.row[s] == 0 && e.boundEp[s] != ep {
+			return false
+		}
+	}
+	return true
+}
+
+// estimate guesses a pattern's cardinality for join ordering: constants and
+// row-bound variables probe the store's O(1) counters; variables bound by
+// already-ordered patterns get the seed engine's /2+1 discount.
+func (e *exec) estimate(pp *patternPlan, ep uint32) int {
+	var pat rdf.PatternIDs
+	sVar, oVar := false, false
+	if pp.s.slot >= 0 {
+		if id := e.row[pp.s.slot]; id != 0 {
+			pat.S = id
+		} else if e.boundEp[pp.s.slot] == ep {
+			sVar = true
+		}
+	} else {
+		pat.S = e.ids[pp.s.konst]
+	}
+	if pp.o.slot >= 0 {
+		if id := e.row[pp.o.slot]; id != 0 {
+			pat.O = id
+		} else if e.boundEp[pp.o.slot] == ep {
+			oVar = true
+		}
+	} else {
+		pat.O = e.ids[pp.o.konst]
+	}
+	if pp.pred >= 0 {
+		pat.P = e.ids[pp.pred]
+	} else if pp.pvar >= 0 {
+		pat.P = e.row[pp.pvar]
+	}
+	c := e.r.CountIDs(pat)
+	if sVar && c > 1 {
+		c = c/2 + 1
+	}
+	if oVar && c > 1 {
+		c = c/2 + 1
+	}
+	return c
+}
+
+func (gs *groupState) afterPatterns() bool {
+	if len(gs.otherCtxs) > 0 {
+		return gs.otherCtxs[0].run()
+	}
+	return gs.finish()
+}
+
+func (gs *groupState) finish() bool {
+	for _, f := range gs.endFilters {
+		if !gs.e.filterPasses(f) {
+			return true
+		}
+	}
+	return gs.emit()
+}
+
+// run streams the pattern's matches for the current row. Plain (IRI or
+// variable) predicates stream directly from an index probe; complex
+// property paths materialise their (subject, object) ID pairs first.
+func (sc *stepCtx) run() bool {
+	e := sc.e
+	pp := sc.pp
+	var pat rdf.PatternIDs
+	if pp.s.slot >= 0 {
+		pat.S = e.row[pp.s.slot]
+	} else {
+		pat.S = e.ids[pp.s.konst]
+	}
+	if pp.o.slot >= 0 {
+		pat.O = e.row[pp.o.slot]
+	} else {
+		pat.O = e.ids[pp.o.konst]
+	}
+	if pp.path != nil {
+		for _, pr := range e.pathPairs(pp.path, pat.S, pat.S != 0, pat.O, pat.O != 0) {
+			if !sc.match(pr[0], 0, pr[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if pp.pred >= 0 {
+		pat.P = e.ids[pp.pred]
+	} else {
+		pat.P = e.row[pp.pvar]
+	}
+	sc.stopped = false
+	e.r.ForEachIDs(pat, sc.fn)
+	return !sc.stopped
+}
+
+// match binds the matched IDs into the row (checking consistency for slots
+// bound earlier, including duplicate variables within one pattern), pushes
+// the row downstream, and backtracks. Returning false stops the enclosing
+// index enumeration — that happens only when a sink stopped evaluation, and
+// sc.stopped records the distinction from simply filtering the row out.
+func (sc *stepCtx) match(ms, mp, mo rdf.TermID) bool {
+	row := sc.e.row
+	u0, u1, u2 := -1, -1, -1
+	if s := sc.sSlot; s >= 0 {
+		if row[s] == 0 {
+			row[s] = ms
+			u0 = s
+		} else if row[s] != ms {
+			return true
+		}
+	}
+	if s := sc.pSlot; s >= 0 {
+		if row[s] == 0 {
+			row[s] = mp
+			u1 = s
+		} else if row[s] != mp {
+			if u0 >= 0 {
+				row[u0] = 0
+			}
+			return true
+		}
+	}
+	if s := sc.oSlot; s >= 0 {
+		if row[s] == 0 {
+			row[s] = mo
+			u2 = s
+		} else if row[s] != mo {
+			if u1 >= 0 {
+				row[u1] = 0
+			}
+			if u0 >= 0 {
+				row[u0] = 0
+			}
+			return true
+		}
+	}
+	ok := sc.advance()
+	if u2 >= 0 {
+		row[u2] = 0
+	}
+	if u1 >= 0 {
+		row[u1] = 0
+	}
+	if u0 >= 0 {
+		row[u0] = 0
+	}
+	if !ok {
+		sc.stopped = true
+	}
+	return ok
+}
+
+func (sc *stepCtx) advance() bool {
+	for _, f := range sc.filters {
+		if !sc.e.filterPasses(f) {
+			return true
+		}
+	}
+	if sc.next != nil {
+		return sc.next.run()
+	}
+	return sc.gs.afterPatterns()
+}
+
+func (oc *otherCtx) run() bool {
+	if oc.opt != nil {
+		oc.matched = false
+		if !oc.e.runGroup(oc.opt.group, oc.onOptFn) {
+			return false
+		}
+		if !oc.matched {
+			return oc.runNext()
+		}
+		return true
+	}
+	if !oc.e.runGroup(oc.uni.left, oc.nextFn) {
+		return false
+	}
+	return oc.e.runGroup(oc.uni.right, oc.nextFn)
+}
+
+func (oc *otherCtx) optMatch() bool {
+	oc.matched = true
+	return oc.runNext()
+}
+
+func (oc *otherCtx) runNext() bool {
+	if oc.next != nil {
+		return oc.next.run()
+	}
+	return oc.gs.finish()
+}
+
+// --- result collection ---
+
+func (e *exec) collectAsk() bool {
+	e.found = true
+	return false
+}
+
+func (e *exec) collect() bool { return e.emitFinal(e.row) }
+
+func (e *exec) collectRow() bool {
+	e.arena = append(e.arena, e.row...)
+	return true
+}
+
+// emitFinal applies DISTINCT / OFFSET / LIMIT to one solution row and hands
+// it to the stream callback or materialises a Binding. It reports false
+// when evaluation should stop (LIMIT reached or the stream consumer quit).
+func (e *exec) emitFinal(row []rdf.TermID) bool {
+	if e.distinct {
+		key := e.projKey(row)
+		if _, dup := e.seen[key]; dup {
+			return true
+		}
+		e.seen[key] = struct{}{}
+	}
+	if e.skip > 0 {
+		e.skip--
+		return true
+	}
+	if e.streamFn != nil {
+		if !e.streamFn(Solution{e: e, row: row}) {
+			return false
+		}
+		e.count++
+		return e.limit < 0 || e.count < e.limit
+	}
+	e.out = append(e.out, e.projectBinding(row))
+	return e.limit < 0 || len(e.out) < e.limit
+}
+
+// emitSorted orders the materialised rows by the plan's ORDER BY keys
+// (stable, unbound-first, numeric-aware) and replays them through emitFinal.
+func (e *exec) emitSorted() {
+	ns := len(e.row)
+	if ns == 0 {
+		return
+	}
+	n := len(e.arena) / ns
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	keys := e.p.order
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra := e.arena[idx[a]*ns : (idx[a]+1)*ns]
+		rb := e.arena[idx[b]*ns : (idx[b]+1)*ns]
+		for _, k := range keys {
+			ta, _ := e.termOfZero(ra[k.slot])
+			tb, _ := e.termOfZero(rb[k.slot])
+			c := compareTerms(ta, tb)
+			if c != 0 {
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	for _, i := range idx {
+		if !e.emitFinal(e.arena[i*ns : (i+1)*ns]) {
+			return
+		}
+	}
+}
+
+// termOfZero decodes an ID, mapping the unbound marker to the zero term
+// (which compareTerms sorts first).
+func (e *exec) termOfZero(id rdf.TermID) (rdf.Term, bool) {
+	if id == 0 {
+		return rdf.Term{}, false
+	}
+	return e.termOf(id)
+}
+
+// projKey builds the DISTINCT deduplication key from the projected slots'
+// IDs — fixed-width ID tuples, no term rendering.
+func (e *exec) projKey(row []rdf.TermID) string {
+	buf := e.keyBuf[:0]
+	for _, s := range e.p.projSlots {
+		id := row[s]
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	e.keyBuf = buf
+	return string(buf)
+}
+
+// projectBinding decodes the projected slots of a row into the public
+// map-based Binding form.
+func (e *exec) projectBinding(row []rdf.TermID) Binding {
+	b := make(Binding, len(e.p.vars))
+	for i, v := range e.p.vars {
+		if id := row[e.p.projSlots[i]]; id != 0 {
+			if t, ok := e.termOf(id); ok {
+				b[v] = t
+			}
+		}
+	}
+	return b
+}
+
+// --- FILTER evaluation over rows ---
+
+func (e *exec) filterPasses(f *filterPlan) bool {
+	v, err := f.e.eval(e)
+	return err == nil && isTrue(v)
+}
+
+func (x fLit) eval(e *exec) (rdf.Term, error) { return x.t, nil }
+
+func (x fSlot) eval(e *exec) (rdf.Term, error) {
+	id := e.row[x.slot]
+	if id == 0 {
+		return rdf.Term{}, errUnbound
+	}
+	t, ok := e.termOf(id)
+	if !ok {
+		return rdf.Term{}, errUnbound
+	}
+	return t, nil
+}
+
+func (x fNot) eval(e *exec) (rdf.Term, error) {
+	v, err := x.e.eval(e)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return boolTerm(!isTrue(v)), nil
+}
+
+func (x fBound) eval(e *exec) (rdf.Term, error) {
+	return boolTerm(e.row[x.slot] != 0), nil
+}
+
+func (x fStr) eval(e *exec) (rdf.Term, error) {
+	t, err := x.e.eval(e)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return rdf.NewLiteral(t.Value), nil
+}
+
+func (x fIsIRI) eval(e *exec) (rdf.Term, error) {
+	t, err := x.e.eval(e)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return boolTerm(t.IsIRI()), nil
+}
+
+func (x fIsLit) eval(e *exec) (rdf.Term, error) {
+	t, err := x.e.eval(e)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return boolTerm(t.IsLiteral()), nil
+}
+
+func (x fRegex) eval(e *exec) (rdf.Term, error) {
+	t, err := x.arg.eval(e)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	return boolTerm(x.re.MatchString(t.Value)), nil
+}
+
+func (x fDynRegex) eval(e *exec) (rdf.Term, error) {
+	t, err := x.arg.eval(e)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	p, err := x.pat.eval(e)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	pat := p.Value
+	if x.flags != nil {
+		f, err := x.flags.eval(e)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if strings.Contains(f.Value, "i") {
+			pat = "(?i)" + pat
+		}
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return rdf.Term{}, fmt.Errorf("sparql: bad REGEX pattern: %w", err)
+	}
+	return boolTerm(re.MatchString(t.Value)), nil
+}
+
+func (x fErr) eval(e *exec) (rdf.Term, error) { return rdf.Term{}, x.err }
+
+// eval implements the seed engine's non-3VL AND/OR semantics: an error on
+// one side propagates unless the other side decides the outcome.
+func (x fBinary) eval(e *exec) (rdf.Term, error) {
+	switch x.op {
+	case OpAnd, OpOr:
+		l, lerr := x.l.eval(e)
+		r, rerr := x.r.eval(e)
+		if x.op == OpAnd {
+			if lerr == nil && !isTrue(l) || rerr == nil && !isTrue(r) {
+				return boolTerm(false), nil
+			}
+			if lerr != nil {
+				return rdf.Term{}, lerr
+			}
+			if rerr != nil {
+				return rdf.Term{}, rerr
+			}
+			return boolTerm(true), nil
+		}
+		if lerr == nil && isTrue(l) || rerr == nil && isTrue(r) {
+			return boolTerm(true), nil
+		}
+		if lerr != nil {
+			return rdf.Term{}, lerr
+		}
+		if rerr != nil {
+			return rdf.Term{}, rerr
+		}
+		return boolTerm(false), nil
+	}
+	l, err := x.l.eval(e)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	r, err := x.r.eval(e)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	c := compareTerms(l, r)
+	switch x.op {
+	case OpEq:
+		return boolTerm(c == 0), nil
+	case OpNe:
+		return boolTerm(c != 0), nil
+	case OpLt:
+		return boolTerm(c < 0), nil
+	case OpLe:
+		return boolTerm(c <= 0), nil
+	case OpGt:
+		return boolTerm(c > 0), nil
+	case OpGe:
+		return boolTerm(c >= 0), nil
+	}
+	return rdf.Term{}, fmt.Errorf("sparql: unknown operator %v", x.op)
+}
+
+// --- property paths over IDs ---
+
+// pathPairs materialises the (subject, object) ID pairs connected by a
+// complex property path, mirroring the term-level evaluator's semantics
+// (including per-operator pair deduplication and zero-length closure
+// matches) on dictionary IDs.
+func (e *exec) pathPairs(p pathPlan, s rdf.TermID, sBound bool, o rdf.TermID, oBound bool) [][2]rdf.TermID {
+	switch pp := p.(type) {
+	case pIRI:
+		var out [][2]rdf.TermID
+		pat := rdf.PatternIDs{P: e.ids[pp.konst]}
+		if sBound {
+			pat.S = s
+		}
+		if oBound {
+			pat.O = o
+		}
+		e.r.ForEachIDs(pat, func(ms, _, mo rdf.TermID) bool {
+			out = append(out, [2]rdf.TermID{ms, mo})
+			return true
+		})
+		return out
+	case pVarStep:
+		var out [][2]rdf.TermID
+		pat := rdf.PatternIDs{}
+		if sBound {
+			pat.S = s
+		}
+		if oBound {
+			pat.O = o
+		}
+		e.r.ForEachIDs(pat, func(ms, _, mo rdf.TermID) bool {
+			out = append(out, [2]rdf.TermID{ms, mo})
+			return true
+		})
+		return out
+	case pInv:
+		inv := e.pathPairs(pp.p, o, oBound, s, sBound)
+		out := make([][2]rdf.TermID, len(inv))
+		for i, pr := range inv {
+			out[i] = [2]rdf.TermID{pr[1], pr[0]}
+		}
+		return out
+	case pSeq:
+		var out [][2]rdf.TermID
+		seen := map[[2]rdf.TermID]struct{}{}
+		for _, lp := range e.pathPairs(pp.l, s, sBound, 0, false) {
+			for _, rp := range e.pathPairs(pp.r, lp[1], true, o, oBound) {
+				pair := [2]rdf.TermID{lp[0], rp[1]}
+				if _, dup := seen[pair]; !dup {
+					seen[pair] = struct{}{}
+					out = append(out, pair)
+				}
+			}
+		}
+		return out
+	case pAlt:
+		out := e.pathPairs(pp.l, s, sBound, o, oBound)
+		seen := map[[2]rdf.TermID]struct{}{}
+		for _, pr := range out {
+			seen[pr] = struct{}{}
+		}
+		for _, pr := range e.pathPairs(pp.r, s, sBound, o, oBound) {
+			if _, dup := seen[pr]; !dup {
+				out = append(out, pr)
+			}
+		}
+		return out
+	case pClosure:
+		return e.closurePairs(pp, s, sBound, o, oBound)
+	default:
+		return nil
+	}
+}
+
+// closurePairs evaluates p+, p*, p? by BFS over IDs.
+func (e *exec) closurePairs(pc pClosure, s rdf.TermID, sBound bool, o rdf.TermID, oBound bool) [][2]rdf.TermID {
+	reach := func(start rdf.TermID) []rdf.TermID {
+		visited := map[rdf.TermID]int{start: 0}
+		frontier := []rdf.TermID{start}
+		depth := 0
+		for len(frontier) > 0 {
+			depth++
+			if pc.max >= 0 && depth > pc.max {
+				break
+			}
+			var next []rdf.TermID
+			for _, node := range frontier {
+				for _, pr := range e.pathPairs(pc.p, node, true, 0, false) {
+					if _, ok := visited[pr[1]]; !ok {
+						visited[pr[1]] = depth
+						next = append(next, pr[1])
+					}
+				}
+			}
+			frontier = next
+		}
+		var out []rdf.TermID
+		for node, d := range visited {
+			if d >= pc.min {
+				out = append(out, node)
+			}
+		}
+		return out
+	}
+
+	switch {
+	case sBound:
+		var out [][2]rdf.TermID
+		for _, t := range reach(s) {
+			if oBound && t != o {
+				continue
+			}
+			out = append(out, [2]rdf.TermID{s, t})
+		}
+		return out
+	case oBound:
+		inv := e.closurePairs(pClosure{p: pInv{p: pc.p}, min: pc.min, max: pc.max}, o, true, 0, false)
+		out := make([][2]rdf.TermID, len(inv))
+		for i, pr := range inv {
+			out[i] = [2]rdf.TermID{pr[1], pr[0]}
+		}
+		return out
+	default:
+		subjects := map[rdf.TermID]struct{}{}
+		e.r.ForEachIDs(rdf.PatternIDs{}, func(ms, _, _ rdf.TermID) bool {
+			subjects[ms] = struct{}{}
+			return true
+		})
+		var out [][2]rdf.TermID
+		for sub := range subjects {
+			for _, t := range reach(sub) {
+				out = append(out, [2]rdf.TermID{sub, t})
+			}
+		}
+		return out
+	}
+}
+
+// --- fallback adapter for plain rdf.Graph implementations ---
+
+// graphAdapter lets the ID-native executor run against any rdf.Graph by
+// interning the terms it streams into a private dictionary. It exists for
+// API completeness — every graph the system evaluates against (*rdf.Store
+// and the KB views) implements rdf.IDGraph and takes the native path. The
+// underlying graph must tolerate nested ForEach calls.
+type graphAdapter struct {
+	g    rdf.Graph
+	dict *rdf.Dict
+}
+
+func newGraphAdapter(g rdf.Graph) *graphAdapter {
+	return &graphAdapter{g: g, dict: rdf.NewDict()}
+}
+
+func (a *graphAdapter) decode(p rdf.PatternIDs) (rdf.Pattern, bool) {
+	var pat rdf.Pattern
+	if p.S != 0 {
+		t, ok := a.dict.TermOf(p.S)
+		if !ok {
+			return pat, false
+		}
+		pat.S = t
+	}
+	if p.P != 0 {
+		t, ok := a.dict.TermOf(p.P)
+		if !ok {
+			return pat, false
+		}
+		pat.P = t
+	}
+	if p.O != 0 {
+		t, ok := a.dict.TermOf(p.O)
+		if !ok {
+			return pat, false
+		}
+		pat.O = t
+	}
+	return pat, true
+}
+
+func (a *graphAdapter) ForEachIDs(p rdf.PatternIDs, fn func(s, pr, o rdf.TermID) bool) {
+	pat, ok := a.decode(p)
+	if !ok {
+		return
+	}
+	a.g.ForEach(pat, func(t rdf.Triple) bool {
+		return fn(a.dict.Encode(t.S), a.dict.Encode(t.P), a.dict.Encode(t.O))
+	})
+}
+
+func (a *graphAdapter) CountIDs(p rdf.PatternIDs) int {
+	pat, ok := a.decode(p)
+	if !ok {
+		return 0
+	}
+	return a.g.Count(pat)
+}
+
+func (a *graphAdapter) TermOf(id rdf.TermID) (rdf.Term, bool) { return a.dict.TermOf(id) }
+
+func (a *graphAdapter) IDOf(t rdf.Term) (rdf.TermID, bool) { return a.dict.Encode(t), true }

@@ -99,9 +99,7 @@ func TestBGPJoinEqualsNaive(t *testing.T) {
 			Where: &Group{Elems: []Element{p1, p2}},
 		}
 		for _, disable := range []bool{false, true} {
-			DisableReorder = disable
-			res, err := EvalQuery(st, q)
-			DisableReorder = false
+			res, err := EvalQueryOpts(st, q, Options{DisableReorder: disable})
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
