@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"testing"
 
 	"crosse/internal/core"
@@ -273,6 +274,99 @@ func BenchmarkBeliefImport(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkManyUserMemory proves the overlay-view memory story: N users
+// sharing one corpus. isolatedStores is the pre-overlay architecture (every
+// user re-interns and re-indexes the corpus into a private store);
+// sharedOverlays is the platform layout (one SharedStore arena holding the
+// dictionary and union indexes once, each user a View of encoded TripleKeys
+// plus per-view counters). Compare B/op: overlay per-user cost is ID-keyed
+// maps only — no term strings, no dictionary — so total bytes must not
+// scale with users × dictionary size. bytes/user reports the marginal cost
+// of one extra believer of the whole corpus.
+func BenchmarkManyUserMemory(b *testing.B) {
+	const corpusSize = 10000
+	const users = 50
+	rng := rand.New(rand.NewSource(5))
+	corpus := make([]rdf.Triple, corpusSize)
+	for i := range corpus {
+		corpus[i] = rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://x/subject-%d", rng.Intn(corpusSize/4+1))),
+			P: rdf.NewIRI(fmt.Sprintf("http://x/predicate-%d", rng.Intn(20))),
+			O: rdf.NewIRI(fmt.Sprintf("http://x/object-%d", i)),
+		}
+	}
+
+	b.Run("isolatedStores", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink []*rdf.Store
+		for i := 0; i < b.N; i++ {
+			stores := make([]*rdf.Store, users)
+			for u := range stores {
+				stores[u] = rdf.NewStore()
+				stores[u].AddAll(corpus)
+			}
+			sink = stores
+		}
+		if len(sink) != users {
+			b.Fatal("missing stores")
+		}
+	})
+	b.Run("sharedOverlays", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink []*rdf.View
+		for i := 0; i < b.N; i++ {
+			shared := rdf.NewSharedStore()
+			keys := make([]rdf.TripleKey, len(corpus))
+			for j, t := range corpus {
+				keys[j] = shared.AcquireTriple(t)
+			}
+			views := make([]*rdf.View, users)
+			for u := range views {
+				views[u] = shared.NewView()
+				views[u].AddBatch(keys)
+			}
+			sink = views
+		}
+		if len(sink) != users || sink[0].Len() != sink[0].Count(rdf.Pattern{}) {
+			b.Fatal("broken views")
+		}
+	})
+}
+
+// BenchmarkConcurrentEnrich measures multi-user query throughput: goroutines
+// run the full SESQL enrichment pipeline against DISTINCT users' overlay
+// views of one shared corpus. Each query opens one read transaction over
+// (view, arena) and runs lock-free inside, so ns/op should scale down
+// near-linearly with GOMAXPROCS (compare -cpu 1,2,4,8).
+func BenchmarkConcurrentEnrich(b *testing.B) {
+	enr := benchFixture(b, 100, 5000)
+	const users = 8
+	names := make([]string, users)
+	for u := range names {
+		names[u] = fmt.Sprintf("peer%d", u)
+		if err := enr.Platform.RegisterUser(names[u]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := enr.Platform.ImportFrom(names[u], "alice", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const q = `SELECT elem_name, landfill_name FROM elem_contained
+ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		user := names[int(next.Add(1))%users]
+		for pb.Next() {
+			if _, err := enr.Query(user, q); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // --- E9: relational engine ---

@@ -1,0 +1,58 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON artifact mapping benchmark name → metrics (ns/op, B/op, allocs/op and
+// any custom ReportMetric units), so CI can track the performance trajectory
+// across PRs without scraping text logs.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' . | go run ./cmd/benchjson -out BENCH.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+	report, err := Parse(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measurements: unit → value. Units come
+// straight from the benchmark line ("ns/op", "B/op", "allocs/op", plus any
+// custom testing.B ReportMetric units); "iterations" records the run count.
+type Metrics map[string]float64
+
+// Report maps benchmark name (GOMAXPROCS suffix stripped, so keys are
+// stable across machines) to its metrics. When the same name appears more
+// than once (e.g. -count>1), the last occurrence wins.
+type Report map[string]Metrics
+
+// Parse extracts benchmark results from `go test -bench` output. Non-result
+// lines (pkg headers, PASS, logs) are ignored.
+func Parse(out string) (Report, error) {
+	report := Report{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		// A result line is: name iterations (value unit)+
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo 	--- FAIL"
+		}
+		m := Metrics{"iterations": iters}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			m[fields[i+1]] = v
+		}
+		if !ok || len(m) == 1 {
+			continue
+		}
+		report[stripProcs(fields[0])] = m
+	}
+	return report, nil
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo/bar-8" → "BenchmarkFoo/bar"). Only a
+// plausible processor count (1..1024) is treated as a suffix, so a
+// dash-digit tail that is part of the benchmark's own name (e.g. a
+// "size-100000" sub-benchmark on a GOMAXPROCS=1 runner, where go test
+// appends nothing) is kept intact.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 || n > 1024 {
+		return name
+	}
+	return name[:i]
+}

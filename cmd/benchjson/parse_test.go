@@ -1,0 +1,63 @@
+package main
+
+import "testing"
+
+const sample = `goos: linux
+goarch: amd64
+pkg: crosse
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBeliefImport/statements1000-8         	     100	    217979 ns/op	  225168 B/op	      59 allocs/op
+BenchmarkManyUserMemory/sharedOverlays         	       1	 151487130 ns/op	90617784 B/op	  109326 allocs/op
+BenchmarkConcurrentEnrich-4   	    3532	    627344 ns/op
+BenchmarkCustomMetric-2    	      10	   100 ns/op	        42.5 widgets/op
+BenchmarkBroken 	--- FAIL
+PASS
+ok  	crosse	1.234s
+`
+
+func TestParse(t *testing.T) {
+	r, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 4 {
+		t.Fatalf("parsed %d entries, want 4: %v", len(r), r)
+	}
+
+	m, ok := r["BenchmarkBeliefImport/statements1000"]
+	if !ok {
+		t.Fatal("missing BeliefImport entry (GOMAXPROCS suffix should be stripped)")
+	}
+	if m["ns/op"] != 217979 || m["B/op"] != 225168 || m["allocs/op"] != 59 || m["iterations"] != 100 {
+		t.Errorf("BeliefImport metrics = %v", m)
+	}
+
+	if m := r["BenchmarkManyUserMemory/sharedOverlays"]; m["B/op"] != 90617784 {
+		t.Errorf("sharedOverlays metrics = %v", m)
+	}
+	if m := r["BenchmarkConcurrentEnrich"]; m["ns/op"] != 627344 {
+		t.Errorf("ConcurrentEnrich metrics = %v", m)
+	}
+	if m := r["BenchmarkCustomMetric"]; m["widgets/op"] != 42.5 {
+		t.Errorf("custom metric = %v", m)
+	}
+	if _, ok := r["BenchmarkBroken"]; ok {
+		t.Error("failed benchmark line should be skipped")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":             "BenchmarkFoo",
+		"BenchmarkFoo/bar-16":        "BenchmarkFoo/bar",
+		"BenchmarkFoo/size1000":      "BenchmarkFoo/size1000", // no dash at all
+		"BenchmarkFoo/extraKB-x":     "BenchmarkFoo/extraKB-x",
+		"BenchmarkFoo/size-100000":   "BenchmarkFoo/size-100000", // dash-digits, but not a plausible GOMAXPROCS
+		"BenchmarkFoo/size-100000-8": "BenchmarkFoo/size-100000",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

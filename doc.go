@@ -31,9 +31,23 @@
 // at the edges, and Store.ReadIDs opens a one-lock read transaction whose
 // rdf.IDReader serves nested probes lock-free — the access shape of a join.
 // Store.Clone provides point-in-time snapshots by bulk-copying the encoded
-// indexes under a single lock (the KB layer maintains its per-user views
-// incrementally via Add/Remove; Clone serves callers that need an
-// independent copy).
+// indexes under a single lock.
+//
+// Per-user knowledge bases are overlay views over one shared arena
+// (rdf.SharedStore + rdf.View): the platform interns and indexes every
+// asserted triple exactly once — one dictionary, one set of refcounted
+// union indexes — and each user's view holds only ID-level state, a
+// membership set of encoded rdf.TripleKeys plus per-view counters that
+// answer every pattern-cardinality shape in O(1). Importing a peer's
+// belief is therefore a handful of small-key map updates (no term is ever
+// re-hashed), N users sharing a corpus cost O(corpus) string memory plus
+// compact per-view overlays, and view iteration picks the cheaper side per
+// pattern: the shared posting list filtered by membership, or the
+// membership set filtered by the pattern. Views implement rdf.Graph and
+// rdf.IDGraph, so everything below this paragraph applies to them
+// unchanged; mutations take the arena or view write lock briefly and never
+// invalidate an in-flight read transaction, which lets queries over
+// distinct users' views run concurrently.
 //
 // SPARQL evaluation (internal/sparql) is a compiled, ID-native, streaming
 // executor. sparql.Compile lowers a parsed query into an immutable physical

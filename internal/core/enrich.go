@@ -505,16 +505,24 @@ func (e *Enricher) applySchemaEnrichment(q *sesql.Query, en sesql.Enrichment, wo
 		t0 := time.Now()
 		newCol := uniqueName(shortName(en.Property), work.headers)
 		replace := en.Kind == sesql.SchemaReplacement
-		var rows [][]sqlval.Value
+		rows := make([][]sqlval.Value, 0, len(work.rows))
+		arena := extendArena(work.rows, replace)
+		// Column values repeat across rows; memoise the value→term→key
+		// mapping so the per-row cost is one comparable-map probe instead
+		// of an IRI string build.
+		memo := make(map[sqlval.Value][]sqlval.Value)
 		for _, row := range work.rows {
-			key := valueKeyMapped(e.Mapping, table, column, row[attrIdx])
-			objs := pairs[key]
+			objs, ok := memo[row[attrIdx]]
+			if !ok {
+				objs = pairs[valueKeyMapped(e.Mapping, table, column, row[attrIdx])]
+				memo[row[attrIdx]] = objs
+			}
 			if len(objs) == 0 {
-				rows = append(rows, extendRow(row, attrIdx, sqlval.Null, replace, visible))
+				rows = append(rows, extendRow(arena, row, attrIdx, sqlval.Null, replace, visible))
 				continue
 			}
 			for _, o := range objs {
-				rows = append(rows, extendRow(row, attrIdx, o, replace, visible))
+				rows = append(rows, extendRow(arena, row, attrIdx, o, replace, visible))
 			}
 		}
 		work.rows = rows
@@ -534,11 +542,16 @@ func (e *Enricher) applySchemaEnrichment(q *sesql.Query, en sesql.Enrichment, wo
 		t0 := time.Now()
 		newCol := uniqueName(shortName(en.Property), work.headers)
 		replace := en.Kind == sesql.BoolSchemaReplacement
-		var rows [][]sqlval.Value
+		rows := make([][]sqlval.Value, 0, len(work.rows))
+		arena := extendArena(work.rows, replace)
+		memo := make(map[sqlval.Value]bool)
 		for _, row := range work.rows {
-			key := valueKeyMapped(e.Mapping, table, column, row[attrIdx])
-			_, isMember := members[key]
-			rows = append(rows, extendRow(row, attrIdx, sqlval.NewBool(isMember), replace, visible))
+			isMember, ok := memo[row[attrIdx]]
+			if !ok {
+				_, isMember = members[valueKeyMapped(e.Mapping, table, column, row[attrIdx])]
+				memo[row[attrIdx]] = isMember
+			}
+			rows = append(rows, extendRow(arena, row, attrIdx, sqlval.NewBool(isMember), replace, visible))
 		}
 		work.rows = rows
 		if replace {
@@ -552,19 +565,33 @@ func (e *Enricher) applySchemaEnrichment(q *sesql.Query, en sesql.Enrichment, wo
 	return fmt.Errorf("core: unexpected schema enrichment %v", en.Kind)
 }
 
+// extendArena returns a row arena sized for the enrichment's output rows
+// (same width on replacement, one wider on extension).
+func extendArena(rows [][]sqlval.Value, replace bool) *sqlval.RowArena {
+	w := 0
+	if len(rows) > 0 {
+		w = len(rows[0])
+		if !replace {
+			w++
+		}
+	}
+	return sqlval.NewRowArena(w)
+}
+
 // extendRow either replaces column attrIdx with v or inserts v as a new
 // column just before position visible (i.e. after the visible columns,
-// before any hidden ones).
-func extendRow(row []sqlval.Value, attrIdx int, v sqlval.Value, replace bool, visible int) []sqlval.Value {
+// before any hidden ones). Output rows come from the arena, so the
+// per-input-row join loop does not allocate.
+func extendRow(a *sqlval.RowArena, row []sqlval.Value, attrIdx int, v sqlval.Value, replace bool, visible int) []sqlval.Value {
 	if replace {
-		out := append([]sqlval.Value(nil), row...)
+		out := a.Copy(row)
 		out[attrIdx] = v
 		return out
 	}
-	out := make([]sqlval.Value, 0, len(row)+1)
-	out = append(out, row[:visible]...)
-	out = append(out, v)
-	out = append(out, row[visible:]...)
+	out := a.Next()
+	copy(out, row[:visible])
+	out[visible] = v
+	copy(out[visible+1:], row[visible:])
 	return out
 }
 

@@ -6,6 +6,17 @@
 // personal knowledge base — the context her SESQL queries are evaluated
 // in — is the set of statements she owns or believes.
 //
+// Storage architecture: the platform keeps ONE dictionary-encoded triple
+// arena (rdf.SharedStore) holding every asserted triple, and each user's
+// KB is an overlay view (rdf.View) over it — a compact set of encoded
+// triple keys plus O(1) per-view pattern counters, sharing the arena's
+// dictionary and union indexes. A crowdsourced corpus believed by N users
+// is interned and indexed once; importing a belief is a few ID-keyed map
+// updates, never a re-hash of term strings. Views implement rdf.Graph and
+// rdf.IDGraph, so SESQL enrichment and the streaming SPARQL executor
+// evaluate against them unchanged, and queries over distinct users' views
+// run concurrently under shared read locks.
+//
 // The package supports the paper's three annotation scenarios:
 //
 //   - integrated annotation: the subject must be a concept extracted from
@@ -23,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"crosse/internal/rdf"
 	"crosse/internal/sparql"
@@ -62,7 +74,16 @@ type Statement struct {
 	Owner  string
 	Ref    *Reference
 
+	key       rdf.TripleKey // Triple encoded against the platform arena
 	believers map[string]struct{}
+
+	// believersShared marks the believers map as published to a snapshot:
+	// the next mutation must copy it instead of writing in place. Snapshots
+	// set it under the platform read lock (hence atomic); mutators check
+	// and clear it under the write lock. This is what lets a bulk import
+	// run allocation-free: the per-statement copy-on-write clone happens
+	// only when a snapshot actually shares the map, not on every mutation.
+	believersShared atomic.Bool
 }
 
 // Believers returns the sorted user names that accepted this statement
@@ -86,16 +107,39 @@ func (s *Statement) BelievedBy(user string) bool {
 // detached from the platform's mutable state. Statement and Explore return
 // snapshots so callers can hold them (and call Believers/BelievedBy) while
 // Import/ImportFrom/Retract keep mutating the platform. Believers maps are
-// copy-on-write (mutators install a fresh map under the platform lock, they
-// never write into a published one), so the snapshot shares the current map
-// without copying it.
+// copy-on-write: the snapshot shares the current map and flags it, and the
+// next mutator installs a fresh copy instead of writing into the published
+// one.
 func (s *Statement) snapshot() *Statement {
+	s.believersShared.Store(true)
 	return &Statement{ID: s.ID, Triple: s.Triple, Owner: s.Owner, Ref: s.Ref,
-		believers: s.believers}
+		key: s.key, believers: s.believers}
+}
+
+// addBeliever records user's belief under the copy-on-write discipline:
+// in-place when the map is private, via a fresh copy when a snapshot
+// shares it. Caller holds the platform write lock.
+func (s *Statement) addBeliever(user string) {
+	if s.believersShared.Load() {
+		s.believers = s.believersWith(user)
+		s.believersShared.Store(false)
+		return
+	}
+	s.believers[user] = struct{}{}
+}
+
+// removeBeliever is addBeliever's removal counterpart.
+func (s *Statement) removeBeliever(user string) {
+	if s.believersShared.Load() {
+		s.believers = s.believersWithout(user)
+		s.believersShared.Store(false)
+		return
+	}
+	delete(s.believers, user)
 }
 
 // believersWith returns a copy of the statement's believers set with user
-// added. Part of the copy-on-write discipline: published maps are immutable.
+// added.
 func (s *Statement) believersWith(user string) map[string]struct{} {
 	c := make(map[string]struct{}, len(s.believers)+1)
 	for u := range s.believers {
@@ -130,15 +174,18 @@ type StoredQuery struct {
 }
 
 // Platform is the semantic platform: users, statements, beliefs, stored
-// queries, and per-user materialised KB views. Safe for concurrent use.
+// queries, and per-user overlay KB views over one shared encoded arena.
+// Safe for concurrent use.
 type Platform struct {
 	mu         sync.RWMutex
 	users      map[string]struct{}
 	statements map[string]*Statement
-	order      []string // statement ids in insertion order
-	views      map[string]*rdf.Store
-	queries    map[string]*StoredQuery // key: owner + "\x00" + name
-	decls      map[string]*Declaration // key: kind + "\x00" + iri
+	order      []*Statement // statements in insertion order
+	shared     *rdf.SharedStore
+	views      map[string]*rdf.View
+	byTriple   map[rdf.TripleKey]map[string]struct{} // encoded triple → asserting statement ids
+	queries    map[string]*StoredQuery               // key: owner + "\x00" + name
+	decls      map[string]*Declaration               // key: kind + "\x00" + iri
 	checker    ConceptChecker
 	nextID     int
 }
@@ -148,7 +195,9 @@ func NewPlatform() *Platform {
 	return &Platform{
 		users:      map[string]struct{}{},
 		statements: map[string]*Statement{},
-		views:      map[string]*rdf.Store{},
+		shared:     rdf.NewSharedStore(),
+		views:      map[string]*rdf.View{},
+		byTriple:   map[rdf.TripleKey]map[string]struct{}{},
 		queries:    map[string]*StoredQuery{},
 	}
 }
@@ -172,7 +221,7 @@ func (p *Platform) RegisterUser(name string) error {
 		return fmt.Errorf("kb: user %q already registered", name)
 	}
 	p.users[name] = struct{}{}
-	p.views[name] = rdf.NewStore()
+	p.views[name] = p.shared.NewView()
 	return nil
 }
 
@@ -217,7 +266,8 @@ func Integrated() InsertOption {
 
 // Insert adds a statement owned (and believed) by the user and returns its
 // id. This is the independent annotation scenario unless Integrated() is
-// given.
+// given. The triple is interned and asserted once in the shared arena; the
+// owner's view gains only its encoded key.
 func (p *Platform) Insert(user string, t rdf.Triple, opts ...InsertOption) (string, error) {
 	var o insertOpts
 	for _, opt := range opts {
@@ -241,21 +291,32 @@ func (p *Platform) Insert(user string, t rdf.Triple, opts ...InsertOption) (stri
 	}
 	p.nextID++
 	id := fmt.Sprintf("stmt-%d", p.nextID)
+	key := p.shared.AcquireTriple(t)
 	st := &Statement{
 		ID:        id,
 		Triple:    t,
 		Owner:     user,
 		Ref:       o.ref,
+		key:       key,
 		believers: map[string]struct{}{user: {}},
 	}
 	p.statements[id] = st
-	p.order = append(p.order, id)
-	p.views[user].Add(t)
+	p.order = append(p.order, st)
+	ids := p.byTriple[key]
+	if ids == nil {
+		ids = map[string]struct{}{}
+		p.byTriple[key] = ids
+	}
+	ids[id] = struct{}{}
+	p.views[user].Add(key)
 	return id, nil
 }
 
 // Retract removes the user's belief in a statement; when the owner
-// retracts, the statement itself disappears for everyone.
+// retracts, the statement itself disappears for everyone. The byTriple
+// index makes the "does another believed statement assert this triple?"
+// check O(statements asserting that triple) instead of a scan over the
+// whole platform.
 func (p *Platform) Retract(user, id string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -270,40 +331,54 @@ func (p *Platform) Retract(user, id string) error {
 		return fmt.Errorf("kb: user %q does not hold statement %q", user, id)
 	}
 	if st.Owner == user {
-		// Remove the statement first so dropFromView doesn't see it as a
-		// surviving assertion of the same triple.
+		// Unlink the statement first so believesElsewhere doesn't see it as
+		// a surviving assertion of the same triple.
 		delete(p.statements, id)
-		for i, sid := range p.order {
-			if sid == id {
+		for i, s := range p.order {
+			if s == st {
 				p.order = append(p.order[:i], p.order[i+1:]...)
 				break
 			}
 		}
+		p.unlinkTriple(id, st.key)
 		for u := range st.believers {
-			p.dropFromView(u, st.Triple)
+			if !p.believesElsewhere(u, st.key) {
+				p.views[u].Remove(st.key)
+			}
 		}
+		p.shared.Release(st.key)
 		return nil
 	}
-	st.believers = st.believersWithout(user)
-	p.dropFromView(user, st.Triple)
+	st.removeBeliever(user)
+	if !p.believesElsewhere(user, st.key) {
+		p.views[user].Remove(st.key)
+	}
 	return nil
 }
 
-// dropFromView removes the triple from a user view unless another believed
-// statement asserts the same triple.
-func (p *Platform) dropFromView(user string, t rdf.Triple) {
-	for _, st := range p.statements {
-		if st.Triple == t {
-			if _, ok := st.believers[user]; ok {
-				return // still asserted by another statement
-			}
+// unlinkTriple drops a statement id from the triple→statements index.
+func (p *Platform) unlinkTriple(id string, key rdf.TripleKey) {
+	ids := p.byTriple[key]
+	delete(ids, id)
+	if len(ids) == 0 {
+		delete(p.byTriple, key)
+	}
+}
+
+// believesElsewhere reports whether some surviving statement asserting the
+// triple is believed by the user.
+func (p *Platform) believesElsewhere(user string, key rdf.TripleKey) bool {
+	for sid := range p.byTriple[key] {
+		if _, ok := p.statements[sid].believers[user]; ok {
+			return true
 		}
 	}
-	p.views[user].Remove(t)
+	return false
 }
 
 // Import makes the user accept an existing statement as her own belief
-// (crowdsourced annotation scenario).
+// (crowdsourced annotation scenario). The statement's triple is already
+// encoded, so the user's view gains a key — no term is re-interned.
 func (p *Platform) Import(user, id string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -314,15 +389,19 @@ func (p *Platform) Import(user, id string) error {
 	if !ok {
 		return fmt.Errorf("kb: no statement %q", id)
 	}
-	if _, already := st.believers[user]; !already {
-		st.believers = st.believersWith(user)
+	if _, already := st.believers[user]; already {
+		return nil
 	}
-	p.views[user].Add(st.Triple)
+	st.addBeliever(user)
+	p.views[user].Add(st.key)
 	return nil
 }
 
 // ImportFrom imports every statement owned by fromUser that matches the
-// optional filter. It returns the imported statement count.
+// optional filter. It returns the imported statement count. The whole
+// batch is applied to the importing user's view under one view lock, and
+// believer sets mutate copy-on-write only when a snapshot shares them, so
+// a bulk import of an encoded corpus is a pure ID-level set operation.
 func (p *Platform) ImportFrom(user, fromUser string, filter func(*Statement) bool) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -332,9 +411,8 @@ func (p *Platform) ImportFrom(user, fromUser string, filter func(*Statement) boo
 	if err := p.requireUser(fromUser); err != nil {
 		return 0, err
 	}
-	n := 0
-	for _, id := range p.order {
-		st := p.statements[id]
+	var keys []rdf.TripleKey
+	for _, st := range p.order {
 		if st.Owner != fromUser {
 			continue
 		}
@@ -344,11 +422,13 @@ func (p *Platform) ImportFrom(user, fromUser string, filter func(*Statement) boo
 		if _, already := st.believers[user]; already {
 			continue
 		}
-		st.believers = st.believersWith(user)
-		p.views[user].Add(st.Triple)
-		n++
+		st.addBeliever(user)
+		keys = append(keys, st.key)
 	}
-	return n, nil
+	if len(keys) > 0 {
+		p.views[user].AddBatch(keys)
+	}
+	return len(keys), nil
 }
 
 // Statement returns a snapshot of a statement by id. The snapshot's
@@ -372,8 +452,7 @@ func (p *Platform) Explore(filter func(*Statement) bool) []*Statement {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	var out []*Statement
-	for _, id := range p.order {
-		st := p.statements[id]
+	for _, st := range p.order {
 		if filter == nil || filter(st) {
 			out = append(out, st.snapshot())
 		}
@@ -382,7 +461,10 @@ func (p *Platform) Explore(filter func(*Statement) bool) []*Statement {
 }
 
 // View returns the user's personal knowledge base: the graph of triples
-// she owns or has imported. This is the context SESQL queries run in.
+// she owns or has imported, as an overlay over the platform's shared
+// arena. This is the context SESQL queries run in; it implements both
+// rdf.Graph and rdf.IDGraph, so the streaming SPARQL executor evaluates
+// it ID-natively.
 func (p *Platform) View(user string) (rdf.Graph, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -401,6 +483,15 @@ func (p *Platform) ViewSize(user string) int {
 		return v.Len()
 	}
 	return 0
+}
+
+// Shared exposes the platform's shared encoded arena (the union graph over
+// every asserted statement). Diagnostics and platform-wide tooling read it;
+// per-user query evaluation always goes through View.
+func (p *Platform) Shared() *rdf.SharedStore {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.shared
 }
 
 // --- stored SPARQL queries ---

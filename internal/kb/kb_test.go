@@ -394,3 +394,75 @@ func TestStatementSnapshotNoRace(t *testing.T) {
 		t.Error("fresh snapshot must observe the retraction")
 	}
 }
+
+// TestSharedArenaNoReInterning pins the overlay-view memory contract: a
+// corpus believed by many users is interned and indexed once in the shared
+// arena — imports add ID-level view state only, never dictionary entries or
+// duplicate union triples — and owner retraction releases arena triples no
+// surviving statement asserts.
+func TestSharedArenaNoReInterning(t *testing.T) {
+	p := newPlatformWithUsers(t, "expert", "u1", "u2", "u3")
+	var ids []string
+	for _, x := range []string{"Mercury", "Lead", "Zinc"} {
+		id, err := p.Insert("expert", tr(x, "isA", "HazardousWaste"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	arena := p.Shared()
+	dictBefore, lenBefore := arena.DictLen(), arena.Len()
+
+	for _, u := range []string{"u1", "u2", "u3"} {
+		if _, err := p.ImportFrom(u, "expert", nil); err != nil {
+			t.Fatal(err)
+		}
+		if p.ViewSize(u) != 3 {
+			t.Fatalf("%s view = %d", u, p.ViewSize(u))
+		}
+	}
+	if arena.DictLen() != dictBefore {
+		t.Errorf("imports grew the dictionary: %d → %d", dictBefore, arena.DictLen())
+	}
+	if arena.Len() != lenBefore {
+		t.Errorf("imports grew the union arena: %d → %d", lenBefore, arena.Len())
+	}
+
+	// Owner retraction drops the triple from the arena (no other statement
+	// asserts it) and from every believer's view.
+	if err := p.Retract("expert", ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if arena.Len() != lenBefore-1 {
+		t.Errorf("arena Len after retract = %d, want %d", arena.Len(), lenBefore-1)
+	}
+	for _, u := range []string{"u1", "u2", "u3"} {
+		if p.ViewSize(u) != 2 {
+			t.Errorf("%s view after retract = %d", u, p.ViewSize(u))
+		}
+	}
+}
+
+// TestViewIsIDGraph pins that per-user views expose the encoded layer, so
+// the streaming SPARQL executor takes the ID-native path (no adapter).
+func TestViewIsIDGraph(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice")
+	p.Insert("alice", tr("Mercury", "isA", "HazardousWaste"))
+	g, err := p.View("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig, ok := g.(rdf.IDGraph)
+	if !ok {
+		t.Fatal("view does not implement rdf.IDGraph")
+	}
+	ig.ReadIDs(func(r rdf.IDReader) {
+		pid, ok := r.IDOf(iri("isA"))
+		if !ok {
+			t.Fatal("isA not interned")
+		}
+		if n := r.CountIDs(rdf.PatternIDs{P: pid}); n != 1 {
+			t.Errorf("CountIDs = %d", n)
+		}
+	})
+}

@@ -39,8 +39,8 @@ func (p *Platform) ToRDF() *rdf.Store {
 	for u := range p.users {
 		g.Add(rdf.Triple{S: userIRI(u), P: typ, O: rdf.NewIRI(ClassUser)})
 	}
-	for _, id := range p.order {
-		st := p.statements[id]
+	for _, st := range p.order {
+		id := st.ID
 		node := stmtIRI(id)
 		g.Add(rdf.Triple{S: node, P: typ, O: rdf.NewIRI(ClassStatement)})
 		g.Add(rdf.Triple{S: node, P: rdf.NewIRI(rdf.RDFSubject), O: st.Triple.S})

@@ -120,6 +120,29 @@ func (d *Dict) TermOf(id TermID) (Term, bool) {
 // under the name the encoded-layer consumers use.
 func (d *Dict) IDOf(t Term) (TermID, bool) { return d.Lookup(t) }
 
+// encodePattern resolves the bound positions of a term-level pattern to IDs
+// without interning anything. ok is false when some bound term was never
+// interned — nothing can match then.
+func (d *Dict) encodePattern(p Pattern) (ids PatternIDs, ok bool) {
+	ok = true
+	if !p.S.IsZero() {
+		if ids.S, ok = d.Lookup(p.S); !ok {
+			return
+		}
+	}
+	if !p.P.IsZero() {
+		if ids.P, ok = d.Lookup(p.P); !ok {
+			return
+		}
+	}
+	if !p.O.IsZero() {
+		if ids.O, ok = d.Lookup(p.O); !ok {
+			return
+		}
+	}
+	return
+}
+
 // Len returns the number of interned terms.
 func (d *Dict) Len() int { return len(d.terms) }
 

@@ -1,0 +1,283 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func viri(n string) Term { return NewIRI("http://x/" + n) }
+
+func TestSharedStoreAcquireRelease(t *testing.T) {
+	s := NewSharedStore()
+	tr := Triple{viri("a"), viri("p"), viri("b")}
+	k := s.AcquireTriple(tr)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	// A second assertion of the same triple must not duplicate it.
+	k2 := s.AcquireTriple(tr)
+	if k != k2 {
+		t.Fatalf("re-encoding changed the key: %v vs %v", k, k2)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after double acquire = %d, want 1", s.Len())
+	}
+	if got, ok := s.DecodeTriple(k); !ok || got != tr {
+		t.Fatalf("DecodeTriple = %v, %v", got, ok)
+	}
+	// First release keeps it (one reference left), second drops it.
+	s.Release(k)
+	if s.Len() != 1 {
+		t.Fatalf("Len after first release = %d, want 1", s.Len())
+	}
+	s.Release(k)
+	if s.Len() != 0 {
+		t.Fatalf("Len after last release = %d, want 0", s.Len())
+	}
+	if s.Count(Pattern{S: viri("a")}) != 0 {
+		t.Fatal("released triple still matches in union indexes")
+	}
+	// Terms stay interned.
+	if _, ok := s.IDOf(viri("a")); !ok {
+		t.Fatal("term released from dictionary")
+	}
+	// Releasing an unknown key is a no-op.
+	s.Release(TripleKey{999, 999, 999})
+}
+
+func TestViewMembershipAndCounters(t *testing.T) {
+	s := NewSharedStore()
+	v := s.NewView()
+	tr := Triple{viri("a"), viri("p"), viri("b")}
+	k := s.AcquireTriple(tr)
+	if !v.Add(k) {
+		t.Fatal("Add reported not-new")
+	}
+	if v.Add(k) {
+		t.Fatal("duplicate Add reported new")
+	}
+	if v.Len() != 1 || !v.Has(k) {
+		t.Fatalf("Len=%d Has=%v", v.Len(), v.Has(k))
+	}
+	if n := v.Count(Pattern{S: viri("a")}); n != 1 {
+		t.Fatalf("Count(S) = %d", n)
+	}
+	if !v.Remove(k) {
+		t.Fatal("Remove reported absent")
+	}
+	if v.Remove(k) {
+		t.Fatal("double Remove reported present")
+	}
+	if v.Len() != 0 || v.Count(Pattern{S: viri("a")}) != 0 {
+		t.Fatalf("view not empty after remove: len=%d", v.Len())
+	}
+}
+
+// TestViewParityWithStore drives a view and a private store with the same
+// random triple subset and checks Count and ForEach agree for every pattern
+// shape — including both sides of the cheaper-side iteration choice, since
+// the view holds a small fraction of a much larger arena.
+func TestViewParityWithStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shared := NewSharedStore()
+	ref := NewStore()
+	v := shared.NewView()
+
+	var all []Triple
+	for i := 0; i < 2000; i++ {
+		tr := Triple{
+			S: viri(fmt.Sprintf("s%d", rng.Intn(50))),
+			P: viri(fmt.Sprintf("p%d", rng.Intn(8))),
+			O: viri(fmt.Sprintf("o%d", rng.Intn(200))),
+		}
+		all = append(all, tr)
+		k := shared.AcquireTriple(tr)
+		if i%5 == 0 { // view holds ~20% of the arena
+			v.Add(k)
+			ref.Add(tr)
+		}
+	}
+	pats := []Pattern{
+		{},
+		{S: viri("s1")},
+		{P: viri("p2")},
+		{O: viri("o3")},
+		{S: viri("s1"), P: viri("p2")},
+		{P: viri("p2"), O: viri("o3")},
+		{S: viri("s1"), O: viri("o3")},
+		all[0].pattern(),
+		{S: viri("never")},
+		{S: viri("s1"), P: viri("never")},
+	}
+	for _, p := range pats {
+		if got, want := v.Count(p), ref.Count(p); got != want {
+			t.Errorf("Count(%v) = %d, want %d", p, got, want)
+		}
+		got := collect(v, p)
+		want := collect(ref, p)
+		if !equalTriples(got, want) {
+			t.Errorf("ForEach(%v): got %d triples, want %d", p, len(got), len(want))
+		}
+	}
+
+	// Flip the balance: a view holding nearly everything iterates the
+	// shared posting lists; results must still agree.
+	big := shared.NewView()
+	ref2 := NewStore()
+	for _, tr := range all {
+		big.Add(shared.EncodeTriple(tr))
+		ref2.Add(tr)
+	}
+	for _, p := range pats {
+		if got, want := big.Count(p), ref2.Count(p); got != want {
+			t.Errorf("big view Count(%v) = %d, want %d", p, got, want)
+		}
+		if !equalTriples(collect(big, p), collect(ref2, p)) {
+			t.Errorf("big view ForEach(%v) mismatch", p)
+		}
+	}
+}
+
+func (t Triple) pattern() Pattern { return Pattern{S: t.S, P: t.P, O: t.O} }
+
+func collect(g Graph, p Pattern) []Triple {
+	var out []Triple
+	g.ForEach(p, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+func equalTriples(a, b []Triple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestViewReleaseDropsFromOverlay pins the arena/view invariant: a triple
+// released from the arena disappears from every overlay's iteration, so the
+// KB layer must keep triples acquired while any view holds them.
+func TestViewReleaseDropsFromOverlay(t *testing.T) {
+	s := NewSharedStore()
+	v := s.NewView()
+	k := s.AcquireTriple(Triple{viri("a"), viri("p"), viri("b")})
+	v.Add(k)
+	s.Release(k)
+	// Per-view state still says 1 (the view was not told), but shared-side
+	// iteration no longer surfaces it for bound patterns.
+	if n := len(collect(v, Pattern{S: viri("a")})); n != 0 {
+		t.Fatalf("released triple still iterates: %d", n)
+	}
+}
+
+func TestViewReadIDsTransaction(t *testing.T) {
+	s := NewSharedStore()
+	v := s.NewView()
+	for i := 0; i < 10; i++ {
+		k := s.AcquireTriple(Triple{viri(fmt.Sprintf("s%d", i)), viri("p"), viri("o")})
+		v.Add(k)
+	}
+	v.ReadIDs(func(r IDReader) {
+		pid, ok := r.IDOf(viri("p"))
+		if !ok {
+			t.Fatal("IDOf(p) failed")
+		}
+		if n := r.CountIDs(PatternIDs{P: pid}); n != 10 {
+			t.Fatalf("CountIDs = %d, want 10", n)
+		}
+		seen := 0
+		r.ForEachIDs(PatternIDs{P: pid}, func(a, b, c TermID) bool {
+			if term, ok := r.TermOf(a); !ok || !term.IsIRI() {
+				t.Fatalf("TermOf(%d) = %v, %v", a, term, ok)
+			}
+			seen++
+			return true
+		})
+		if seen != 10 {
+			t.Fatalf("ForEachIDs saw %d, want 10", seen)
+		}
+	})
+}
+
+// TestViewAddBatchPresize covers the bulk-import fast path (fresh view,
+// batch larger than the presize threshold) including duplicate keys.
+func TestViewAddBatchPresize(t *testing.T) {
+	s := NewSharedStore()
+	var ks []TripleKey
+	for i := 0; i < 200; i++ {
+		ks = append(ks, s.AcquireTriple(Triple{viri(fmt.Sprintf("s%d", i)), viri("p"), viri("o")}))
+	}
+	ks = append(ks, ks[0]) // duplicate
+	v := s.NewView()
+	if n := v.AddBatch(ks); n != 200 {
+		t.Fatalf("AddBatch = %d, want 200", n)
+	}
+	if v.Len() != 200 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if n := v.Count(Pattern{P: viri("p")}); n != 200 {
+		t.Fatalf("Count(P) = %d", n)
+	}
+}
+
+// TestSharedConcurrentMutationAndReads races arena mutations and view
+// mutations against ReadIDs transactions on other views. Run with -race.
+func TestSharedConcurrentMutationAndReads(t *testing.T) {
+	s := NewSharedStore()
+	const users = 4
+	views := make([]*View, users)
+	var base []TripleKey
+	for i := 0; i < 100; i++ {
+		base = append(base, s.AcquireTriple(Triple{viri(fmt.Sprintf("s%d", i)), viri("p"), viri("o")}))
+	}
+	for u := range views {
+		views[u] = s.NewView()
+		views[u].AddBatch(base)
+	}
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		u := u
+		wg.Add(1)
+		go func() { // mutator: private triples come and go
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := Triple{viri(fmt.Sprintf("u%d_%d", u, i)), viri("q"), viri("o")}
+				k := s.AcquireTriple(tr)
+				views[u].Add(k)
+				if i%2 == 0 {
+					views[u].Remove(k)
+					s.Release(k)
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() { // reader: whole-view transactions
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				views[u].ReadIDs(func(r IDReader) {
+					pid, ok := r.IDOf(viri("p"))
+					if !ok {
+						t.Error("p vanished from dictionary")
+						return
+					}
+					if n := r.CountIDs(PatternIDs{P: pid}); n < 100 {
+						t.Errorf("base triples missing: %d", n)
+					}
+					r.ForEachIDs(PatternIDs{P: pid}, func(a, b, c TermID) bool { return true })
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -8,10 +8,12 @@ import (
 // idSet is a third-level index entry: the set of IDs completing a triple.
 type idSet map[TermID]struct{}
 
-// tripleKey is an encoded triple, used as the key of the store's flat
-// membership set: one 12-byte hash probe answers Has/duplicate-Add/exact
-// Count without walking three index levels.
-type tripleKey [3]TermID
+// TripleKey is a dictionary-encoded triple: the [subject, predicate, object]
+// IDs issued by the owning dictionary. One 12-byte hash probe answers
+// Has/duplicate-Add/exact-Count without walking three index levels, and the
+// KB layer's overlay views (View) keep their whole membership state as sets
+// of TripleKeys — no term strings, no per-view dictionary.
+type TripleKey [3]TermID
 
 // subIndex is one first-level entry of a three-level index: the second-level
 // key → third-level set mapping, plus the total number of triples stored
@@ -75,6 +77,187 @@ func (idx index) clone() index {
 	return c
 }
 
+// encStore is the dictionary-free encoded core of a triple store: the flat
+// TripleKey membership set plus the three permutation indexes. Store pairs
+// one with a private Dict; SharedStore pairs one with the platform-wide
+// shared Dict. It carries no lock — the embedding type's lock guards it.
+type encStore struct {
+	triples map[TripleKey]struct{} // flat membership set: dup/Has/exact-Count probes
+	spo     index
+	pos     index
+	osp     index
+}
+
+func newEncStore() encStore {
+	return encStore{
+		triples: make(map[TripleKey]struct{}),
+		spo:     make(index),
+		pos:     make(index),
+		osp:     make(index),
+	}
+}
+
+// addKey inserts an encoded triple, reporting whether it was new.
+func (c *encStore) addKey(k TripleKey) bool {
+	if _, dup := c.triples[k]; dup {
+		return false
+	}
+	c.triples[k] = struct{}{}
+	c.spo.add(k[0], k[1], k[2])
+	c.pos.add(k[1], k[2], k[0])
+	c.osp.add(k[2], k[0], k[1])
+	return true
+}
+
+// delKey removes an encoded triple, reporting whether it was present.
+func (c *encStore) delKey(k TripleKey) bool {
+	if _, ok := c.triples[k]; !ok {
+		return false
+	}
+	delete(c.triples, k)
+	c.spo.del(k[0], k[1], k[2])
+	c.pos.del(k[1], k[2], k[0])
+	c.osp.del(k[2], k[0], k[1])
+	return true
+}
+
+// countIDs answers a pattern cardinality from index sizes in O(1). A
+// never-issued (including synthetic) ID in any position yields 0.
+func (c *encStore) countIDs(p PatternIDs) int {
+	sb, pb, ob := p.S != 0, p.P != 0, p.O != 0
+	switch {
+	case sb && pb && ob:
+		if _, ok := c.triples[TripleKey{p.S, p.P, p.O}]; ok {
+			return 1
+		}
+		return 0
+	case sb && pb:
+		if s1, ok := c.spo[p.S]; ok {
+			return len(s1.m[p.P])
+		}
+		return 0
+	case pb && ob:
+		if s1, ok := c.pos[p.P]; ok {
+			return len(s1.m[p.O])
+		}
+		return 0
+	case sb && ob:
+		if s1, ok := c.osp[p.O]; ok {
+			return len(s1.m[p.S])
+		}
+		return 0
+	case sb:
+		if s1, ok := c.spo[p.S]; ok {
+			return s1.n
+		}
+		return 0
+	case pb:
+		if s1, ok := c.pos[p.P]; ok {
+			return s1.n
+		}
+		return 0
+	case ob:
+		if s1, ok := c.osp[p.O]; ok {
+			return s1.n
+		}
+		return 0
+	default:
+		return len(c.triples)
+	}
+}
+
+// matchIDs streams encoded triples matching the pattern into fn without any
+// term decoding; fn returning false stops the enumeration. This is the layer
+// the term-level match API, the SPARQL executor's ID-native joins and the
+// overlay views' shared-side iteration all sit on.
+func (c *encStore) matchIDs(p PatternIDs, fn func(si, pi, oi TermID) bool) {
+	sb, pb, ob := p.S != 0, p.P != 0, p.O != 0
+	switch {
+	case sb && pb && ob:
+		if _, ok := c.triples[TripleKey{p.S, p.P, p.O}]; ok {
+			fn(p.S, p.P, p.O)
+		}
+	case sb && pb:
+		if s1, ok := c.spo[p.S]; ok {
+			for o := range s1.m[p.P] {
+				if !fn(p.S, p.P, o) {
+					return
+				}
+			}
+		}
+	case pb && ob:
+		if s1, ok := c.pos[p.P]; ok {
+			for sub := range s1.m[p.O] {
+				if !fn(sub, p.P, p.O) {
+					return
+				}
+			}
+		}
+	case sb && ob:
+		if s1, ok := c.osp[p.O]; ok {
+			for pr := range s1.m[p.S] {
+				if !fn(p.S, pr, p.O) {
+					return
+				}
+			}
+		}
+	case sb:
+		if s1, ok := c.spo[p.S]; ok {
+			for pr, objs := range s1.m {
+				for o := range objs {
+					if !fn(p.S, pr, o) {
+						return
+					}
+				}
+			}
+		}
+	case pb:
+		if s1, ok := c.pos[p.P]; ok {
+			for o, subs := range s1.m {
+				for sub := range subs {
+					if !fn(sub, p.P, o) {
+						return
+					}
+				}
+			}
+		}
+	case ob:
+		if s1, ok := c.osp[p.O]; ok {
+			for sub, preds := range s1.m {
+				for pr := range preds {
+					if !fn(sub, pr, p.O) {
+						return
+					}
+				}
+			}
+		}
+	default:
+		for sub, s1 := range c.spo {
+			for pr, objs := range s1.m {
+				for o := range objs {
+					if !fn(sub, pr, o) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// clone deep-copies the encoded core.
+func (c *encStore) clone() encStore {
+	triples := make(map[TripleKey]struct{}, len(c.triples))
+	for k := range c.triples {
+		triples[k] = struct{}{}
+	}
+	return encStore{
+		triples: triples,
+		spo:     c.spo.clone(),
+		pos:     c.pos.clone(),
+		osp:     c.osp.clone(),
+	}
+}
+
 // Store is an in-memory triple store with three full permutation indexes
 // (SPO, POS, OSP) over dictionary-encoded terms, so that every triple-pattern
 // shape resolves through an index rather than a scan and every pattern
@@ -83,22 +266,16 @@ func (idx index) clone() index {
 // This is the CroSSE semantic platform's storage engine (the role Jena plays
 // in the paper).
 type Store struct {
-	mu      sync.RWMutex
-	dict    *Dict
-	triples map[tripleKey]struct{} // flat membership set: dup/Has/exact-Count probes
-	spo     index
-	pos     index
-	osp     index
+	mu   sync.RWMutex
+	dict *Dict
+	encStore
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
-		dict:    NewDict(),
-		triples: make(map[tripleKey]struct{}),
-		spo:     make(index),
-		pos:     make(index),
-		osp:     make(index),
+		dict:     NewDict(),
+		encStore: newEncStore(),
 	}
 }
 
@@ -111,15 +288,7 @@ func (s *Store) Add(t Triple) bool {
 
 func (s *Store) addLocked(t Triple) bool {
 	si, pi, oi := s.dict.Encode(t.S), s.dict.Encode(t.P), s.dict.Encode(t.O)
-	k := tripleKey{si, pi, oi}
-	if _, dup := s.triples[k]; dup {
-		return false
-	}
-	s.triples[k] = struct{}{}
-	s.spo.add(si, pi, oi)
-	s.pos.add(pi, oi, si)
-	s.osp.add(oi, si, pi)
-	return true
+	return s.addKey(TripleKey{si, pi, oi})
 }
 
 // AddAll inserts a batch of triples under a single lock acquisition,
@@ -147,15 +316,7 @@ func (s *Store) Remove(t Triple) bool {
 	if !okS || !okP || !okO {
 		return false
 	}
-	k := tripleKey{si, pi, oi}
-	if _, ok := s.triples[k]; !ok {
-		return false
-	}
-	delete(s.triples, k)
-	s.spo.del(si, pi, oi)
-	s.pos.del(pi, oi, si)
-	s.osp.del(oi, si, pi)
-	return true
+	return s.delKey(TripleKey{si, pi, oi})
 }
 
 // Has reports whether the exact triple is in the store.
@@ -168,7 +329,7 @@ func (s *Store) Has(t Triple) bool {
 	if !okS || !okP || !okO {
 		return false
 	}
-	_, ok := s.triples[tripleKey{si, pi, oi}]
+	_, ok := s.triples[TripleKey{si, pi, oi}]
 	return ok
 }
 
@@ -185,29 +346,6 @@ func (s *Store) Len() int {
 // joins on without decoding terms.
 type PatternIDs struct {
 	S, P, O TermID
-}
-
-// encodePattern resolves the bound positions of a pattern to IDs. ok is
-// false when some bound term was never interned — nothing can match then.
-func (s *Store) encodePattern(p Pattern) (si, pi, oi TermID, sb, pb, ob, ok bool) {
-	sb, pb, ob = !p.S.IsZero(), !p.P.IsZero(), !p.O.IsZero()
-	ok = true
-	if sb {
-		if si, ok = s.dict.Lookup(p.S); !ok {
-			return
-		}
-	}
-	if pb {
-		if pi, ok = s.dict.Lookup(p.P); !ok {
-			return
-		}
-	}
-	if ob {
-		if oi, ok = s.dict.Lookup(p.O); !ok {
-			return
-		}
-	}
-	return
 }
 
 // Match returns every triple matching the pattern. The index used is chosen
@@ -240,143 +378,20 @@ func (s *Store) ForEach(p Pattern, fn func(Triple) bool) {
 func (s *Store) Count(p Pattern) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	si, pi, oi, _, _, _, ok := s.encodePattern(p)
+	ids, ok := s.dict.encodePattern(p)
 	if !ok {
 		return 0
 	}
-	return s.countIDs(PatternIDs{si, pi, oi})
-}
-
-// countIDs answers a pattern cardinality from index sizes. Caller holds the
-// lock. A never-issued (including synthetic) ID in any position yields 0.
-func (s *Store) countIDs(p PatternIDs) int {
-	sb, pb, ob := p.S != 0, p.P != 0, p.O != 0
-	switch {
-	case sb && pb && ob:
-		if _, ok := s.triples[tripleKey{p.S, p.P, p.O}]; ok {
-			return 1
-		}
-		return 0
-	case sb && pb:
-		if s1, ok := s.spo[p.S]; ok {
-			return len(s1.m[p.P])
-		}
-		return 0
-	case pb && ob:
-		if s1, ok := s.pos[p.P]; ok {
-			return len(s1.m[p.O])
-		}
-		return 0
-	case sb && ob:
-		if s1, ok := s.osp[p.O]; ok {
-			return len(s1.m[p.S])
-		}
-		return 0
-	case sb:
-		if s1, ok := s.spo[p.S]; ok {
-			return s1.n
-		}
-		return 0
-	case pb:
-		if s1, ok := s.pos[p.P]; ok {
-			return s1.n
-		}
-		return 0
-	case ob:
-		if s1, ok := s.osp[p.O]; ok {
-			return s1.n
-		}
-		return 0
-	default:
-		return len(s.triples)
-	}
-}
-
-// matchIDs streams encoded triples matching the pattern into fn without any
-// term decoding; fn returning false stops the enumeration. Caller holds the
-// lock. This is the layer both the term-level match API and the SPARQL
-// executor's ID-native joins sit on.
-func (s *Store) matchIDs(p PatternIDs, fn func(si, pi, oi TermID) bool) {
-	sb, pb, ob := p.S != 0, p.P != 0, p.O != 0
-	switch {
-	case sb && pb && ob:
-		if _, ok := s.triples[tripleKey{p.S, p.P, p.O}]; ok {
-			fn(p.S, p.P, p.O)
-		}
-	case sb && pb:
-		if s1, ok := s.spo[p.S]; ok {
-			for o := range s1.m[p.P] {
-				if !fn(p.S, p.P, o) {
-					return
-				}
-			}
-		}
-	case pb && ob:
-		if s1, ok := s.pos[p.P]; ok {
-			for sub := range s1.m[p.O] {
-				if !fn(sub, p.P, p.O) {
-					return
-				}
-			}
-		}
-	case sb && ob:
-		if s1, ok := s.osp[p.O]; ok {
-			for pr := range s1.m[p.S] {
-				if !fn(p.S, pr, p.O) {
-					return
-				}
-			}
-		}
-	case sb:
-		if s1, ok := s.spo[p.S]; ok {
-			for pr, objs := range s1.m {
-				for o := range objs {
-					if !fn(p.S, pr, o) {
-						return
-					}
-				}
-			}
-		}
-	case pb:
-		if s1, ok := s.pos[p.P]; ok {
-			for o, subs := range s1.m {
-				for sub := range subs {
-					if !fn(sub, p.P, o) {
-						return
-					}
-				}
-			}
-		}
-	case ob:
-		if s1, ok := s.osp[p.O]; ok {
-			for sub, preds := range s1.m {
-				for pr := range preds {
-					if !fn(sub, pr, p.O) {
-						return
-					}
-				}
-			}
-		}
-	default:
-		for sub, s1 := range s.spo {
-			for pr, objs := range s1.m {
-				for o := range objs {
-					if !fn(sub, pr, o) {
-						return
-					}
-				}
-			}
-		}
-	}
+	return s.countIDs(ids)
 }
 
 func (s *Store) matchLocked(p Pattern, fn func(Triple) bool) {
-	si, pi, oi, _, _, _, ok := s.encodePattern(p)
+	ids, ok := s.dict.encodePattern(p)
 	if !ok {
 		return
 	}
 	d := s.dict
-	s.matchIDs(PatternIDs{si, pi, oi}, func(a, b, c TermID) bool {
+	s.matchIDs(ids, func(a, b, c TermID) bool {
 		return fn(Triple{d.Term(a), d.Term(b), d.Term(c)})
 	})
 }
@@ -523,21 +538,14 @@ func (s *Store) Predicates() []Term {
 // per-triple re-encoding or re-locking — so cloning costs one flat pass over
 // the index maps. It is the snapshot API for callers that need a
 // point-in-time copy to read or mutate without blocking the original
-// (per-user view forks, offline analysis); the KB layer itself maintains its
-// views incrementally via Add/Remove.
+// (offline analysis, export); the KB layer's views are overlays over a
+// SharedStore and update incrementally.
 func (s *Store) Clone() *Store {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	triples := make(map[tripleKey]struct{}, len(s.triples))
-	for k := range s.triples {
-		triples[k] = struct{}{}
-	}
 	return &Store{
-		dict:    s.dict.Clone(),
-		triples: triples,
-		spo:     s.spo.clone(),
-		pos:     s.pos.clone(),
-		osp:     s.osp.clone(),
+		dict:     s.dict.Clone(),
+		encStore: s.encStore.clone(),
 	}
 }
 
@@ -546,14 +554,11 @@ func (s *Store) Clear() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dict = NewDict()
-	s.triples = make(map[tripleKey]struct{})
-	s.spo = make(index)
-	s.pos = make(index)
-	s.osp = make(index)
+	s.encStore = newEncStore()
 }
 
 // Graph is the read-only view the SPARQL engine evaluates against. Both
-// *Store and the KB layer's filtered per-user views implement it.
+// *Store and the KB layer's overlay per-user views implement it.
 type Graph interface {
 	// ForEach streams triples matching the pattern; fn returning false
 	// stops the enumeration early.
@@ -565,9 +570,10 @@ type Graph interface {
 
 // IDGraph is a Graph whose storage exposes the dictionary-encoded layer.
 // The SPARQL executor type-asserts its input Graph to IDGraph and, when the
-// assertion holds (it does for *Store and hence for every KB view), runs the
-// whole query ID-natively under a single ReadIDs transaction; other Graph
-// implementations fall back to an adapter that interns terms on the fly.
+// assertion holds (it does for *Store, *SharedStore and every KB overlay
+// View), runs the whole query ID-natively under a single ReadIDs
+// transaction; other Graph implementations fall back to an adapter that
+// interns terms on the fly.
 type IDGraph interface {
 	Graph
 	// ReadIDs runs fn as one lock-free-inside read transaction over the

@@ -7,6 +7,14 @@
 // assigns to the Jena triple store (Sec. III-B, Fig. 4), and is the storage
 // layer underneath the SPARQL engine (internal/sparql) and the knowledge-base
 // management layer (internal/kb).
+//
+// Two storage shapes share the encoded core: Store is a self-contained
+// graph with a private dictionary, and SharedStore + View form the
+// multi-user overlay layer — one arena interning and indexing every
+// asserted triple once, with per-user Views holding only TripleKey
+// membership and O(1) pattern counters (see shared.go). Both shapes
+// implement Graph and IDGraph, so the SPARQL executor is agnostic to which
+// one it evaluates.
 package rdf
 
 import (

@@ -238,10 +238,9 @@ func scanSource(src source) (*rowset, error) {
 		cols[i] = ScopeCol{Qualifier: src.alias, Name: c.Name}
 	}
 	rs := &rowset{cols: cols}
+	arena := sqlval.NewRowArena(len(schema))
 	err := src.rel.Scan(func(row []sqlval.Value) bool {
-		cp := make([]sqlval.Value, len(row))
-		copy(cp, row)
-		rs.rows = append(rs.rows, cp)
+		rs.rows = append(rs.rows, arena.Copy(row))
 		return true
 	})
 	return rs, err
@@ -527,9 +526,14 @@ func selectPlain(sel *sqlparser.Select, base *rowset) (*rowset, []string, []*Sco
 	}
 	out := &rowset{cols: cols, rows: make([][]sqlval.Value, 0, len(base.rows))}
 	scopes := make([]*Scope, 0, len(base.rows))
-	for _, r := range base.rows {
-		s := base.scope(r)
-		row := make([]sqlval.Value, len(items))
+	// Scopes and rows are block-allocated: one backing array each instead
+	// of a per-row allocation (this loop dominates SELECT materialisation).
+	scopeBuf := make([]Scope, len(base.rows))
+	arena := sqlval.NewRowArena(len(items))
+	for bi, r := range base.rows {
+		scopeBuf[bi] = Scope{Cols: base.cols, Row: r}
+		s := &scopeBuf[bi]
+		row := arena.Next()
 		for i, it := range items {
 			v, err := Eval(it.Expr, s)
 			if err != nil {

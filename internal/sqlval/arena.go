@@ -1,0 +1,52 @@
+package sqlval
+
+// RowArena hands out fixed-width row slices carved from large shared
+// blocks, so materialising n rows costs O(n/block) allocations instead of
+// one per row. The per-row slices are full-capacity sub-slices: appending
+// to one reallocates rather than clobbering a neighbour. Rows stay valid
+// for as long as the caller keeps them; the arena itself is cheap enough
+// to be created per query. Not safe for concurrent use.
+type RowArena struct {
+	width int
+	buf   []Value
+	used  int
+	block int // rows per block; grows geometrically so small results stay small
+}
+
+// Block sizing: the first block is small (a one-row SELECT should not pay
+// for hundreds of rows), then doubles per block up to the cap, where the
+// per-row allocation amortisation dominates.
+const (
+	arenaFirstBlockRows = 16
+	arenaBlockRows      = 512
+)
+
+// NewRowArena returns an arena producing rows of the given width.
+func NewRowArena(width int) *RowArena {
+	return &RowArena{width: width, block: arenaFirstBlockRows}
+}
+
+// Next returns a zeroed row of the arena's width.
+func (a *RowArena) Next() []Value {
+	if a.width == 0 {
+		return nil
+	}
+	if a.used+a.width > len(a.buf) {
+		a.buf = make([]Value, a.block*a.width)
+		a.used = 0
+		if a.block < arenaBlockRows {
+			a.block *= 2
+		}
+	}
+	r := a.buf[a.used : a.used+a.width : a.used+a.width]
+	a.used += a.width
+	return r
+}
+
+// Copy returns an arena-backed copy of row (which must have the arena's
+// width).
+func (a *RowArena) Copy(row []Value) []Value {
+	r := a.Next()
+	copy(r, row)
+	return r
+}

@@ -1,0 +1,45 @@
+package sqlval
+
+import "testing"
+
+func TestRowArena(t *testing.T) {
+	a := NewRowArena(3)
+	r1 := a.Next()
+	if len(r1) != 3 || cap(r1) != 3 {
+		t.Fatalf("len=%d cap=%d, want 3/3", len(r1), cap(r1))
+	}
+	r1[0] = NewInt(1)
+	r2 := a.Copy([]Value{NewInt(7), NewString("x"), Null})
+	// Rows must be zeroed and independent: writing r2 cannot touch r1, and
+	// appending to a row reallocates instead of clobbering a neighbour.
+	if r1[1] != Null || r1[0] != NewInt(1) {
+		t.Fatalf("neighbour row corrupted: %v", r1)
+	}
+	if r2[0] != NewInt(7) || r2[1] != NewString("x") {
+		t.Fatalf("Copy = %v", r2)
+	}
+	grown := append(r1, NewInt(9))
+	r3 := a.Next()
+	if r3[0] != Null {
+		t.Fatalf("append into arena row leaked into the next row: %v", r3)
+	}
+	_ = grown
+
+	// Cross block boundaries: rows stay valid and distinct.
+	rows := make([][]Value, 0, arenaBlockRows*2)
+	for i := 0; i < arenaBlockRows*2; i++ {
+		r := a.Next()
+		r[0] = NewInt(int64(i))
+		rows = append(rows, r)
+	}
+	for i, r := range rows {
+		if r[0] != NewInt(int64(i)) {
+			t.Fatalf("row %d = %v", i, r[0])
+		}
+	}
+
+	// Zero width is a nil row, not a panic.
+	if r := NewRowArena(0).Next(); r != nil {
+		t.Fatalf("zero-width Next = %v", r)
+	}
+}
