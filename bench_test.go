@@ -9,7 +9,9 @@
 package crosse
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync/atomic"
@@ -624,6 +626,116 @@ ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`
 		for i := 0; i < b.N; i++ {
 			if _, err := enr.Query("alice", query); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- durability: platform snapshots (cold-start recovery) ---
+
+// snapshotPlatform builds a multi-user platform: one curator owning
+// `triples` distinct statements and `users` peers each believing an equal
+// slice of the corpus (the crowdsourcing shape a production deployment
+// restarts with).
+func snapshotPlatform(b *testing.B, triples, users int) *kb.Platform {
+	b.Helper()
+	p := kb.NewPlatform()
+	if err := p.RegisterUser("curator"); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < triples; i++ {
+		_, err := p.Insert("curator", rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://x/subject-%d", rng.Intn(triples/4+1))),
+			P: rdf.NewIRI(fmt.Sprintf("http://x/predicate-%d", rng.Intn(24))),
+			O: rdf.NewIRI(fmt.Sprintf("http://x/object-%d", i)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for u := 0; u < users; u++ {
+		peer := fmt.Sprintf("peer%d", u)
+		if err := p.RegisterUser(peer); err != nil {
+			b.Fatal(err)
+		}
+		i := -1
+		if _, err := p.ImportFrom(peer, "curator", func(*kb.Statement) bool {
+			i++
+			return i%users == u
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := dataset.RegisterDangerQuery(p); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkSnapshotSave measures writing the semantic platform's binary
+// snapshot (arena + views + statements). MB/s is reported via SetBytes.
+func BenchmarkSnapshotSave(b *testing.B) {
+	for _, triples := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("triples%d", triples), func(b *testing.B) {
+			p := snapshotPlatform(b, triples, 4)
+			var probe bytes.Buffer
+			if err := p.Snapshot(&probe); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(probe.Len()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Snapshot(io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotLoad is the cold-start experiment: restoring a
+// 100k-triple, multi-user platform from the binary snapshot (bulk ID-level
+// load) vs rebuilding it from the reified N-Triples export (parse + Insert
+// + Import — the platform's only durability before the snapshot codec).
+// The snapshot path must stay ≥ 5× faster; see ROADMAP "Durability".
+func BenchmarkSnapshotLoad(b *testing.B) {
+	const triples, users = 100000, 4
+	p := snapshotPlatform(b, triples, users)
+
+	var snap bytes.Buffer
+	if err := p.Snapshot(&snap); err != nil {
+		b.Fatal(err)
+	}
+	var ntriples bytes.Buffer
+	if err := p.Save(&ntriples); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("snapshot", func(b *testing.B) {
+		b.SetBytes(int64(snap.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			restored, err := kb.Restore(bytes.NewReader(snap.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if restored.Shared().Len() != p.Shared().Len() {
+				b.Fatalf("restored %d triples, want %d", restored.Shared().Len(), p.Shared().Len())
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.SetBytes(int64(ntriples.Len()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rebuilt, err := kb.Load(bytes.NewReader(ntriples.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rebuilt.Shared().Len() != p.Shared().Len() {
+				b.Fatalf("rebuilt %d triples, want %d", rebuilt.Shared().Len(), p.Shared().Len())
 			}
 		}
 	})

@@ -12,13 +12,16 @@ type Metrics map[string]float64
 
 // Report maps benchmark name (GOMAXPROCS suffix stripped, so keys are
 // stable across machines) to its metrics. When the same name appears more
-// than once (e.g. -count>1), the last occurrence wins.
+// than once (e.g. -count>1), each metric is the mean over the repeated
+// runs, so the artifact reflects all measurements instead of whichever run
+// happened to come last.
 type Report map[string]Metrics
 
 // Parse extracts benchmark results from `go test -bench` output. Non-result
 // lines (pkg headers, PASS, logs) are ignored.
 func Parse(out string) (Report, error) {
-	report := Report{}
+	sums := map[string]Metrics{}
+	counts := map[string]map[string]int{}
 	for _, line := range strings.Split(out, "\n") {
 		fields := strings.Fields(line)
 		// A result line is: name iterations (value unit)+
@@ -42,7 +45,23 @@ func Parse(out string) (Report, error) {
 		if !ok || len(m) == 1 {
 			continue
 		}
-		report[stripProcs(fields[0])] = m
+		name := stripProcs(fields[0])
+		if sums[name] == nil {
+			sums[name] = Metrics{}
+			counts[name] = map[string]int{}
+		}
+		for unit, v := range m {
+			sums[name][unit] += v
+			counts[name][unit]++
+		}
+	}
+	report := Report{}
+	for name, acc := range sums {
+		m := Metrics{}
+		for unit, sum := range acc {
+			m[unit] = sum / float64(counts[name][unit])
+		}
+		report[name] = m
 	}
 	return report, nil
 }

@@ -46,6 +46,41 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// With -count>1 the same benchmark name repeats; the report must aggregate
+// (mean per metric), not keep whichever run came last.
+func TestParseAggregatesRepeatedRuns(t *testing.T) {
+	const repeated = `goos: linux
+BenchmarkFoo-8    	     100	    1000 ns/op	     320 B/op	       4 allocs/op
+BenchmarkFoo-8    	     300	    3000 ns/op	     280 B/op	       4 allocs/op
+BenchmarkFoo-8    	     200	    2600 ns/op	     300 B/op	       4 allocs/op
+BenchmarkBar-8    	      10	     500 ns/op
+PASS
+`
+	r, err := Parse(repeated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 {
+		t.Fatalf("parsed %d entries, want 2: %v", len(r), r)
+	}
+	m := r["BenchmarkFoo"]
+	if m["ns/op"] != 2200 {
+		t.Errorf("ns/op = %v, want mean 2200", m["ns/op"])
+	}
+	if m["B/op"] != 300 {
+		t.Errorf("B/op = %v, want mean 300", m["B/op"])
+	}
+	if m["allocs/op"] != 4 {
+		t.Errorf("allocs/op = %v, want 4", m["allocs/op"])
+	}
+	if m["iterations"] != 200 {
+		t.Errorf("iterations = %v, want mean 200", m["iterations"])
+	}
+	if r["BenchmarkBar"]["ns/op"] != 500 {
+		t.Errorf("single-run benchmark affected by aggregation: %v", r["BenchmarkBar"])
+	}
+}
+
 func TestStripProcs(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkFoo-8":             "BenchmarkFoo",

@@ -9,6 +9,15 @@
 //	crosse-server -addr :9090 -scale 500 # synthetic databank, custom port
 //	crosse-server -attach host:port      # also attach a remote FDW node
 //	crosse-server -mapping map.xml       # custom resource mapping
+//	crosse-server -snapshot platform.img # durable image: load on boot,
+//	                                     # save on SIGINT/SIGTERM
+//	crosse-server -snapshot platform.img -snapshot-interval 5m
+//
+// With -snapshot, boot restores the platform image when the file exists
+// (bulk ID-level load — no re-import of the corpus) and falls back to
+// synthesising the sample databank when it does not. The image is written
+// atomically on shutdown signals, every -snapshot-interval when set, and on
+// demand via POST /api/admin/snapshot.
 package main
 
 import (
@@ -17,6 +26,9 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"crosse/internal/core"
 	"crosse/internal/dataset"
@@ -28,23 +40,47 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "HTTP listen address")
-		scale   = flag.Int("scale", 200, "synthetic databank size (landfills)")
-		attach  = flag.String("attach", "", "FDW server address to attach as foreign tables")
-		mapping = flag.String("mapping", "", "resource mapping XML file")
+		addr          = flag.String("addr", ":8080", "HTTP listen address")
+		scale         = flag.Int("scale", 200, "synthetic databank size (landfills)")
+		attach        = flag.String("attach", "", "FDW server address to attach as foreign tables")
+		mapping       = flag.String("mapping", "", "resource mapping XML file")
+		snapshot      = flag.String("snapshot", "", "platform image file: loaded on boot when present, saved on SIGINT/SIGTERM")
+		snapshotEvery = flag.Duration("snapshot-interval", 0, "also save the platform image periodically (0 disables; requires -snapshot)")
 	)
 	flag.Parse()
 
-	db := engine.Open()
-	cfg := dataset.DefaultConfig()
-	cfg.Landfills = *scale
-	if err := dataset.Populate(db, cfg); err != nil {
-		log.Fatalf("populate databank: %v", err)
+	var (
+		db       *engine.DB
+		platform *kb.Platform
+		restored bool
+	)
+	if *snapshot != "" {
+		if _, err := os.Stat(*snapshot); err == nil {
+			start := time.Now()
+			var err error
+			db, platform, err = core.LoadImageFile(*snapshot)
+			if err != nil {
+				log.Fatalf("restore snapshot %s: %v", *snapshot, err)
+			}
+			restored = true
+			log.Printf("restored platform image %s in %v (%d users, %d triples)",
+				*snapshot, time.Since(start).Round(time.Millisecond),
+				len(platform.Users()), platform.Shared().Len())
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("stat snapshot %s: %v", *snapshot, err)
+		}
 	}
-
-	platform := kb.NewPlatform()
-	if err := dataset.RegisterDangerQuery(platform); err != nil {
-		log.Fatalf("register dangerQuery: %v", err)
+	if db == nil {
+		db = engine.Open()
+		cfg := dataset.DefaultConfig()
+		cfg.Landfills = *scale
+		if err := dataset.Populate(db, cfg); err != nil {
+			log.Fatalf("populate databank: %v", err)
+		}
+		platform = kb.NewPlatform()
+		if err := dataset.RegisterDangerQuery(platform); err != nil {
+			log.Fatalf("register dangerQuery: %v", err)
+		}
 	}
 
 	var m *core.Mapping
@@ -76,8 +112,46 @@ func main() {
 		log.Printf("attached %d foreign table(s) from %s (prefix remote_)", n, *attach)
 	}
 
+	save := func(reason string) {
+		if *snapshot == "" {
+			return
+		}
+		start := time.Now()
+		size, err := core.SaveImageFile(*snapshot, db, platform)
+		if err != nil {
+			log.Printf("snapshot save (%s) failed: %v", reason, err)
+			return
+		}
+		log.Printf("saved platform image %s (%d bytes, %v, %s)",
+			*snapshot, size, time.Since(start).Round(time.Millisecond), reason)
+	}
+
+	if *snapshot != "" {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-sigs
+			save(sig.String())
+			os.Exit(0)
+		}()
+		if *snapshotEvery > 0 {
+			go func() {
+				for range time.Tick(*snapshotEvery) {
+					save("interval")
+				}
+			}()
+		}
+	} else if *snapshotEvery > 0 {
+		log.Fatalf("-snapshot-interval requires -snapshot")
+	}
+
 	srv := rest.NewServer(enricher)
-	log.Printf("CroSSE platform on %s (databank: %d landfills)", *addr, *scale)
+	srv.SetSnapshotPath(*snapshot)
+	if restored {
+		log.Printf("CroSSE platform on %s (databank: %d tables, restored)", *addr, len(db.Catalog().Names()))
+	} else {
+		log.Printf("CroSSE platform on %s (databank: %d landfills)", *addr, *scale)
+	}
 	fmt.Println("try: curl -s localhost" + *addr + "/api/tables")
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -1,0 +1,191 @@
+package core
+
+// This file implements the whole-platform image: one durable artifact
+// combining the main platform's relational state (the engine's SQL dump)
+// with the semantic platform's binary snapshot (arena, views, statements —
+// see internal/kb/snapshot.go). The paper couples the two platforms over
+// REST (Sec. I-A); the image is the corresponding recovery unit, so a
+// restarted deployment comes back with the databank AND every user's
+// knowledge base without re-importing either. The frame is versioned and
+// checksummed (CRC-32) so a torn or bit-rotted file fails loudly instead of
+// restoring half a platform.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"crosse/internal/engine"
+	"crosse/internal/kb"
+)
+
+// Image frame constants.
+const (
+	imageMagic   = "CROSSEIMG"
+	imageVersion = 1
+
+	// maxImageSection bounds one decoded section so a corrupt length prefix
+	// cannot drive a runaway allocation.
+	maxImageSection = 1 << 31
+)
+
+// WriteImage writes a platform image: magic, version, the engine SQL dump
+// and the kb binary snapshot (each length-prefixed), and a trailing CRC-32
+// over both payloads.
+func WriteImage(w io.Writer, db *engine.DB, p *kb.Platform) error {
+	var sql bytes.Buffer
+	if err := db.Dump(&sql); err != nil {
+		return fmt.Errorf("core: dump databank: %w", err)
+	}
+	var snap bytes.Buffer
+	if err := p.Snapshot(&snap); err != nil {
+		return fmt.Errorf("core: snapshot semantic platform: %w", err)
+	}
+
+	crc := crc32.NewIEEE()
+	crc.Write(sql.Bytes())
+	crc.Write(snap.Bytes())
+
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, imageMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(imageVersion); err != nil {
+		return err
+	}
+	for _, section := range [][]byte{sql.Bytes(), snap.Bytes()} {
+		if _, err := bw.Write(binary.AppendUvarint(nil, uint64(len(section)))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(section); err != nil {
+			return err
+		}
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := bw.Write(sum[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func readSection(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxImageSection {
+		return nil, fmt.Errorf("core: corrupt image: section of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadImage restores a platform image written by WriteImage, returning a
+// fresh databank and semantic platform. The checksum is verified before any
+// state is rebuilt.
+func ReadImage(r io.Reader) (*engine.DB, *kb.Platform, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, nil, fmt.Errorf("core: read image header: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, nil, fmt.Errorf("core: not a platform image (bad magic %q)", magic)
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, nil, err
+	}
+	if version != imageVersion {
+		return nil, nil, fmt.Errorf("core: unsupported image version %d (have %d)", version, imageVersion)
+	}
+	sqlDump, err := readSection(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: read databank section: %w", err)
+	}
+	snap, err := readSection(br)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: read semantic section: %w", err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, nil, fmt.Errorf("core: read image checksum: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(sqlDump)
+	crc.Write(snap)
+	if got := binary.LittleEndian.Uint32(sum[:]); got != crc.Sum32() {
+		return nil, nil, fmt.Errorf("core: image checksum mismatch (stored %08x, computed %08x)", got, crc.Sum32())
+	}
+
+	db := engine.Open()
+	if err := db.Restore(bytes.NewReader(sqlDump)); err != nil {
+		return nil, nil, fmt.Errorf("core: restore databank: %w", err)
+	}
+	p, err := kb.Restore(bytes.NewReader(snap))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: restore semantic platform: %w", err)
+	}
+	return db, p, nil
+}
+
+// SaveImageFile writes the platform image to path atomically (temp file in
+// the same directory, then rename), returning the image size in bytes. A
+// crash mid-save leaves the previous image intact.
+func SaveImageFile(path string, db *engine.DB, p *kb.Platform) (int64, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	if err := WriteImage(f, db, p); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return size, nil
+}
+
+// LoadImageFile restores a platform image from disk.
+func LoadImageFile(path string) (*engine.DB, *kb.Platform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadImage(f)
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// enrichedQueries exercise the full pipeline: schema extension via the
+// user's KB plus a stored-query enrichment.
+var enrichedQueries = []string{
+	"SELECT elem_name, landfill_name\nFROM elem_contained\nENRICH\nSCHEMAEXTENSION( elem_name, dangerLevel)",
+	"SELECT name, city\nFROM landfill\nENRICH\nSCHEMAREPLACEMENT(city, inCountry)",
+	"SELECT elem_name\nFROM elem_contained\nENRICH\nBOOLSCHEMAEXTENSION( elem_name, isA, HazardousWaste)",
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	e := fixture(t)
+
+	var img bytes.Buffer
+	if err := WriteImage(&img, e.DB, e.Platform); err != nil {
+		t.Fatalf("WriteImage: %v", err)
+	}
+	db, p, err := ReadImage(bytes.NewReader(img.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadImage: %v", err)
+	}
+	restored := New(db, p, nil)
+
+	// Same SESQL results through the full enrichment pipeline.
+	for _, q := range enrichedQueries {
+		want, err := e.Query("alice", q)
+		if err != nil {
+			t.Fatalf("query original: %v", err)
+		}
+		got, err := restored.Query("alice", q)
+		if err != nil {
+			t.Fatalf("query restored: %v", err)
+		}
+		if !reflect.DeepEqual(resultRows(want), resultRows(got)) {
+			t.Fatalf("query %q differs after restore:\n got %v\nwant %v", q, resultRows(got), resultRows(want))
+		}
+	}
+	// Plain SQL against the restored databank.
+	want, err := e.DB.Query(`SELECT name FROM landfill`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query(`SELECT name FROM landfill`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resultRows(want), resultRows(got)) {
+		t.Fatalf("databank rows differ after restore")
+	}
+	// The stored dangerQuery still resolves for the restored platform.
+	if _, ok := p.LookupQuery("alice", "dangerQuery"); !ok {
+		t.Fatalf("stored query lost in restore")
+	}
+}
+
+func TestImageChecksum(t *testing.T) {
+	e := fixture(t)
+	var img bytes.Buffer
+	if err := WriteImage(&img, e.DB, e.Platform); err != nil {
+		t.Fatal(err)
+	}
+	raw := img.Bytes()
+
+	// Flip one payload byte: the checksum must catch it.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, _, err := ReadImage(bytes.NewReader(flipped)); err == nil {
+		t.Fatalf("bit flip restored without error")
+	}
+	// Truncation fails too.
+	if _, _, err := ReadImage(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatalf("truncated image restored without error")
+	}
+	if _, _, err := ReadImage(bytes.NewReader([]byte("NOTANIMAGE"))); err == nil {
+		t.Fatalf("bad magic accepted")
+	}
+}
+
+func TestImageFileSaveLoad(t *testing.T) {
+	e := fixture(t)
+	path := filepath.Join(t.TempDir(), "platform.img")
+
+	size, err := SaveImageFile(path, e.DB, e.Platform)
+	if err != nil {
+		t.Fatalf("SaveImageFile: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != size || size == 0 {
+		t.Fatalf("reported size %d, file has %d", size, st.Size())
+	}
+
+	db, p, err := LoadImageFile(path)
+	if err != nil {
+		t.Fatalf("LoadImageFile: %v", err)
+	}
+	if got, want := p.Users(), e.Platform.Users(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("users = %v, want %v", got, want)
+	}
+	if db.Catalog().Names() == nil {
+		t.Fatalf("restored databank is empty")
+	}
+
+	// A failed save must not clobber the existing image: saving over a
+	// read-only directory fails, the original stays loadable.
+	if _, err := SaveImageFile(filepath.Join(t.TempDir(), "missing", "x.img"), e.DB, e.Platform); err == nil {
+		t.Fatalf("save into missing directory succeeded")
+	}
+	if _, _, err := LoadImageFile(path); err != nil {
+		t.Fatalf("original image unreadable after failed save: %v", err)
+	}
+}

@@ -175,10 +175,10 @@ func TestTermCompare(t *testing.T) {
 		{iri("a"), iri("a"), 0},
 		{iri("a"), iri("b"), -1},
 		{iri("b"), iri("a"), 1},
-		{NewIRI("x"), NewLiteral("x"), -1},            // IRI < Literal
-		{NewLiteral("x"), NewBlank("x"), -1},          // Literal < Blank
+		{NewIRI("x"), NewLiteral("x"), -1},                      // IRI < Literal
+		{NewLiteral("x"), NewBlank("x"), -1},                    // Literal < Blank
 		{NewLiteral("1"), NewTypedLiteral("1", XSDInteger), -1}, // datatype tiebreak
-		{Term{}, NewIRI("a"), -1},                     // zero term sorts first
+		{Term{}, NewIRI("a"), -1},                               // zero term sorts first
 	}
 	for _, c := range cases {
 		if got := c.a.Compare(c.b); got != c.want {

@@ -6,6 +6,7 @@
 package rest
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -24,11 +25,19 @@ import (
 // Server serves the CroSSE REST API.
 type Server struct {
 	enricher *core.Enricher
+	// snapshotPath, when set, is where POST /api/admin/snapshot persists
+	// the platform image (see SetSnapshotPath).
+	snapshotPath string
 }
 
 // NewServer wraps an Enricher (which carries the databank, the semantic
 // platform and the resource mapping).
 func NewServer(e *core.Enricher) *Server { return &Server{enricher: e} }
+
+// SetSnapshotPath configures the file POST /api/admin/snapshot saves the
+// platform image to. An empty path (the default) disables the save
+// endpoint; GET (download) always works.
+func (s *Server) SetSnapshotPath(path string) { s.snapshotPath = path }
 
 // Handler returns the API routes.
 func (s *Server) Handler() http.Handler {
@@ -50,6 +59,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/vocabulary", s.vocabulary)
 	mux.HandleFunc("POST /api/vocabulary", s.declare)
 	mux.HandleFunc("GET /api/kb.dot", s.kbDOT)
+	mux.HandleFunc("GET /api/admin/snapshot", s.downloadSnapshot)
+	mux.HandleFunc("POST /api/admin/snapshot", s.saveSnapshot)
 	return mux
 }
 
@@ -514,6 +525,42 @@ func (s *Server) kbDOT(w http.ResponseWriter, r *http.Request) {
 		// Headers already sent; nothing more to do.
 		return
 	}
+}
+
+// --- durability (platform image snapshots) ---
+
+// downloadSnapshot streams the whole platform as a binary image (databank
+// SQL dump + semantic-platform snapshot): the backup/off-site-copy path.
+// core.ReadImage / crosse-server -snapshot restore it. The image is built
+// in memory first so a dump/snapshot failure yields a 500, not a 200 with
+// an empty or truncated body; a network failure mid-stream is detected by
+// the client via the image's trailing checksum.
+func (s *Server) downloadSnapshot(w http.ResponseWriter, r *http.Request) {
+	var img bytes.Buffer
+	if err := core.WriteImage(&img, s.enricher.DB, s.enricher.Platform); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="crosse-platform.img"`)
+	w.Header().Set("Content-Length", strconv.Itoa(img.Len()))
+	_, _ = w.Write(img.Bytes())
+}
+
+// saveSnapshot persists the platform image to the server's configured
+// snapshot path (the same file -snapshot loads on boot), so an operator can
+// force a durable point-in-time save without restarting.
+func (s *Server) saveSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotPath == "" {
+		writeErr(w, http.StatusConflict, fmt.Errorf("rest: no snapshot path configured (start the server with -snapshot)"))
+		return
+	}
+	size, err := core.SaveImageFile(s.snapshotPath, s.enricher.DB, s.enricher.Platform)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"path": s.snapshotPath, "bytes": size})
 }
 
 func (s *Server) listTables(w http.ResponseWriter, r *http.Request) {
