@@ -31,11 +31,9 @@ WHERE e1.elem_name = e2.elem_name`
 			name = "NestedLoop"
 		}
 		b.Run(name, func(b *testing.B) {
-			old := sqlexec.DisableHashJoin
-			sqlexec.DisableHashJoin = disabled
-			defer func() { sqlexec.DisableHashJoin = old }()
+			opts := sqlexec.Options{DisableHashJoin: disabled}
 			for i := 0; i < b.N; i++ {
-				if _, err := db.Query(q); err != nil {
+				if _, err := db.QueryOpts(q, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -25,6 +25,8 @@ import (
 	"crosse/internal/rdf"
 	"crosse/internal/sesql"
 	"crosse/internal/sparql"
+	"crosse/internal/sqlexec"
+	"crosse/internal/sqlparser"
 	"crosse/internal/sqlval"
 )
 
@@ -396,6 +398,182 @@ func BenchmarkSQL(b *testing.B) {
 			}
 		})
 	}
+}
+
+// sqlBenchDB builds the table set the compiled-executor benchmark
+// families share: points (indexed PK + secondary index on k) and two
+// dimension tables for the multi-join shapes.
+func sqlBenchDB(b *testing.B, rows int) *engine.DB {
+	b.Helper()
+	db := engine.Open()
+	if _, err := db.ExecScript(`
+		CREATE TABLE points (id INT PRIMARY KEY, k TEXT, v DOUBLE, n INT);
+		CREATE INDEX idx_points_k ON points (k);
+		CREATE TABLE dims (id INT PRIMARY KEY, grp TEXT);
+		CREATE TABLE grps (grp TEXT, label TEXT);
+	`); err != nil {
+		b.Fatal(err)
+	}
+	points, _ := db.Catalog().Table("points")
+	dims, _ := db.Catalog().Table("dims")
+	grps, _ := db.Catalog().Table("grps")
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < rows; i++ {
+		if err := points.Insert([]sqlval.Value{
+			sqlval.NewInt(int64(i)),
+			sqlval.NewString(fmt.Sprintf("k%d", i%97)),
+			sqlval.NewFloat(rng.Float64() * 1000),
+			sqlval.NewInt(int64(rng.Intn(1000))),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < rows/5; i++ {
+		if err := dims.Insert([]sqlval.Value{
+			sqlval.NewInt(int64(i)),
+			sqlval.NewString(fmt.Sprintf("g%d", i%13)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 13; i++ {
+		if err := grps.Insert([]sqlval.Value{
+			sqlval.NewString(fmt.Sprintf("g%d", i)),
+			sqlval.NewString(fmt.Sprintf("label %d", i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkSQLSelect measures the single-table planner fast paths:
+// indexed equality seeks vs full scans, and bounded top-K vs full sort.
+func BenchmarkSQLSelect(b *testing.B) {
+	db := sqlBenchDB(b, 5000)
+	cases := []struct {
+		name string
+		q    string
+		opts sqlexec.Options
+	}{
+		{"IndexedSeek", `SELECT v FROM points WHERE id = 3000`, sqlexec.Options{}},
+		{"FullScanEq", `SELECT v FROM points WHERE id = 3000`, sqlexec.Options{DisableIndexSeek: true}},
+		{"SecondarySeek", `SELECT COUNT(*) FROM points WHERE k = 'k42'`, sqlexec.Options{}},
+		{"TopK", `SELECT id, v FROM points ORDER BY v DESC LIMIT 10`, sqlexec.Options{}},
+		{"FullSort", `SELECT id, v FROM points ORDER BY v DESC LIMIT 10`, sqlexec.Options{DisableTopK: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryOpts(c.q, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSQLJoin measures the multi-join pipeline: a three-table
+// star-ish join, hash vs nested-loop ablation (smaller set — nested loops
+// are quadratic), and the streaming aggregation over the joined rows.
+func BenchmarkSQLJoin(b *testing.B) {
+	const multi = `SELECT COUNT(*) FROM points p JOIN dims d ON p.id = d.id JOIN grps g ON d.grp = g.grp WHERE p.n < 500`
+	big := sqlBenchDB(b, 5000)
+	b.Run("MultiJoinHash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := big.Query(multi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	small := sqlBenchDB(b, 600)
+	for _, c := range []struct {
+		name string
+		opts sqlexec.Options
+	}{
+		{"Hash", sqlexec.Options{}},
+		{"NestedLoop", sqlexec.Options{DisableHashJoin: true}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := small.QueryOpts(multi, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSQLCompiledPlan isolates what the plan cache buys: a cache hit
+// (epoch check + map lookup + streaming execution) vs parse+compile+run
+// per call, plus the bare parse+compile cost of a multi-join query. The
+// measured query is an indexed point seek — the shape where planning would
+// otherwise dominate.
+func BenchmarkSQLCompiledPlan(b *testing.B) {
+	db := sqlBenchDB(b, 5000)
+	const q = `SELECT v, k FROM points WHERE id = 3000`
+	parse := func() (*sqlparser.Select, error) {
+		st, err := sqlparser.Parse(q)
+		if err != nil {
+			return nil, err
+		}
+		return st.(*sqlparser.Select), nil
+	}
+
+	b.Run("CachedRun", func(b *testing.B) {
+		cache := core.NewQueryCache(0)
+		if _, err := cache.SQLSelect(db.Catalog(), q, parse); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := cache.SQLSelect(db.Catalog(), q, parse)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ParseCompileRun", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sel, err := parse()
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := sqlexec.Compile(db.Catalog(), sel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ParseCompileOnly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sel, err := parse()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sqlexec.Compile(db.Catalog(), sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("MultiJoinCompileOnly", func(b *testing.B) {
+		const mj = `SELECT p.id, p.v, g.label FROM points p JOIN dims d ON p.id = d.id JOIN grps g ON d.grp = g.grp WHERE p.v > 500 ORDER BY p.v DESC LIMIT 20`
+		for i := 0; i < b.N; i++ {
+			st, err := sqlparser.Parse(mj)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sqlexec.Compile(db.Catalog(), st.(*sqlparser.Select)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- E10: SPARQL engine ---

@@ -64,15 +64,41 @@
 // Plan.Stream exposes the zero-materialisation path (no Binding maps);
 // Eval/EvalQuery keep the map-based Result for compatibility.
 //
+// SQL evaluation (internal/sqlexec) mirrors the same design on the
+// relational side. sqlexec.Compile lowers a parsed SELECT once into an
+// immutable physical SelectPlan: every column reference resolves to a
+// dense row-slot offset at compile time, expressions become slot-resolved
+// evaluator trees (constant LIKE patterns pre-lowered to segment
+// matchers), WHERE splits into conjuncts bound to the earliest pipeline
+// step whose sources cover them, equality-against-constant conjuncts push
+// into sqldb hash-index seeks (Table.ScanEq) — or, for foreign tables,
+// ship to the remote node over the FDW protocol — equi-joins run as hash
+// joins whose build side is chosen from live cardinalities, and ORDER BY
+// + LIMIT keeps a bounded stable top-K heap instead of sorting the world.
+// Execution is a push-based pipeline over one reused row buffer with
+// arena-backed materialisation only at the sink; LIMIT without ORDER BY
+// stops the pipeline early. Plan ablation knobs (hash joins, index seeks,
+// top-K) live in sqlexec.Options — per call, not a package global. The
+// seed's interpreter survives as the reference oracle the randomised
+// parity suite (internal/sqlexec/parity_test.go) pins the compiled
+// semantics to.
+//
 // The enrichment pipeline (internal/core) keeps a compiled-query cache for
-// both SESQL and SPARQL, keyed on the exact query text. For SPARQL the
+// SESQL, SPARQL and SQL, keyed on the exact query text. For SPARQL the
 // cache stores the compiled physical Plan — slot table, join-ready
 // patterns, precompiled regexes — so a cache hit goes straight to ID-native
 // execution with no lexing, parsing or planning. Plans hold structure only,
 // never data or dictionary IDs (constants re-resolve against the target
 // graph's dictionary per evaluation), so knowledge-base mutations never
 // invalidate cache entries and one cached plan serves every user's view
-// concurrently (see QueryCache in internal/core).
+// concurrently (see QueryCache in internal/core). SQL physical plans do
+// bind to the catalog (relation handles, index choices), so their cache
+// entries carry sqldb.Database.SchemaEpoch: any DDL — CREATE/DROP TABLE,
+// CREATE INDEX, foreign registration — bumps the epoch and stale plans
+// recompile on next lookup, while data mutations never invalidate. Both
+// SESQL's cleaned base query (Fig. 6's relational step, on the hot path of
+// every enriched request) and plain SQL fast-path queries stream their
+// rows directly into the JoinManager's workset through cached plans.
 //
 // # Persistence and recovery
 //

@@ -64,6 +64,19 @@ func (e *Enricher) parseSESQL(text string) (*sesql.Query, error) {
 	return e.cache.SESQL(text)
 }
 
+// planSQL compiles a SELECT into a physical plan against the main
+// platform's catalog, consulting the cache when enabled. Cached plans are
+// keyed on the SQL text and the catalog's schema epoch (DDL invalidates,
+// data mutations don't), so the enrichment hot path skips column-slot
+// resolution and join planning on every repeat query.
+func (e *Enricher) planSQL(text string, sel *sqlparser.Select) (*sqlexec.SelectPlan, error) {
+	db := e.DB.Catalog()
+	if e.cache == nil {
+		return sqlexec.Compile(db, sel)
+	}
+	return e.cache.SQLSelect(db, text, func() (*sqlparser.Select, error) { return sel, nil })
+}
+
 // planSPARQL compiles a SPARQL text into a physical plan, consulting the
 // cache when enabled. A cache hit skips lexing, parsing and planning: the
 // returned plan is ready for ID-native execution against any KB view.
@@ -142,10 +155,16 @@ func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error
 		}
 	}
 
-	// Fast path: plain SQL.
+	// Fast path: plain SQL through the compiled-plan cache.
 	if len(q.Enrichments) == 0 {
 		t0 = time.Now()
-		res, err := sqlexec.EvalSelect(e.DB.Catalog(), q.Select)
+		plan, err := e.planSQL(q.SQL, q.Select)
+		if err != nil {
+			st.BaseSQL = time.Since(t0)
+			st.BaseSQLText = q.SQL
+			return nil, st, err
+		}
+		res, err := plan.Run()
 		st.BaseSQL = time.Since(t0)
 		st.BaseSQLText = q.SQL
 		if res != nil {
@@ -171,17 +190,28 @@ func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error
 	}
 	st.BaseSQLText = sqlparser.SelectSQL(base)
 
+	// The base query streams straight into the JoinManager's workset: no
+	// intermediate Result, rows land once in a workset-owned arena. The
+	// rendered base SQL keys the plan cache (the rewrite is deterministic
+	// per SESQL text, so repeats hit).
 	t0 = time.Now()
-	baseRes, err := sqlexec.EvalSelect(e.DB.Catalog(), base)
+	plan, err := e.planSQL(st.BaseSQLText, base)
+	if err != nil {
+		st.BaseSQL = time.Since(t0)
+		return nil, st, fmt.Errorf("core: base query: %w", err)
+	}
+	work := &workset{headers: plan.Columns()}
+	arena := sqlval.NewRowArena(len(work.headers))
+	err = plan.Stream(func(row []sqlval.Value) bool {
+		work.rows = append(work.rows, arena.Copy(row))
+		return true
+	})
 	st.BaseSQL = time.Since(t0)
 	if err != nil {
 		return nil, st, fmt.Errorf("core: base query: %w", err)
 	}
-	st.BaseRows = len(baseRes.Rows)
-
-	// Working result: visible headers + hidden columns.
-	work := &workset{headers: append([]string(nil), baseRes.Columns...), rows: baseRes.Rows}
-	visible := len(baseRes.Columns) - len(hidden.order)
+	st.BaseRows = len(work.rows)
+	visible := len(work.headers) - len(hidden.order)
 
 	// --- WHERE enrichments (JoinManager filtering) ---
 	for _, en := range whereEnr {
@@ -453,19 +483,25 @@ func (e *Enricher) applyWhereEnrichment(q *sesql.Query, en sesql.Enrichment, hid
 }
 
 // existsFilter keeps rows for which the candidate generator finds a value
-// satisfying the rewritten condition.
+// satisfying the rewritten condition. The condition compiles once to a
+// slot-resolved predicate; per candidate value the cost is one evaluation
+// over the scratch row, not an AST walk with per-row name resolution.
 func existsFilter(work *workset, scopeCols []sqlexec.ScopeCol, cond sqlparser.Expr,
 	gen func(row []sqlval.Value, try func(sqlval.Value) (bool, error)) (bool, error), st *Stats) error {
 	t0 := time.Now()
 	defer func() { st.Join += time.Since(t0) }()
 
+	pred, err := sqlexec.CompilePredicate(scopeCols, cond)
+	if err != nil {
+		return fmt.Errorf("core: WHERE enrichment condition: %w", err)
+	}
 	scratch := make([]sqlval.Value, len(work.headers)+1)
 	var kept [][]sqlval.Value
 	for _, row := range work.rows {
 		copy(scratch, row)
 		try := func(v sqlval.Value) (bool, error) {
 			scratch[len(work.headers)] = v
-			tri, err := sqlexec.EvalBool(cond, &sqlexec.Scope{Cols: scopeCols, Row: scratch})
+			tri, err := pred.EvalBool(scratch)
 			if err != nil {
 				// Type mismatches against heterogeneous ontology values
 				// behave like SQL UNKNOWN rather than aborting the query.

@@ -6,6 +6,9 @@ import (
 
 	"crosse/internal/sesql"
 	"crosse/internal/sparql"
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlexec"
+	"crosse/internal/sqlparser"
 )
 
 // QueryCache memoises compiled SESQL queries and compiled SPARQL *physical
@@ -35,6 +38,7 @@ type QueryCache struct {
 	mu     sync.RWMutex
 	sesql  map[string]*sesql.Query
 	sparql map[string]*sparql.Plan
+	sql    map[sqlKey]*sqlPlanEntry
 	max    int
 
 	// Counters are atomic so the hit path stays contention-free: hits
@@ -42,14 +46,34 @@ type QueryCache struct {
 	hits, misses atomic.Int64
 }
 
-// DefaultQueryCacheSize bounds each of the two cache maps. Real workloads
-// use a small set of distinct query texts; the bound only guards against
-// adversarial streams of unique queries.
+// sqlKey identifies one cached SQL physical plan: the text alone is not
+// enough, because plans bind to a specific catalog — two databases
+// issuing the same text must not evict each other's entries.
+type sqlKey struct {
+	db   *sqldb.Database
+	text string
+}
+
+// sqlPlanEntry is one cached SQL physical plan. Unlike SPARQL plans — pure
+// structure, valid against any graph — a compiled SelectPlan binds to the
+// catalog's relations and index choices, so the entry records the schema
+// epoch at compile time: any DDL (CREATE/DROP TABLE, CREATE INDEX,
+// foreign registration) bumps the epoch and the stale plan recompiles on
+// next lookup. Data mutations never invalidate entries.
+type sqlPlanEntry struct {
+	plan  *sqlexec.SelectPlan
+	epoch uint64
+}
+
+// DefaultQueryCacheSize bounds each of the three cache maps (SESQL,
+// SPARQL, SQL plans). Real workloads use a small set of distinct query
+// texts; the bound only guards against adversarial streams of unique
+// queries.
 const DefaultQueryCacheSize = 4096
 
 // NewQueryCache returns an empty cache holding at most max entries per
-// language (SESQL and SPARQL are bounded independently); max <= 0 uses
-// DefaultQueryCacheSize.
+// language (SESQL, SPARQL and SQL plans are bounded independently);
+// max <= 0 uses DefaultQueryCacheSize.
 func NewQueryCache(max int) *QueryCache {
 	if max <= 0 {
 		max = DefaultQueryCacheSize
@@ -57,8 +81,52 @@ func NewQueryCache(max int) *QueryCache {
 	return &QueryCache{
 		sesql:  make(map[string]*sesql.Query),
 		sparql: make(map[string]*sparql.Plan),
+		sql:    make(map[sqlKey]*sqlPlanEntry),
 		max:    max,
 	}
+}
+
+// SQLSelect returns the compiled physical plan of a SELECT against db,
+// compiling on first sight and whenever the catalog's schema epoch has
+// moved since the plan was compiled. The text is the cache key; parse
+// supplies the AST on a miss (so callers that already hold a parsed
+// SELECT don't re-parse). A hit skips parsing, column-slot resolution and
+// join planning entirely — the plan is ready to Run or Stream.
+func (c *QueryCache) SQLSelect(db *sqldb.Database, text string, parse func() (*sqlparser.Select, error)) (*sqlexec.SelectPlan, error) {
+	epoch := db.SchemaEpoch()
+	key := sqlKey{db: db, text: text}
+	c.mu.RLock()
+	e, ok := c.sql[key]
+	c.mu.RUnlock()
+	if ok && e.epoch == epoch {
+		c.hits.Add(1)
+		return e.plan, nil
+	}
+	sel, err := parse()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := sqlexec.Compile(db, sel)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if len(c.sql) >= c.max {
+		c.sql = make(map[sqlKey]*sqlPlanEntry)
+	}
+	// SQL plans hold relation handles — unlike SPARQL plans they pin
+	// catalog data. A miss means this db's epoch moved (or the text is
+	// new): sweep the db's stale entries so plans bound to dropped tables
+	// don't keep their rows reachable until the map bound trips.
+	for k, e := range c.sql {
+		if k.db == db && e.epoch != epoch {
+			delete(c.sql, k)
+		}
+	}
+	c.sql[key] = &sqlPlanEntry{plan: plan, epoch: epoch}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return plan, nil
 }
 
 // SESQL returns the compiled form of a SESQL query, parsing on first sight.
@@ -121,6 +189,13 @@ func (c *QueryCache) SPARQL(text string) (*sparql.Query, error) {
 		return nil, err
 	}
 	return p.Query(), nil
+}
+
+// sqlLen reports the live SQL-plan entry count (tests).
+func (c *QueryCache) sqlLen() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.sql)
 }
 
 // Stats reports cumulative cache hits and misses (compiles).

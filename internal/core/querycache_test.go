@@ -1,9 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
+
+	"crosse/internal/engine"
+	"crosse/internal/sqlparser"
 )
 
 func TestQueryCacheReusesCompiledQueries(t *testing.T) {
@@ -94,6 +98,200 @@ func TestQueryCacheConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// parseSelect parses a SELECT text for SQLSelect's miss path.
+func parseSelect(t *testing.T, text string) func() (*sqlparser.Select, error) {
+	t.Helper()
+	return func() (*sqlparser.Select, error) {
+		st, err := sqlparser.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+		return st.(*sqlparser.Select), nil
+	}
+}
+
+// A cached SQL physical plan is reused verbatim while the schema stands
+// still, and recompiled — never served stale — after any DDL.
+func TestSQLPlanCacheEpochInvalidation(t *testing.T) {
+	db := engine.Open()
+	if _, err := db.Exec(`CREATE TABLE q (id INT PRIMARY KEY, s TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO q VALUES (1, 'a'), (2, 'b')`); err != nil {
+		t.Fatal(err)
+	}
+	c := NewQueryCache(0)
+	const text = `SELECT s FROM q ORDER BY id`
+
+	p1, err := c.SQLSelect(db.Catalog(), text, parseSelect(t, text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.SQLSelect(db.Catalog(), text, parseSelect(t, text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("same epoch: second lookup must return the cached plan")
+	}
+
+	// Data mutations never invalidate.
+	if _, err := db.Exec(`INSERT INTO q VALUES (3, 'c')`); err != nil {
+		t.Fatal(err)
+	}
+	if p3, _ := c.SQLSelect(db.Catalog(), text, parseSelect(t, text)); p3 != p1 {
+		t.Error("data mutation must not invalidate the cached plan")
+	}
+	res, err := p1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("cached plan sees %d rows, want 3", len(res.Rows))
+	}
+
+	// DDL does: drop and recreate the table with different content — the
+	// stale plan (bound to the old table) must not serve.
+	if _, err := db.Exec(`DROP TABLE q`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE q (id INT PRIMARY KEY, s TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO q VALUES (9, 'z')`); err != nil {
+		t.Fatal(err)
+	}
+	p4, err := c.SQLSelect(db.Catalog(), text, parseSelect(t, text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Fatal("DDL must invalidate the cached plan")
+	}
+	res, err = p4.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "z" {
+		t.Errorf("recompiled plan returned %v", res.Rows)
+	}
+
+	// CREATE INDEX is DDL too (it changes seek choices).
+	before := db.Catalog().SchemaEpoch()
+	if _, err := db.Exec(`CREATE INDEX idx_s ON q (s)`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Catalog().SchemaEpoch() == before {
+		t.Error("CREATE INDEX must bump the schema epoch")
+	}
+	if p5, _ := c.SQLSelect(db.Catalog(), text, parseSelect(t, text)); p5 == p4 {
+		t.Error("CREATE INDEX must invalidate cached plans")
+	}
+}
+
+// A schema change must not leave plans for the old epoch pinning dropped
+// tables: the next miss for that database sweeps its stale entries.
+func TestSQLPlanCacheSweepsStaleEpochs(t *testing.T) {
+	db := engine.Open()
+	if _, err := db.Exec(`CREATE TABLE a (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE b (y INT)`); err != nil {
+		t.Fatal(err)
+	}
+	c := NewQueryCache(0)
+	for _, q := range []string{`SELECT x FROM a`, `SELECT y FROM b`} {
+		if _, err := c.SQLSelect(db.Catalog(), q, parseSelect(t, q)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.sqlLen(); n != 2 {
+		t.Fatalf("entries = %d, want 2", n)
+	}
+	if _, err := db.Exec(`DROP TABLE a`); err != nil {
+		t.Fatal(err)
+	}
+	// Next miss (any text, same db) sweeps every stale-epoch entry —
+	// including the plan still holding the dropped table a.
+	if _, err := c.SQLSelect(db.Catalog(), `SELECT y FROM b`, parseSelect(t, `SELECT y FROM b`)); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.sqlLen(); n != 1 {
+		t.Fatalf("entries after sweep = %d, want 1", n)
+	}
+}
+
+// Races DDL (epoch bumps) against cached-plan execution. Run under -race:
+// the property is freedom from data races plus never observing a
+// half-applied catalog — every execution sees either the old or the new
+// world, and post-DDL lookups recompile.
+func TestSQLPlanCacheDDLRace(t *testing.T) {
+	db := engine.Open()
+	if _, err := db.Exec(`CREATE TABLE q (id INT PRIMARY KEY, s TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO q VALUES (%d, 's%d')`, i, i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewQueryCache(0)
+	const text = `SELECT COUNT(*) FROM q WHERE s = 's3'`
+
+	var wg, ddlWG sync.WaitGroup
+	stop := make(chan struct{})
+	ddlWG.Add(1)
+	go func() { // DDL churn: unrelated tables plus an index on the hot column
+		defer ddlWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := db.Exec(fmt.Sprintf(`CREATE TABLE tmp_%d (x INT)`, i)); err != nil {
+				t.Error(err)
+				return
+			}
+			if i == 3 {
+				if _, err := db.Exec(`CREATE INDEX idx_qs ON q (s)`); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := db.Exec(fmt.Sprintf(`DROP TABLE tmp_%d`, i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				p, err := c.SQLSelect(db.Catalog(), text, parseSelect(t, text))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := p.Run()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := res.Rows[0][0].Int(); got != 7 {
+					t.Errorf("count = %d, want 7", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait() // readers first; then stop the DDL goroutine
+	close(stop)
+	ddlWG.Wait()
 }
 
 // The cache must be behaviour-transparent: repeated evaluations through the

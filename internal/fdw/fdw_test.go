@@ -164,6 +164,37 @@ func TestQueryThroughEngine(t *testing.T) {
 	}
 }
 
+// An equality predicate on a foreign table ships to the remote node: the
+// compiled executor pushes `col = const` into ForeignTable.ScanEq, and the
+// result must match the pushdown-disabled plan (full fetch + local filter).
+func TestCompiledPushdownToRemote(t *testing.T) {
+	remote := newRemote(t, 40)
+	c := pipePair(t, remote)
+	local := engine.Open()
+	ft, err := c.ForeignTable("eu_registry", "eu_registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.RegisterForeign(ft); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT landfill, country FROM eu_registry WHERE landfill = 'lf003'`
+	pushed, err := local.QueryOpts(q, sqlexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetched, err := local.QueryOpts(q, sqlexec.Options{DisableIndexSeek: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pushed.Rows) != 1 || len(fetched.Rows) != 1 {
+		t.Fatalf("rows: pushed=%d fetched=%d, want 1", len(pushed.Rows), len(fetched.Rows))
+	}
+	if pushed.Rows[0][1].Str() != fetched.Rows[0][1].Str() {
+		t.Errorf("pushdown changed the result: %v vs %v", pushed.Rows[0], fetched.Rows[0])
+	}
+}
+
 func TestAttachImportsAllTables(t *testing.T) {
 	remote := newRemote(t, 5)
 	if _, err := sqlexec.Exec(remote, `CREATE TABLE other (x INT)`); err != nil {

@@ -1,0 +1,323 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"crosse/internal/sqlval"
+)
+
+// scanEqRows collects ScanEq results as rendered strings.
+func scanEqRows(t *testing.T, tab *Table, col string, v sqlval.Value) []string {
+	t.Helper()
+	var out []string
+	err := tab.ScanEq(col, v, func(row []sqlval.Value) bool {
+		s := ""
+		for i, c := range row {
+			if i > 0 {
+				s += "|"
+			}
+			s += c.String()
+		}
+		out = append(out, s)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// filterScanRows is the index-free reference: full scan + Equal filter.
+func filterScanRows(t *testing.T, tab *Table, col int, v sqlval.Value) []string {
+	t.Helper()
+	var out []string
+	err := tab.Scan(func(row []sqlval.Value) bool {
+		if row[col].Equal(v) {
+			s := ""
+			for i, c := range row {
+				if i > 0 {
+					s += "|"
+				}
+				s += c.String()
+			}
+			out = append(out, s)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func joinLines(ss []string) string {
+	out := ""
+	for _, s := range ss {
+		out += s + "\n"
+	}
+	return out
+}
+
+// Property: after any interleaving of inserts, DeleteWhere and
+// UpdateWhere (including primary-key updates, which take the rebuild
+// fallback), every index answers ScanEq exactly like a filtered scan and
+// in the same (position) order.
+func TestIndexesStayConsistentUnderDML(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		tab, err := NewTable("t", Schema{
+			{Name: "id", Type: sqlval.TypeInt, PrimaryKey: true},
+			{Name: "k", Type: sqlval.TypeString},
+			{Name: "n", Type: sqlval.TypeInt},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.CreateIndex("k"); err != nil {
+			t.Fatal(err)
+		}
+		nextID := 0
+		insert := func(n int) {
+			for i := 0; i < n; i++ {
+				row := []sqlval.Value{
+					sqlval.NewInt(int64(nextID)),
+					sqlval.NewString(fmt.Sprintf("k%d", rng.Intn(5))),
+					sqlval.NewInt(int64(rng.Intn(20))),
+				}
+				nextID++
+				if err := tab.Insert(row); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		insert(30)
+
+		for op := 0; op < 15; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				insert(rng.Intn(5))
+			case 1: // delete a random slice of the value space
+				cut := int64(rng.Intn(20))
+				if _, err := tab.DeleteWhere(func(row []sqlval.Value) (bool, error) {
+					return row[2].Int() == cut, nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // non-PK update: incremental repointing
+				from := fmt.Sprintf("k%d", rng.Intn(5))
+				to := fmt.Sprintf("k%d", rng.Intn(5))
+				if _, err := tab.UpdateWhere(
+					func(row []sqlval.Value) (bool, error) { return !row[1].IsNull() && row[1].Str() == from, nil },
+					func(row []sqlval.Value) ([]sqlval.Value, error) {
+						out := append([]sqlval.Value(nil), row...)
+						out[1] = sqlval.NewString(to)
+						out[2] = sqlval.NewInt(row[2].Int() + 1)
+						return out, nil
+					}); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // PK update: rebuild fallback
+				if _, err := tab.UpdateWhere(
+					func(row []sqlval.Value) (bool, error) { return row[0].Int()%7 == 3, nil },
+					func(row []sqlval.Value) ([]sqlval.Value, error) {
+						out := append([]sqlval.Value(nil), row...)
+						out[0] = sqlval.NewInt(row[0].Int() + 1000)
+						return out, nil
+					}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Cross-check every indexed column over the live value domain.
+			probes := []struct {
+				col  string
+				ci   int
+				vals []sqlval.Value
+			}{
+				{"k", 1, nil},
+				{"id", 0, nil},
+			}
+			for i := 0; i < 6; i++ {
+				probes[0].vals = append(probes[0].vals, sqlval.NewString(fmt.Sprintf("k%d", i)))
+			}
+			for i := 0; i < nextID+2; i += 3 {
+				probes[1].vals = append(probes[1].vals, sqlval.NewInt(int64(i)))
+			}
+			for _, p := range probes {
+				for _, v := range p.vals {
+					got := scanEqRows(t, tab, p.col, v)
+					want := filterScanRows(t, tab, p.ci, v)
+					if joinLines(got) != joinLines(want) {
+						t.Fatalf("trial %d op %d: ScanEq(%s=%v) = %v, scan says %v",
+							trial, op, p.col, v, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// DeleteWhere with a failing predicate must leave the table consistent
+// (the prefix compaction is completed and indexes repaired).
+func TestDeleteWherePredicateErrorKeepsConsistency(t *testing.T) {
+	tab, err := NewTable("t", Schema{{Name: "n", Type: sqlval.TypeInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("n"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := tab.Insert([]sqlval.Value{sqlval.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := fmt.Errorf("boom")
+	_, err = tab.DeleteWhere(func(row []sqlval.Value) (bool, error) {
+		if row[0].Int() == 5 {
+			return false, boom
+		}
+		return row[0].Int()%2 == 0, nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Rows 0,2,4 were deleted before the failure; the rest must all be
+	// reachable through the index.
+	for i := 0; i < 10; i++ {
+		got := scanEqRows(t, tab, "n", sqlval.NewInt(int64(i)))
+		want := filterScanRows(t, tab, 0, sqlval.NewInt(int64(i)))
+		if joinLines(got) != joinLines(want) {
+			t.Fatalf("n=%d: ScanEq %v != scan %v", i, got, want)
+		}
+	}
+}
+
+// UpdateWhere callers may mutate the row argument in place and return
+// it; incremental index repointing must still see the pre-update values.
+func TestUpdateWhereInPlaceMutation(t *testing.T) {
+	tab, err := NewTable("t", Schema{{Name: "k", Type: sqlval.TypeString}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert([]sqlval.Value{sqlval.NewString("old")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.UpdateWhere(
+		func([]sqlval.Value) (bool, error) { return true, nil },
+		func(row []sqlval.Value) ([]sqlval.Value, error) {
+			row[0] = sqlval.NewString("new") // in-place, same slice returned
+			return row, nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if got := scanEqRows(t, tab, "k", sqlval.NewString("new")); len(got) != 1 {
+		t.Fatalf("index missed the in-place update: %v", got)
+	}
+	if got := scanEqRows(t, tab, "k", sqlval.NewString("old")); len(got) != 0 {
+		t.Fatalf("stale index entry survived: %v", got)
+	}
+}
+
+// An UpdateWhere that errors AFTER an earlier row already moved its
+// primary key must still rebuild the PK index — the uniqueness probe
+// depends on it.
+func TestUpdateWherePKErrorStillRebuilds(t *testing.T) {
+	tab, err := NewTable("t", Schema{
+		{Name: "id", Type: sqlval.TypeInt, PrimaryKey: true},
+		{Name: "v", Type: sqlval.TypeInt, NotNull: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := tab.Insert([]sqlval.Value{sqlval.NewInt(int64(i)), sqlval.NewInt(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Row 1: id 1 → 11 succeeds. Row 2: NULL into NOT NULL v errors.
+	_, err = tab.UpdateWhere(
+		func([]sqlval.Value) (bool, error) { return true, nil },
+		func(row []sqlval.Value) ([]sqlval.Value, error) {
+			out := append([]sqlval.Value(nil), row...)
+			out[0] = sqlval.NewInt(row[0].Int() + 10)
+			if row[0].Int() == 2 {
+				out[1] = sqlval.Null
+			}
+			return out, nil
+		})
+	if err == nil {
+		t.Fatal("update must fail on the NOT NULL violation")
+	}
+	// id=11 exists now: inserting it again must be rejected, and the old
+	// key 1 must be free.
+	if err := tab.Insert([]sqlval.Value{sqlval.NewInt(11), sqlval.NewInt(0)}); err == nil {
+		t.Fatal("duplicate PK 11 accepted: PK index went stale on the error path")
+	}
+	if err := tab.Insert([]sqlval.Value{sqlval.NewInt(1), sqlval.NewInt(0)}); err != nil {
+		t.Fatalf("key 1 should be free after the move: %v", err)
+	}
+	for _, id := range []int64{1, 2, 11} {
+		got := scanEqRows(t, tab, "id", sqlval.NewInt(id))
+		want := filterScanRows(t, tab, 0, sqlval.NewInt(id))
+		if joinLines(got) != joinLines(want) {
+			t.Fatalf("id=%d: ScanEq %v != scan %v", id, got, want)
+		}
+	}
+}
+
+// SchemaEpoch moves on DDL and only on DDL.
+func TestSchemaEpoch(t *testing.T) {
+	db := NewDatabase()
+	e0 := db.SchemaEpoch()
+	tab, err := db.CreateTable("t", Schema{
+		{Name: "id", Type: sqlval.TypeInt, PrimaryKey: true},
+		{Name: "s", Type: sqlval.TypeString},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.SchemaEpoch() == e0 {
+		t.Error("CREATE TABLE must bump the epoch")
+	}
+
+	e1 := db.SchemaEpoch()
+	if err := tab.Insert([]sqlval.Value{sqlval.NewInt(1), sqlval.NewString("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.UpdateWhere(
+		func([]sqlval.Value) (bool, error) { return true, nil },
+		func(row []sqlval.Value) ([]sqlval.Value, error) {
+			out := append([]sqlval.Value(nil), row...)
+			out[1] = sqlval.NewString("b")
+			return out, nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.DeleteWhere(func([]sqlval.Value) (bool, error) { return false, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if db.SchemaEpoch() != e1 {
+		t.Error("data mutations must not bump the epoch")
+	}
+
+	if err := tab.CreateIndex("s"); err != nil {
+		t.Fatal(err)
+	}
+	if db.SchemaEpoch() == e1 {
+		t.Error("CREATE INDEX must bump the epoch")
+	}
+
+	e2 := db.SchemaEpoch()
+	if err := db.DropTable("t", false); err != nil {
+		t.Fatal(err)
+	}
+	if db.SchemaEpoch() == e2 {
+		t.Error("DROP TABLE must bump the epoch")
+	}
+}

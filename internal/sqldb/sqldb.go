@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"crosse/internal/sqlval"
 )
@@ -72,9 +73,16 @@ type Table struct {
 	rows    [][]sqlval.Value
 	indexes map[string]*hashIndex // by lower-cased column name
 	pkCol   int                   // -1 when no primary key
+
+	// schemaChanged, when non-nil, is invoked after structural changes
+	// (index creation). The owning Database installs it so compiled query
+	// plans keyed on the catalog's schema epoch are invalidated.
+	schemaChanged func()
 }
 
 // hashIndex maps an encoded column value to the row positions holding it.
+// Position lists are kept in ascending order (insert appends the largest
+// position; incremental delete/update maintenance preserves the order).
 type hashIndex struct {
 	col  int
 	rows map[string][]int
@@ -82,7 +90,7 @@ type hashIndex struct {
 
 func encodeKey(v sqlval.Value) string {
 	// Type tag + rendered value keeps 1 ("1") distinct from '1' (text).
-	return fmt.Sprintf("%d|%s", v.Type(), v.String())
+	return string(sqlval.AppendKey(nil, v))
 }
 
 // NewTable creates an empty table with the given schema.
@@ -143,9 +151,10 @@ func (t *Table) Insert(row []sqlval.Value) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var scratch [48]byte
 	if t.pkCol >= 0 {
 		idx := t.indexes[strings.ToLower(t.schema[t.pkCol].Name)]
-		if len(idx.rows[encodeKey(coerced[t.pkCol])]) > 0 {
+		if len(idx.rows[string(sqlval.AppendKey(scratch[:0], coerced[t.pkCol]))]) > 0 {
 			return fmt.Errorf("sqldb: duplicate primary key %v in table %s", coerced[t.pkCol], t.name)
 		}
 	}
@@ -180,7 +189,8 @@ func (t *Table) ScanEq(col string, v sqlval.Value, fn func(row []sqlval.Value) b
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if idx, ok := t.indexes[strings.ToLower(t.schema[ci].Name)]; ok {
-		for _, pos := range idx.rows[encodeKey(v)] {
+		var scratch [48]byte
+		for _, pos := range idx.rows[string(sqlval.AppendKey(scratch[:0], v))] {
 			if !fn(t.rows[pos]) {
 				return nil
 			}
@@ -223,40 +233,97 @@ func (t *Table) CreateIndex(col string) error {
 		idx.rows[k] = append(idx.rows[k], pos)
 	}
 	t.indexes[key] = idx
+	if t.schemaChanged != nil {
+		t.schemaChanged()
+	}
 	return nil
 }
 
 // DeleteWhere removes rows for which pred returns true and reports how many
-// were removed. Indexes are rebuilt afterwards.
+// were removed. Indexes are maintained incrementally: instead of re-hashing
+// every row (the old full rebuild), each index's position lists are
+// rewritten in place — deleted positions dropped, surviving positions
+// shifted down by the number of deletions before them — which is pure
+// integer work, no key encoding and no map churn.
 func (t *Table) DeleteWhere(pred func(row []sqlval.Value) (bool, error)) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	n := len(t.rows)
+	var del []bool  // del[pos]: row at old position pos was deleted
+	var shift []int // shift[pos]: deletions strictly before pos
 	kept := t.rows[:0]
 	deleted := 0
-	for _, r := range t.rows {
-		del, err := pred(r)
+	for pos, r := range t.rows {
+		d, err := pred(r)
 		if err != nil {
-			return 0, err
+			// The prefix of t.rows was already compacted; finish the
+			// compaction treating the remaining rows as kept so the table
+			// stays consistent, then surface the error together with how
+			// many rows really were removed before it.
+			for _, rest := range t.rows[pos:] {
+				kept = append(kept, rest)
+			}
+			t.rows = kept
+			if deleted > 0 {
+				t.rebuildIndexesLocked()
+			}
+			return deleted, err
 		}
-		if del {
+		if d {
+			if del == nil {
+				del = make([]bool, n)
+				shift = make([]int, n)
+			}
+			del[pos] = true
 			deleted++
 		} else {
 			kept = append(kept, r)
 		}
+		if shift != nil && pos+1 < n {
+			shift[pos+1] = deleted
+		}
 	}
 	t.rows = kept
 	if deleted > 0 {
-		t.rebuildIndexesLocked()
+		for _, idx := range t.indexes {
+			for k, positions := range idx.rows {
+				out := positions[:0]
+				for _, p := range positions {
+					if !del[p] {
+						out = append(out, p-shift[p])
+					}
+				}
+				if len(out) == 0 {
+					delete(idx.rows, k)
+				} else {
+					idx.rows[k] = out
+				}
+			}
+		}
 	}
 	return deleted, nil
 }
 
 // UpdateWhere applies fn to each row matching pred; fn returns the new row
 // (which is validated and coerced). It reports how many rows changed.
+// Row positions are stable under update, so indexes are patched
+// incrementally — only entries whose indexed value actually changed move
+// between key buckets. Changes to the primary-key column fall back to a
+// full rebuild (the PK index doubles as the uniqueness probe, so its
+// buckets must be exact even after a partial failure).
 func (t *Table) UpdateWhere(pred func(row []sqlval.Value) (bool, error), fn func(row []sqlval.Value) ([]sqlval.Value, error)) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	changed := 0
+	pkChanged := false
+	// The rebuild must also run when an error aborts the loop after an
+	// earlier row already moved its primary key — otherwise the PK index
+	// (the uniqueness probe) would go stale.
+	defer func() {
+		if pkChanged {
+			t.rebuildIndexesLocked()
+		}
+	}()
 	for i, r := range t.rows {
 		match, err := pred(r)
 		if err != nil {
@@ -265,6 +332,10 @@ func (t *Table) UpdateWhere(pred func(row []sqlval.Value) (bool, error), fn func
 		if !match {
 			continue
 		}
+		// Snapshot the row before fn runs: incremental index repointing
+		// compares old vs new key values, and fn is allowed to mutate the
+		// row slice in place and return it.
+		old := append([]sqlval.Value(nil), r...)
 		nr, err := fn(r)
 		if err != nil {
 			return changed, err
@@ -285,11 +356,56 @@ func (t *Table) UpdateWhere(pred func(row []sqlval.Value) (bool, error), fn func
 		}
 		t.rows[i] = coerced
 		changed++
-	}
-	if changed > 0 {
-		t.rebuildIndexesLocked()
+		for _, idx := range t.indexes {
+			if idx.col == t.pkCol && t.pkCol >= 0 {
+				if !sameKey(old[idx.col], coerced[idx.col]) {
+					pkChanged = true
+				}
+				continue // PK handled by the rebuild fallback below
+			}
+			t.repointLocked(idx, i, old[idx.col], coerced[idx.col])
+		}
 	}
 	return changed, nil
+}
+
+// sameKey reports whether two values produce the same index key.
+func sameKey(a, b sqlval.Value) bool {
+	var sa, sb [48]byte
+	return string(sqlval.AppendKey(sa[:0], a)) == string(sqlval.AppendKey(sb[:0], b))
+}
+
+// repointLocked moves position pos from oldV's bucket to newV's bucket,
+// preserving ascending position order within each bucket. No-op when the
+// key is unchanged.
+func (t *Table) repointLocked(idx *hashIndex, pos int, oldV, newV sqlval.Value) {
+	var scratch [48]byte
+	oldK := string(sqlval.AppendKey(scratch[:0], oldV))
+	newK := string(sqlval.AppendKey(scratch[:0], newV))
+	if oldK == newK {
+		return
+	}
+	bucket := idx.rows[oldK]
+	for i, p := range bucket {
+		if p == pos {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(idx.rows, oldK)
+	} else {
+		idx.rows[oldK] = bucket
+	}
+	nb := idx.rows[newK]
+	at := len(nb)
+	for at > 0 && nb[at-1] > pos {
+		at--
+	}
+	nb = append(nb, 0)
+	copy(nb[at+1:], nb[at:])
+	nb[at] = pos
+	idx.rows[newK] = nb
 }
 
 func (t *Table) rebuildIndexesLocked() {
@@ -308,7 +424,21 @@ type Database struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	foreign map[string]Relation
+
+	// epoch counts schema changes: table creation/drop, foreign
+	// registration, and index creation on owned tables. Compiled query
+	// plans are keyed on (text, epoch): any DDL bumps the epoch so stale
+	// plans are recompiled, while pure data mutations never do.
+	epoch atomic.Uint64
 }
+
+// SchemaEpoch returns the current schema-change counter. It increases on
+// every DDL operation (CREATE/DROP TABLE, CREATE INDEX, foreign-table
+// registration) and never on data mutations; plan caches compare it to
+// decide whether a compiled plan still reflects the catalog.
+func (d *Database) SchemaEpoch() uint64 { return d.epoch.Load() }
+
+func (d *Database) bumpEpoch() { d.epoch.Add(1) }
 
 // NewDatabase returns an empty catalog.
 func NewDatabase() *Database {
@@ -333,7 +463,9 @@ func (d *Database) CreateTable(name string, schema Schema, ifNotExists bool) (*T
 	if err != nil {
 		return nil, err
 	}
+	t.schemaChanged = d.bumpEpoch
 	d.tables[key] = t
+	d.bumpEpoch()
 	return t, nil
 }
 
@@ -344,10 +476,12 @@ func (d *Database) DropTable(name string, ifExists bool) error {
 	key := strings.ToLower(name)
 	if _, ok := d.tables[key]; ok {
 		delete(d.tables, key)
+		d.bumpEpoch()
 		return nil
 	}
 	if _, ok := d.foreign[key]; ok {
 		delete(d.foreign, key)
+		d.bumpEpoch()
 		return nil
 	}
 	if ifExists {
@@ -380,6 +514,7 @@ func (d *Database) RegisterForeign(r Relation) error {
 		return fmt.Errorf("sqldb: foreign table %s already registered", r.Name())
 	}
 	d.foreign[key] = r
+	d.bumpEpoch()
 	return nil
 }
 

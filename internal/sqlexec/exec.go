@@ -18,18 +18,28 @@ type Result struct {
 
 // Exec parses and executes one SQL statement against db.
 func Exec(db *sqldb.Database, src string) (*Result, error) {
+	return ExecOpts(db, src, Options{})
+}
+
+// ExecOpts parses and executes one SQL statement with execution options.
+func ExecOpts(db *sqldb.Database, src string, opts Options) (*Result, error) {
 	st, err := sqlparser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return ExecStatement(db, st)
+	return ExecStatementOpts(db, st, opts)
 }
 
 // ExecStatement executes a parsed statement against db.
 func ExecStatement(db *sqldb.Database, st sqlparser.Statement) (*Result, error) {
+	return ExecStatementOpts(db, st, Options{})
+}
+
+// ExecStatementOpts executes a parsed statement with execution options.
+func ExecStatementOpts(db *sqldb.Database, st sqlparser.Statement, opts Options) (*Result, error) {
 	switch s := st.(type) {
 	case *sqlparser.Select:
-		return EvalSelect(db, s)
+		return EvalSelectOpts(db, s, opts)
 	case *sqlparser.CreateTable:
 		return execCreateTable(db, s)
 	case *sqlparser.DropTable:
@@ -47,7 +57,7 @@ func ExecStatement(db *sqldb.Database, st sqlparser.Statement) (*Result, error) 
 		}
 		return &Result{}, nil
 	case *sqlparser.Insert:
-		return execInsert(db, s)
+		return execInsert(db, s, opts)
 	case *sqlparser.Update:
 		return execUpdate(db, s)
 	case *sqlparser.Delete:
@@ -55,6 +65,23 @@ func ExecStatement(db *sqldb.Database, st sqlparser.Statement) (*Result, error) 
 	default:
 		return nil, fmt.Errorf("sqlexec: unsupported statement %T", st)
 	}
+}
+
+// EvalSelect runs a SELECT against the database and returns the result.
+// It compiles the statement into a physical plan and executes it; callers
+// evaluating the same SELECT repeatedly should Compile once (or use
+// internal/core's plan cache) and Run the plan per evaluation.
+func EvalSelect(db *sqldb.Database, sel *sqlparser.Select) (*Result, error) {
+	return EvalSelectOpts(db, sel, Options{})
+}
+
+// EvalSelectOpts runs a SELECT with execution options.
+func EvalSelectOpts(db *sqldb.Database, sel *sqlparser.Select, opts Options) (*Result, error) {
+	p, err := CompileOpts(db, sel, opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
 }
 
 func execCreateTable(db *sqldb.Database, s *sqlparser.CreateTable) (*Result, error) {
@@ -68,7 +95,7 @@ func execCreateTable(db *sqldb.Database, s *sqlparser.CreateTable) (*Result, err
 	return &Result{}, nil
 }
 
-func execInsert(db *sqldb.Database, s *sqlparser.Insert) (*Result, error) {
+func execInsert(db *sqldb.Database, s *sqlparser.Insert, opts Options) (*Result, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return nil, err
@@ -93,7 +120,7 @@ func execInsert(db *sqldb.Database, s *sqlparser.Insert) (*Result, error) {
 
 	// INSERT ... SELECT: evaluate the query and insert its rows.
 	if s.Query != nil {
-		res, err := EvalSelect(db, s.Query)
+		res, err := EvalSelectOpts(db, s.Query, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -136,21 +163,33 @@ func execInsert(db *sqldb.Database, s *sqlparser.Insert) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func tablePredicate(t *sqldb.Table, where sqlparser.Expr) func(row []sqlval.Value) (bool, error) {
+// tableLayout is the column layout UPDATE/DELETE predicates compile
+// against: the table's columns qualified by its name.
+func tableLayout(t *sqldb.Table) []ScopeCol {
 	cols := make([]ScopeCol, len(t.Schema()))
 	for i, c := range t.Schema() {
 		cols[i] = ScopeCol{Qualifier: t.Name(), Name: c.Name}
 	}
+	return cols
+}
+
+// tablePredicate compiles a WHERE clause once; the returned function
+// evaluates it per row without walking the AST.
+func tablePredicate(t *sqldb.Table, where sqlparser.Expr) (func(row []sqlval.Value) (bool, error), error) {
+	if where == nil {
+		return func([]sqlval.Value) (bool, error) { return true, nil }, nil
+	}
+	pred, err := CompilePredicate(tableLayout(t), where)
+	if err != nil {
+		return nil, err
+	}
 	return func(row []sqlval.Value) (bool, error) {
-		if where == nil {
-			return true, nil
-		}
-		tr, err := EvalBool(where, &Scope{Cols: cols, Row: row})
+		tr, err := pred.EvalBool(row)
 		if err != nil {
 			return false, err
 		}
 		return tr == sqlval.True, nil
-	}
+	}, nil
 }
 
 func execUpdate(db *sqldb.Database, s *sqlparser.Update) (*Result, error) {
@@ -159,25 +198,29 @@ func execUpdate(db *sqldb.Database, s *sqlparser.Update) (*Result, error) {
 		return nil, err
 	}
 	schema := t.Schema()
-	cols := make([]ScopeCol, len(schema))
-	for i, c := range schema {
-		cols[i] = ScopeCol{Qualifier: t.Name(), Name: c.Name}
-	}
-	// Pre-resolve SET targets.
+	layout := tableLayout(t)
+	// Pre-resolve SET targets and compile their value expressions.
 	targets := make([]int, len(s.Set))
+	values := make([]*CompiledExpr, len(s.Set))
 	for i, a := range s.Set {
 		ci := schema.ColIndex(a.Column)
 		if ci < 0 {
 			return nil, fmt.Errorf("sqlexec: table %s has no column %q", s.Table, a.Column)
 		}
 		targets[i] = ci
+		if values[i], err = CompileExpr(layout, a.Value); err != nil {
+			return nil, err
+		}
 	}
-	n, err := t.UpdateWhere(tablePredicate(t, s.Where), func(row []sqlval.Value) ([]sqlval.Value, error) {
-		scope := &Scope{Cols: cols, Row: row}
+	pred, err := tablePredicate(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.UpdateWhere(pred, func(row []sqlval.Value) ([]sqlval.Value, error) {
 		out := make([]sqlval.Value, len(row))
 		copy(out, row)
-		for i, a := range s.Set {
-			v, err := Eval(a.Value, scope)
+		for i := range s.Set {
+			v, err := values[i].Eval(row)
 			if err != nil {
 				return nil, err
 			}
@@ -196,7 +239,11 @@ func execDelete(db *sqldb.Database, s *sqlparser.Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n, err := t.DeleteWhere(tablePredicate(t, s.Where))
+	pred, err := tablePredicate(t, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.DeleteWhere(pred)
 	if err != nil {
 		return nil, err
 	}

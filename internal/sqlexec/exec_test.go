@@ -12,7 +12,13 @@ import (
 // mustExec runs a statement and fails the test on error.
 func mustExec(t *testing.T, db *sqldb.Database, sql string) *Result {
 	t.Helper()
-	r, err := Exec(db, sql)
+	return mustExecOpts(t, db, sql, Options{})
+}
+
+// mustExecOpts runs a statement with execution options.
+func mustExecOpts(t *testing.T, db *sqldb.Database, sql string, opts Options) *Result {
+	t.Helper()
+	r, err := ExecOpts(db, sql, opts)
 	if err != nil {
 		t.Fatalf("exec %q: %v", sql, err)
 	}

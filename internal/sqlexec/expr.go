@@ -1,7 +1,30 @@
-// Package sqlexec evaluates parsed SQL statements against a sqldb.Database:
-// expression evaluation with SQL three-valued logic, scalar and aggregate
-// functions, and a materialising executor for SELECT (scans, equi-hash and
-// nested-loop joins, grouping, ordering) plus the DDL/DML statements.
+// Package sqlexec evaluates parsed SQL statements against a sqldb.Database.
+//
+// SELECT evaluation is compiled: CompileOpts lowers a parsed statement
+// once into an immutable physical SelectPlan (compile.go) — column
+// references resolved to dense row-slot offsets, expressions lowered to
+// slot-resolved evaluator trees with constant LIKE patterns
+// pre-compiled, WHERE conjuncts bound to the earliest pipeline step that
+// covers them, equality-against-constant conjuncts pushed into
+// sqldb.FilteredRelation index seeks, equi-joins planned as hash joins
+// and ORDER BY+LIMIT as a bounded top-K heap — and the plan executes as
+// a push-based streaming pipeline over reused rows (run.go). Options
+// carries the planner ablation knobs. EvalSelect/Exec wrap
+// compile-then-run; plans are cacheable across executions (see
+// internal/core.QueryCache.SQLSelect).
+//
+// Compilation makes column-reference errors data-independent: a SELECT,
+// UPDATE or DELETE naming an unknown or ambiguous column fails up front,
+// where the interpreter only failed once a row reached the broken
+// expression (queries over empty tables silently succeeded). Function
+// names, arities and value-type errors stay evaluation-time in both
+// paths.
+//
+// This file holds the value-level machinery both executors share —
+// expression evaluation with SQL three-valued logic, scalar and
+// aggregate functions — and interp.go keeps the seed's materialising
+// interpreter as the reference oracle for the parity suite. DDL/DML
+// statements execute in exec.go.
 package sqlexec
 
 import (
@@ -497,13 +520,20 @@ func evalScalarFunc(ex *sqlparser.FuncCall, s *Scope) (sqlval.Value, error) {
 		}
 		args[i] = v
 	}
+	return applyScalarFunc(ex.Name, args)
+}
+
+// applyScalarFunc applies a scalar function to already-evaluated
+// arguments. Shared by the interpreter and the compiled executor; name and
+// arity validation happens here, at evaluation time, in both paths.
+func applyScalarFunc(name string, args []sqlval.Value) (sqlval.Value, error) {
 	need := func(n int) error {
 		if len(args) != n {
-			return fmt.Errorf("sqlexec: %s expects %d argument(s), got %d", ex.Name, n, len(args))
+			return fmt.Errorf("sqlexec: %s expects %d argument(s), got %d", name, n, len(args))
 		}
 		return nil
 	}
-	switch ex.Name {
+	switch name {
 	case "UPPER":
 		if err := need(1); err != nil {
 			return sqlval.Null, err
@@ -624,21 +654,22 @@ func evalScalarFunc(ex *sqlparser.FuncCall, s *Scope) (sqlval.Value, error) {
 		}
 		return sqlval.NewString(b.String()), nil
 	default:
-		return sqlval.Null, fmt.Errorf("sqlexec: unknown function %s", ex.Name)
+		return sqlval.Null, fmt.Errorf("sqlexec: unknown function %s", name)
 	}
 }
 
 // aggState accumulates one aggregate over a group.
 type aggState struct {
-	call  *sqlparser.FuncCall
-	count int64
-	sum   float64
-	sumI  int64
-	isInt bool
-	first bool
-	min   sqlval.Value
-	max   sqlval.Value
-	seen  map[string]struct{} // DISTINCT support
+	call   *sqlparser.FuncCall
+	count  int64
+	sum    float64
+	sumI   int64
+	isInt  bool
+	first  bool
+	min    sqlval.Value
+	max    sqlval.Value
+	seen   map[string]struct{} // DISTINCT support
+	keyBuf []byte              // scratch for DISTINCT keys
 }
 
 func newAggState(call *sqlparser.FuncCall) *aggState {
@@ -661,15 +692,23 @@ func (a *aggState) add(s *Scope) error {
 	if err != nil {
 		return err
 	}
+	return a.addValue(v)
+}
+
+// addValue accumulates one already-evaluated argument value (the compiled
+// executor's entry point; add wraps it for the interpreter).
+func (a *aggState) addValue(v sqlval.Value) error {
 	if v.IsNull() {
 		return nil // aggregates skip NULLs
 	}
 	if a.seen != nil {
-		key := fmt.Sprintf("%d|%s", v.Type(), v.String())
-		if _, dup := a.seen[key]; dup {
+		// Allocation-free probe: the string conversion in the map index
+		// does not escape, and only genuinely new values are stored.
+		a.keyBuf = sqlval.AppendKey(a.keyBuf[:0], v)
+		if _, dup := a.seen[string(a.keyBuf)]; dup {
 			return nil
 		}
-		a.seen[key] = struct{}{}
+		a.seen[string(a.keyBuf)] = struct{}{}
 	}
 	a.count++
 	switch a.call.Name {

@@ -1,3 +1,11 @@
+// interp.go — the materialising reference interpreter. This is the seed
+// executor, stripped of its planner fast paths (the equi-hash join moved
+// into the compiled pipeline, where it is governed by Options): it resolves
+// column references by name per row, materialises a full rowset at every
+// stage and only ever nested-loops joins. Production execution goes through
+// the compiled SelectPlan (compile.go / run.go); the interpreter remains as
+// the independent oracle the parity suite pins the compiled semantics to.
+
 package sqlexec
 
 import (
@@ -9,12 +17,6 @@ import (
 	"crosse/internal/sqlparser"
 	"crosse/internal/sqlval"
 )
-
-// DisableHashJoin forces nested-loop evaluation for equi-joins. It exists
-// for the ablation study (EXPERIMENTS.md): the hash fast path is what keeps
-// self-joins like paper Example 4.6 linear instead of quadratic. Not for
-// production use; reads are not synchronised.
-var DisableHashJoin = false
 
 // rowset is a materialised intermediate relation with scope metadata.
 type rowset struct {
@@ -38,8 +40,8 @@ func (rs *rowset) find(qual, name string) []int {
 	return out
 }
 
-// EvalSelect runs a SELECT against the database and returns the result.
-func EvalSelect(db *sqldb.Database, sel *sqlparser.Select) (*Result, error) {
+// evalSelectInterp runs a SELECT through the reference interpreter.
+func evalSelectInterp(db *sqldb.Database, sel *sqlparser.Select) (*Result, error) {
 	// FROM-less SELECT evaluates items once against an empty scope.
 	if len(sel.From) == 0 {
 		return selectNoFrom(sel)
@@ -188,22 +190,8 @@ func buildFrom(db *sqldb.Database, sel *sqlparser.Select) (*rowset, error) {
 			cur, err = joinInner(cur, right, src.on)
 		case sqlparser.JoinLeft:
 			cur, err = joinLeft(cur, right, src.on)
-		default: // cross/comma: look for a WHERE equi-conjunct to drive a hash join
-			var used int = -1
-			if !DisableHashJoin {
-				for ci, c := range conjuncts {
-					if lk, rk, ok := equiKeys(c, cur, right); ok {
-						cur, err = hashJoin(cur, right, lk, rk, false)
-						used = ci
-						break
-					}
-				}
-			}
-			if used >= 0 {
-				conjuncts = append(conjuncts[:used], conjuncts[used+1:]...)
-			} else {
-				cur = crossProduct(cur, right)
-			}
+		default: // cross/comma; WHERE conjuncts apply right after
+			cur = crossProduct(cur, right)
 		}
 		if err != nil {
 			return nil, err
@@ -333,30 +321,6 @@ func applyReadyFilters(rs *rowset, conjuncts []sqlparser.Expr) (*rowset, []sqlpa
 	return rs, rest, nil
 }
 
-// equiKeys recognises `left.col = right.col` conjuncts usable as hash-join
-// keys between the current rowset and the incoming right rowset.
-func equiKeys(e sqlparser.Expr, left, right *rowset) (int, int, bool) {
-	be, ok := e.(*sqlparser.BinExpr)
-	if !ok || be.Op != sqlparser.OpEq {
-		return 0, 0, false
-	}
-	lc, ok1 := be.L.(*sqlparser.ColRef)
-	rc, ok2 := be.R.(*sqlparser.ColRef)
-	if !ok1 || !ok2 {
-		return 0, 0, false
-	}
-	li, ri := left.find(lc.Qualifier, lc.Name), right.find(rc.Qualifier, rc.Name)
-	if len(li) == 1 && len(ri) == 1 {
-		return li[0], ri[0], true
-	}
-	// Try swapped orientation.
-	li, ri = left.find(rc.Qualifier, rc.Name), right.find(lc.Qualifier, lc.Name)
-	if len(li) == 1 && len(ri) == 1 {
-		return li[0], ri[0], true
-	}
-	return 0, 0, false
-}
-
 func concatCols(a, b []ScopeCol) []ScopeCol {
 	out := make([]ScopeCol, 0, len(a)+len(b))
 	out = append(out, a...)
@@ -379,53 +343,9 @@ func crossProduct(l, r *rowset) *rowset {
 	return out
 }
 
-// hashJoin joins on equality of key columns; when leftOuter is true,
-// unmatched left rows survive padded with NULLs.
-func hashJoin(l, r *rowset, lk, rk int, leftOuter bool) (*rowset, error) {
-	index := make(map[string][][]sqlval.Value, len(r.rows))
-	for _, rr := range r.rows {
-		v := rr[rk]
-		if v.IsNull() {
-			continue // NULL never equi-joins
-		}
-		key := fmt.Sprintf("%d|%s", normType(v.Type()), v.String())
-		index[key] = append(index[key], rr)
-	}
-	out := &rowset{cols: concatCols(l.cols, r.cols)}
-	pad := make([]sqlval.Value, len(r.cols))
-	for _, lr := range l.rows {
-		v := lr[lk]
-		matched := false
-		if !v.IsNull() {
-			key := fmt.Sprintf("%d|%s", normType(v.Type()), v.String())
-			for _, rr := range index[key] {
-				out.rows = append(out.rows, concatRows(lr, rr))
-				matched = true
-			}
-		}
-		if leftOuter && !matched {
-			out.rows = append(out.rows, concatRows(lr, pad))
-		}
-	}
-	return out, nil
-}
-
-// normType folds int and float into one bucket so 2 = 2.0 joins correctly;
-// renderings agree ("2" vs "2") for integral floats because Value.String
-// uses %g. Mixed 2 vs 2.0 keys both render "2".
-func normType(t sqlval.Type) sqlval.Type {
-	if t == sqlval.TypeFloat {
-		return sqlval.TypeInt
-	}
-	return t
-}
-
 func joinInner(l, r *rowset, on sqlparser.Expr) (*rowset, error) {
 	if on != nil {
 		merged := &rowset{cols: concatCols(l.cols, r.cols)}
-		if lk, rk, ok := equiKeys(on, l, r); ok && !DisableHashJoin {
-			return hashJoin(l, r, lk, rk, false)
-		}
 		for _, lr := range l.rows {
 			for _, rr := range r.rows {
 				row := concatRows(lr, rr)
@@ -446,9 +366,6 @@ func joinInner(l, r *rowset, on sqlparser.Expr) (*rowset, error) {
 func joinLeft(l, r *rowset, on sqlparser.Expr) (*rowset, error) {
 	if on == nil {
 		return nil, fmt.Errorf("sqlexec: LEFT JOIN requires ON")
-	}
-	if lk, rk, ok := equiKeys(on, l, r); ok && !DisableHashJoin {
-		return hashJoin(l, r, lk, rk, true)
 	}
 	out := &rowset{cols: concatCols(l.cols, r.cols)}
 	pad := make([]sqlval.Value, len(r.cols))
@@ -487,8 +404,9 @@ func itemName(it sqlparser.SelectItem, pos int) string {
 	return fmt.Sprintf("col%d", pos+1)
 }
 
-// expandItems resolves stars into concrete column projections.
-func expandItems(sel *sqlparser.Select, base *rowset) ([]sqlparser.SelectItem, error) {
+// expandItems resolves stars into concrete column projections against a
+// column layout (shared by the interpreter and the compile layer).
+func expandItems(sel *sqlparser.Select, cols []ScopeCol) ([]sqlparser.SelectItem, error) {
 	var out []sqlparser.SelectItem
 	for _, it := range sel.Items {
 		if !it.Star {
@@ -496,7 +414,7 @@ func expandItems(sel *sqlparser.Select, base *rowset) ([]sqlparser.SelectItem, e
 			continue
 		}
 		matched := false
-		for _, c := range base.cols {
+		for _, c := range cols {
 			if it.Qualifier != "" && !strings.EqualFold(c.Qualifier, it.Qualifier) {
 				continue
 			}
@@ -514,7 +432,7 @@ func expandItems(sel *sqlparser.Select, base *rowset) ([]sqlparser.SelectItem, e
 }
 
 func selectPlain(sel *sqlparser.Select, base *rowset) (*rowset, []string, []*Scope, error) {
-	items, err := expandItems(sel, base)
+	items, err := expandItems(sel, base.cols)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -548,7 +466,7 @@ func selectPlain(sel *sqlparser.Select, base *rowset) (*rowset, []string, []*Sco
 }
 
 func selectGrouped(sel *sqlparser.Select, base *rowset) (*rowset, []string, []*Scope, error) {
-	items, err := expandItems(sel, base)
+	items, err := expandItems(sel, base.cols)
 	if err != nil {
 		return nil, nil, nil, err
 	}

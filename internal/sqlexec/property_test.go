@@ -77,11 +77,8 @@ func TestHashJoinEqualsNestedLoop(t *testing.T) {
 		db, _ := randDB(t, rng, 60)
 		const q = `SELECT COUNT(*) FROM r x, r y WHERE x.b = y.b AND x.a < y.a`
 
-		DisableHashJoin = false
-		fast := mustExec(t, db, q).Rows[0][0].Int()
-		DisableHashJoin = true
-		slow := mustExec(t, db, q).Rows[0][0].Int()
-		DisableHashJoin = false
+		fast := mustExecOpts(t, db, q, Options{}).Rows[0][0].Int()
+		slow := mustExecOpts(t, db, q, Options{DisableHashJoin: true}).Rows[0][0].Int()
 
 		if fast != slow {
 			t.Fatalf("trial %d: hash=%d nested=%d", trial, fast, slow)

@@ -1,0 +1,716 @@
+package sqlexec
+
+// run.go — the streaming executor for compiled SelectPlans. Execution is a
+// push-based pipeline over ONE reused joined-row buffer: the driving scan
+// fills its slot segment, each join step fills the right source's segment
+// per candidate, filters run at the step their slots first become bound,
+// and only the sink (projection / DISTINCT / ORDER BY / grouping)
+// allocates retained rows — via sqlval.RowArena, so materialising n rows
+// costs O(n/block) allocations. LIMIT without ORDER BY stops the pipeline
+// early; ORDER BY + LIMIT keeps a bounded stable top-K heap instead of
+// sorting everything.
+
+import (
+	"sort"
+
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlval"
+)
+
+// Run executes the plan and materialises the result.
+func (p *SelectPlan) Run() (*Result, error) {
+	res := &Result{Columns: append([]string(nil), p.headers...)}
+	arena := sqlval.NewRowArena(len(p.headers))
+	err := p.Stream(func(row []sqlval.Value) bool {
+		res.Rows = append(res.Rows, arena.Copy(row))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stream executes the plan, pushing each output row to fn; fn returning
+// false stops execution early. The row slice is reused between calls —
+// callers that retain rows must copy them.
+func (p *SelectPlan) Stream(fn func(row []sqlval.Value) bool) error {
+	r := &runner{p: p, yield: fn}
+	return r.run()
+}
+
+// runner holds all per-execution state of one plan run.
+type runner struct {
+	p     *SelectPlan
+	yield func([]sqlval.Value) bool
+
+	row []sqlval.Value // the joined-row buffer, width p.width
+
+	// Per-join materialised right sides (index parallel to p.joins).
+	// swapped marks the first join running in build-left/stream-right
+	// orientation (chosen from live cardinalities).
+	rights  [][][]sqlval.Value
+	hashes  []map[string][]int32
+	swapped bool
+	// In swapped mode the materialised LEFT rows and their hash by key.
+	leftRows [][]sqlval.Value
+	leftHash map[string][]int32
+
+	err     error
+	stopped bool // fn asked to stop (not an error)
+
+	sink rowSink
+}
+
+// rowSink consumes completed joined rows and produces output rows.
+type rowSink interface {
+	// add consumes one joined row; returning false stops the pipeline.
+	add(row []sqlval.Value) bool
+	// finish flushes buffered output (sorting, grouping, …).
+	finish() error
+}
+
+func (r *runner) run() error {
+	p := r.p
+	if p.fromless {
+		out := make([]sqlval.Value, len(p.items))
+		for i, it := range p.items {
+			v, err := it.eval(nil)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		r.yield(out)
+		return nil
+	}
+
+	r.row = make([]sqlval.Value, p.width)
+	if p.grouped {
+		r.sink = newGroupedSink(r)
+	} else {
+		r.sink = newPlainSink(r)
+	}
+
+	// Decide the orientation of the first join: when both base relations
+	// expose O(1) cardinalities and the left side is the smaller input,
+	// build the hash over the left scan and stream the right one. A
+	// pushed-down equality seek marks its side as tiny.
+	if len(p.joins) > 0 && p.joins[0].kind == joinHash {
+		le, lok := scanEstimate(p.scan0)
+		re, rok := scanEstimate(p.joins[0].src)
+		r.swapped = lok && rok && le < re
+	}
+
+	// Materialise the non-streamed sides up front (sequentially, so no
+	// table locks nest).
+	for i := range p.joins {
+		if r.swapped && i == 0 {
+			if err := r.buildSwappedLeft(); err != nil {
+				return err
+			}
+			r.rights = append(r.rights, nil)
+			r.hashes = append(r.hashes, nil)
+			continue
+		}
+		rows, err := r.materialize(p.joins[i].src)
+		if err != nil {
+			return err
+		}
+		r.rights = append(r.rights, rows)
+		switch p.joins[i].kind {
+		case joinHash, joinHashLeft:
+			r.hashes = append(r.hashes, buildHash(rows, p.joins[i].rightSlot-p.joins[i].src.offset))
+		default:
+			r.hashes = append(r.hashes, nil)
+		}
+	}
+
+	// Drive the pipeline.
+	if r.swapped {
+		j := p.joins[0]
+		src := j.src
+		keyOff := j.rightSlot
+		var scratch []byte
+		r.scan(src, func() bool {
+			v := r.row[keyOff]
+			if v.IsNull() {
+				return true
+			}
+			scratch = sqlval.AppendJoinKey(scratch[:0], v)
+			for _, li := range r.leftHash[string(scratch)] {
+				if cmp, err := sqlval.Compare(v, r.leftRows[li][j.leftSlot]); err != nil || cmp != 0 {
+					continue
+				}
+				copy(r.row[:p.scan0.width], r.leftRows[li])
+				if ok, done := r.applyConjuncts(j.residual); !ok {
+					if done {
+						return false
+					}
+					continue
+				}
+				if ok, done := r.applyConjuncts(j.post); !ok {
+					if done {
+						return false
+					}
+					continue
+				}
+				if !r.step(2) {
+					return false
+				}
+			}
+			return true
+		})
+	} else {
+		r.scan(p.scan0, func() bool {
+			return r.step(1)
+		})
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.stopped {
+		return nil
+	}
+	return r.sink.finish()
+}
+
+// scanEstimate returns a cheap cardinality estimate for a source: 0 when
+// an equality seek was pushed down, the relation's O(1) row count when it
+// exposes one, and unknown otherwise.
+func scanEstimate(sp scanPlan) (int, bool) {
+	if sp.eqCol != "" {
+		return 0, true
+	}
+	if l, ok := sp.rel.(interface{ Len() int }); ok {
+		return l.Len(), true
+	}
+	return 0, false
+}
+
+// scan streams the source's rows into its slot segment of the joined-row
+// buffer, applying the pushed-down seek and the source-local filters, then
+// calls next. next returning false stops the scan.
+func (r *runner) scan(sp scanPlan, next func() bool) {
+	seg := r.row[sp.offset : sp.offset+sp.width]
+	h := func(in []sqlval.Value) bool {
+		copy(seg, in)
+		if ok, done := r.applyConjuncts(sp.filters); !ok {
+			return !done
+		}
+		return next()
+	}
+	var err error
+	if sp.eqCol != "" {
+		err = sp.rel.(sqldb.FilteredRelation).ScanEq(sp.eqCol, sp.eqVal, h)
+	} else {
+		err = sp.rel.Scan(h)
+	}
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// applyConjuncts evaluates the conjuncts over the row buffer. ok reports
+// whether every conjunct is True; done reports a hard stop (evaluation
+// error, recorded in r.err).
+func (r *runner) applyConjuncts(conj []cexpr) (ok, done bool) {
+	for _, c := range conj {
+		t, err := cEvalBool(c, r.row)
+		if err != nil {
+			r.err = err
+			return false, true
+		}
+		if t != sqlval.True {
+			return false, false
+		}
+	}
+	return true, false
+}
+
+// materialize scans a right-side source into retained rows of the
+// source's width (seek and source-local filters applied).
+func (r *runner) materialize(sp scanPlan) ([][]sqlval.Value, error) {
+	arena := sqlval.NewRowArena(sp.width)
+	var rows [][]sqlval.Value
+	seg := r.row[sp.offset : sp.offset+sp.width]
+	r.scan(sp, func() bool {
+		rows = append(rows, arena.Copy(seg))
+		return true
+	})
+	if r.err != nil {
+		return nil, r.err
+	}
+	return rows, nil
+}
+
+// buildSwappedLeft materialises the driving scan and hashes it on the
+// first join's left key (swapped orientation).
+func (r *runner) buildSwappedLeft() error {
+	p := r.p
+	arena := sqlval.NewRowArena(p.scan0.width)
+	keySlot := p.joins[0].leftSlot
+	r.leftHash = make(map[string][]int32)
+	var scratch []byte
+	seg := r.row[:p.scan0.width]
+	r.scan(p.scan0, func() bool {
+		v := r.row[keySlot]
+		if v.IsNull() {
+			return true // NULL keys never equi-join
+		}
+		r.leftRows = append(r.leftRows, arena.Copy(seg))
+		scratch = sqlval.AppendJoinKey(scratch[:0], v)
+		k := string(scratch)
+		r.leftHash[k] = append(r.leftHash[k], int32(len(r.leftRows)-1))
+		return true
+	})
+	return r.err
+}
+
+// buildHash indexes materialised rows by their join-key column (relative
+// to the row, not the joined layout). NULL keys are skipped: they never
+// equi-join.
+func buildHash(rows [][]sqlval.Value, keyCol int) map[string][]int32 {
+	h := make(map[string][]int32, len(rows))
+	var scratch []byte
+	for i, row := range rows {
+		v := row[keyCol]
+		if v.IsNull() {
+			continue
+		}
+		scratch = sqlval.AppendJoinKey(scratch[:0], v)
+		k := string(scratch)
+		h[k] = append(h[k], int32(i))
+	}
+	return h
+}
+
+// step runs join i (1-based; i > len(joins) hands the row to the sink).
+// It returns false to stop the whole pipeline (error or early exit).
+func (r *runner) step(i int) bool {
+	p := r.p
+	if i > len(p.joins) {
+		if !r.sink.add(r.row) {
+			if r.err == nil {
+				r.stopped = true
+			}
+			return false
+		}
+		return true
+	}
+	j := &p.joins[i-1]
+	seg := r.row[j.src.offset : j.src.offset+j.src.width]
+	rows := r.rights[i-1]
+
+	emit := func() (cont bool, passed bool) {
+		// Residual ON conjuncts decide whether the pair counts as
+		// matched; post WHERE conjuncts only gate descent.
+		if ok, done := r.applyConjuncts(j.residual); !ok {
+			return !done, false
+		}
+		if ok, done := r.applyConjuncts(j.post); !ok {
+			return !done, true
+		}
+		return r.step(i + 1), true
+	}
+
+	switch j.kind {
+	case joinHash, joinHashLeft:
+		matched := false
+		v := r.row[j.leftSlot]
+		if !v.IsNull() {
+			var scratch [48]byte
+			keyRel := j.rightSlot - j.src.offset
+			for _, ri := range r.hashes[i-1][string(sqlval.AppendJoinKey(scratch[:0], v))] {
+				// The bucket may hold Compare-unequal values (the numeric
+				// fold is lossy past 2^53): re-verify the actual equality.
+				if cmp, err := sqlval.Compare(v, rows[ri][keyRel]); err != nil || cmp != 0 {
+					continue
+				}
+				copy(seg, rows[ri])
+				cont, passed := emit()
+				matched = matched || passed
+				if !cont {
+					return false
+				}
+			}
+		}
+		if j.kind == joinHashLeft && !matched {
+			return r.padAndDescend(i, j, seg)
+		}
+	case joinNested, joinNestedLeft:
+		matched := false
+		for _, rr := range rows {
+			copy(seg, rr)
+			cont, passed := emit()
+			matched = matched || passed
+			if !cont {
+				return false
+			}
+		}
+		if j.kind == joinNestedLeft && !matched {
+			return r.padAndDescend(i, j, seg)
+		}
+	case joinCross:
+		for _, rr := range rows {
+			copy(seg, rr)
+			if cont, _ := emit(); !cont {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// padAndDescend fills the right segment with NULLs (unmatched LEFT JOIN
+// row), applies the post conjuncts and descends.
+func (r *runner) padAndDescend(i int, j *joinPlan, seg []sqlval.Value) bool {
+	for k := range seg {
+		seg[k] = sqlval.Null
+	}
+	if ok, done := r.applyConjuncts(j.post); !ok {
+		return !done
+	}
+	return r.step(i + 1)
+}
+
+// --- plain (non-grouped) sink ---
+
+type plainSink struct {
+	r   *runner
+	p   *SelectPlan
+	out []sqlval.Value // reused projection buffer
+
+	seen       map[string]struct{} // DISTINCT keys
+	keyScratch []byte
+
+	sorter *topKSorter
+
+	count, skipped int
+}
+
+func newPlainSink(r *runner) *plainSink {
+	s := &plainSink{r: r, p: r.p, out: make([]sqlval.Value, len(r.p.items))}
+	if s.p.distinct {
+		s.seen = make(map[string]struct{})
+	}
+	if len(s.p.order) > 0 {
+		s.sorter = newTopKSorter(s.p, len(s.p.headers))
+	}
+	return s
+}
+
+func (s *plainSink) add(row []sqlval.Value) bool {
+	for i, it := range s.p.items {
+		v, err := it.eval(row)
+		if err != nil {
+			s.r.err = err
+			return false
+		}
+		s.out[i] = v
+	}
+	return s.deliver(row)
+}
+
+// deliver runs the DISTINCT / ORDER BY / LIMIT tail over the projected
+// row; under is the row order keys fall back to when they reference
+// non-projected columns.
+func (s *plainSink) deliver(under []sqlval.Value) bool {
+	if s.seen != nil {
+		s.keyScratch = s.keyScratch[:0]
+		for _, v := range s.out {
+			s.keyScratch = sqlval.AppendKey(s.keyScratch, v)
+		}
+		if _, dup := s.seen[string(s.keyScratch)]; dup {
+			return true
+		}
+		s.seen[string(s.keyScratch)] = struct{}{}
+	}
+	if s.sorter != nil {
+		if err := s.sorter.add(s.out, under); err != nil {
+			s.r.err = err
+			return false
+		}
+		return true
+	}
+	if s.p.offset > 0 && s.skipped < s.p.offset {
+		s.skipped++
+		return true
+	}
+	if s.p.limit == 0 {
+		return false
+	}
+	if !s.r.yield(s.out) {
+		return false
+	}
+	s.count++
+	return s.p.limit < 0 || s.count < s.p.limit
+}
+
+func (s *plainSink) finish() error {
+	if s.sorter != nil {
+		return s.sorter.flush(s.r.yield)
+	}
+	return nil
+}
+
+// --- grouped sink ---
+
+type groupState struct {
+	first []sqlval.Value // retained copy of the group's first joined row
+	aggs  []*aggState
+}
+
+type groupedSink struct {
+	r *runner
+	p *SelectPlan
+
+	groups map[string]*groupState
+	order  []*groupState
+	arena  *sqlval.RowArena
+
+	keyScratch []byte
+}
+
+func newGroupedSink(r *runner) *groupedSink {
+	return &groupedSink{
+		r:      r,
+		p:      r.p,
+		groups: make(map[string]*groupState),
+		arena:  sqlval.NewRowArena(r.p.width),
+	}
+}
+
+func (s *groupedSink) add(row []sqlval.Value) bool {
+	g := s.p.group
+	s.keyScratch = s.keyScratch[:0]
+	for _, ke := range g.keys {
+		v, err := ke.eval(row)
+		if err != nil {
+			s.r.err = err
+			return false
+		}
+		s.keyScratch = sqlval.AppendKey(s.keyScratch, v)
+	}
+	grp, ok := s.groups[string(s.keyScratch)]
+	if !ok {
+		grp = &groupState{first: s.arena.Copy(row)}
+		grp.aggs = make([]*aggState, len(g.aggs))
+		for i, a := range g.aggs {
+			grp.aggs[i] = newAggState(a.fc)
+		}
+		s.groups[string(s.keyScratch)] = grp
+		s.order = append(s.order, grp)
+	}
+	for i, a := range g.aggs {
+		if a.arg == nil { // COUNT(*)
+			grp.aggs[i].count++
+			continue
+		}
+		v, err := a.arg.eval(row)
+		if err != nil {
+			s.r.err = err
+			return false
+		}
+		if err := grp.aggs[i].addValue(v); err != nil {
+			s.r.err = err
+			return false
+		}
+	}
+	return true
+}
+
+func (s *groupedSink) finish() error {
+	p := s.p
+	g := p.group
+	// A grand-total aggregate over zero rows still yields one group.
+	if len(s.order) == 0 && len(g.keys) == 0 {
+		grp := &groupState{first: make([]sqlval.Value, p.width)}
+		grp.aggs = make([]*aggState, len(g.aggs))
+		for i, a := range g.aggs {
+			grp.aggs[i] = newAggState(a.fc)
+		}
+		s.order = append(s.order, grp)
+	}
+
+	// The emit tail shares the plain sink's DISTINCT/ORDER/LIMIT logic.
+	tail := newPlainSink(s.r)
+	ext := make([]sqlval.Value, p.width+len(g.aggs))
+	for _, grp := range s.order {
+		copy(ext, grp.first)
+		for i, a := range grp.aggs {
+			ext[p.width+i] = a.result()
+		}
+		if g.having != nil {
+			t, err := cEvalBool(g.having, ext)
+			if err != nil {
+				return err
+			}
+			if t != sqlval.True {
+				continue
+			}
+		}
+		for i, it := range p.items {
+			v, err := it.eval(ext)
+			if err != nil {
+				return err
+			}
+			tail.out[i] = v
+		}
+		if !tail.deliver(ext) {
+			if s.r.err != nil {
+				return s.r.err
+			}
+			return nil
+		}
+	}
+	return tail.finish()
+}
+
+// --- stable top-K / full sort ---
+
+// sortedRow is one buffered output row with its evaluated order keys and
+// arrival sequence (the tiebreak that makes the sort stable).
+type sortedRow struct {
+	keys []sqlval.Value
+	row  []sqlval.Value
+	seq  int
+}
+
+// topKSorter buffers output rows for ORDER BY. With a LIMIT (and top-K
+// enabled) it keeps only the limit+offset best rows in a max-heap —
+// the heap order includes the arrival sequence, so the retained set is
+// exactly the stable-sort prefix, ties included.
+type topKSorter struct {
+	p          *SelectPlan
+	rows       []sortedRow
+	rowA       *sqlval.RowArena
+	keyA       *sqlval.RowArena
+	keyScratch []sqlval.Value // reused for rows the bounded heap rejects
+	cap        int            // -1 = unbounded (full sort)
+	seq        int
+}
+
+func newTopKSorter(p *SelectPlan, width int) *topKSorter {
+	s := &topKSorter{
+		p:          p,
+		rowA:       sqlval.NewRowArena(width),
+		keyA:       sqlval.NewRowArena(len(p.order)),
+		keyScratch: make([]sqlval.Value, len(p.order)),
+		cap:        -1,
+	}
+	if p.limit >= 0 && !p.opts.DisableTopK {
+		s.cap = p.limit
+		if p.offset > 0 {
+			s.cap += p.offset
+		}
+	}
+	return s
+}
+
+// less orders a before b in the final output (keys, then arrival).
+func (s *topKSorter) less(a, b *sortedRow) bool {
+	for k, op := range s.p.order {
+		c := sqlval.CompareForSort(a.keys[k], b.keys[k])
+		if c != 0 {
+			if op.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	return a.seq < b.seq
+}
+
+func (s *topKSorter) add(out, under []sqlval.Value) error {
+	keys := s.keyScratch
+	for k, op := range s.p.order {
+		var v sqlval.Value
+		var err error
+		if op.outKey != nil {
+			v, err = op.outKey.eval(out)
+			if err != nil && op.underKey != nil {
+				// Per-row fallback to the underlying columns, like the
+				// interpreter.
+				v, err = op.underKey.eval(under)
+			}
+		} else {
+			v, err = op.underKey.eval(under)
+		}
+		if err != nil {
+			return err
+		}
+		keys[k] = v
+	}
+	nr := sortedRow{keys: keys, seq: s.seq}
+	s.seq++
+
+	if s.cap == 0 {
+		return nil
+	}
+	if s.cap > 0 && len(s.rows) == s.cap && !s.less(&nr, &s.rows[0]) {
+		return nil // loses to the current worst: drop without copying
+	}
+	// Retained: copy the keys and the projected row out of the scratch
+	// buffers.
+	nr.keys = s.keyA.Copy(keys)
+	nr.row = s.rowA.Copy(out)
+
+	if s.cap < 0 || len(s.rows) < s.cap {
+		s.rows = append(s.rows, nr)
+		if len(s.rows) == s.cap {
+			// Heapify: max-heap on final order (root = worst retained).
+			for i := len(s.rows)/2 - 1; i >= 0; i-- {
+				s.siftDown(i)
+			}
+		}
+		return nil
+	}
+	// Replace the current worst.
+	s.rows[0] = nr
+	s.siftDown(0)
+	return nil
+}
+
+func (s *topKSorter) siftDown(i int) {
+	n := len(s.rows)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && s.less(&s.rows[worst], &s.rows[l]) {
+			worst = l
+		}
+		if r < n && s.less(&s.rows[worst], &s.rows[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		s.rows[i], s.rows[worst] = s.rows[worst], s.rows[i]
+		i = worst
+	}
+}
+
+func (s *topKSorter) flush(yield func([]sqlval.Value) bool) error {
+	// (keys, seq) is a strict total order, so a plain sort equals the
+	// interpreter's stable sort; for the bounded case the heap retained
+	// exactly the first cap rows of that order.
+	sort.Slice(s.rows, func(i, j int) bool { return s.less(&s.rows[i], &s.rows[j]) })
+	rows := s.rows
+	if s.p.offset > 0 {
+		if s.p.offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[s.p.offset:]
+		}
+	}
+	if s.p.limit >= 0 && s.p.limit < len(rows) {
+		rows = rows[:s.p.limit]
+	}
+	for i := range rows {
+		if !yield(rows[i].row) {
+			return nil
+		}
+	}
+	return nil
+}
