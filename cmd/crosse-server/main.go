@@ -12,12 +12,21 @@
 //	crosse-server -snapshot platform.img # durable image: load on boot,
 //	                                     # save on SIGINT/SIGTERM
 //	crosse-server -snapshot platform.img -snapshot-interval 5m
+//	crosse-server -wal state/            # write-ahead-logged platform
+//	crosse-server -wal state/ -wal-sync always -compact-interval 10m
 //
 // With -snapshot, boot restores the platform image when the file exists
 // (bulk ID-level load — no re-import of the corpus) and falls back to
 // synthesising the sample databank when it does not. The image is written
 // atomically on shutdown signals, every -snapshot-interval when set, and on
 // demand via POST /api/admin/snapshot.
+//
+// With -wal, the platform journals every mutation to an append-only log
+// before acknowledging it (group-committed under -wal-sync), recovery on
+// boot is image + log replay, and compaction (periodic via
+// -compact-interval, on demand via POST /api/admin/compact, and once at
+// shutdown) re-anchors the image and empties the log. -wal and -snapshot
+// are mutually exclusive: the journal owns its own image.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +46,7 @@ import (
 	"crosse/internal/fdw"
 	"crosse/internal/kb"
 	"crosse/internal/rest"
+	"crosse/internal/wal"
 )
 
 func main() {
@@ -46,15 +57,70 @@ func main() {
 		mapping       = flag.String("mapping", "", "resource mapping XML file")
 		snapshot      = flag.String("snapshot", "", "platform image file: loaded on boot when present, saved on SIGINT/SIGTERM")
 		snapshotEvery = flag.Duration("snapshot-interval", 0, "also save the platform image periodically (0 disables; requires -snapshot)")
+		walDir        = flag.String("wal", "", "journal directory: write-ahead-log every mutation, recover via image + replay on boot")
+		walSync       = flag.String("wal-sync", "interval", "WAL durability policy: always (fsync per ack, group-committed), interval, never")
+		walSyncEvery  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence under -wal-sync interval")
+		compactEvery  = flag.Duration("compact-interval", 0, "rewrite image + truncate log periodically (0 disables; requires -wal)")
 	)
 	flag.Parse()
+
+	if *walDir != "" && *snapshot != "" {
+		log.Fatalf("-wal and -snapshot are mutually exclusive (the journal keeps its own image under -wal)")
+	}
+	if *compactEvery > 0 && *walDir == "" {
+		log.Fatalf("-compact-interval requires -wal")
+	}
+	if *snapshotEvery > 0 && *snapshot == "" {
+		log.Fatalf("-snapshot-interval requires -snapshot")
+	}
+
+	bootstrap := func() (*engine.DB, *kb.Platform, error) {
+		db := engine.Open()
+		cfg := dataset.DefaultConfig()
+		cfg.Landfills = *scale
+		if err := dataset.Populate(db, cfg); err != nil {
+			return nil, nil, fmt.Errorf("populate databank: %w", err)
+		}
+		p := kb.NewPlatform()
+		if err := dataset.RegisterDangerQuery(p); err != nil {
+			return nil, nil, fmt.Errorf("register dangerQuery: %w", err)
+		}
+		return db, p, nil
+	}
 
 	var (
 		db       *engine.DB
 		platform *kb.Platform
+		journal  *core.Journal
 		restored bool
 	)
-	if *snapshot != "" {
+	switch {
+	case *walDir != "":
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			log.Fatalf("create journal directory: %v", err)
+		}
+		start := time.Now()
+		journal, restored, err = core.OpenJournal(*walDir, core.JournalOptions{
+			Sync: policy, SyncEvery: *walSyncEvery, Logf: log.Printf,
+		}, bootstrap)
+		if err != nil {
+			log.Fatalf("open journal %s: %v", *walDir, err)
+		}
+		db, platform = journal.DB(), journal.Platform()
+		st := journal.Status()
+		if restored {
+			log.Printf("recovered journal %s in %v (image LSN %d, replayed %d record(s), %d users, %d triples)",
+				*walDir, time.Since(start).Round(time.Millisecond),
+				st.Start, st.LSN-st.Start, len(platform.Users()), platform.Shared().Len())
+		} else {
+			log.Printf("initialised journal %s (sync policy %s)", *walDir, st.Policy)
+		}
+
+	case *snapshot != "":
 		if _, err := os.Stat(*snapshot); err == nil {
 			start := time.Now()
 			var err error
@@ -71,15 +137,10 @@ func main() {
 		}
 	}
 	if db == nil {
-		db = engine.Open()
-		cfg := dataset.DefaultConfig()
-		cfg.Landfills = *scale
-		if err := dataset.Populate(db, cfg); err != nil {
-			log.Fatalf("populate databank: %v", err)
-		}
-		platform = kb.NewPlatform()
-		if err := dataset.RegisterDangerQuery(platform); err != nil {
-			log.Fatalf("register dangerQuery: %v", err)
+		var err error
+		db, platform, err = bootstrap()
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
 
@@ -112,26 +173,59 @@ func main() {
 		log.Printf("attached %d foreign table(s) from %s (prefix remote_)", n, *attach)
 	}
 
-	save := func(reason string) {
-		if *snapshot == "" {
-			return
+	// save persists the durable state for the configured mode and reports
+	// whether it succeeded: image save under -snapshot, compact + close
+	// under -wal. A failed save on a shutdown signal must surface as a
+	// non-zero exit — the operator believes the state is on disk.
+	save := func(reason string) bool {
+		switch {
+		case journal != nil:
+			start := time.Now()
+			st, err := journal.Compact()
+			if err != nil {
+				log.Printf("journal compaction (%s) failed: %v", reason, err)
+				return false
+			}
+			log.Printf("compacted journal at LSN %d (%v, %s)", st.Start, time.Since(start).Round(time.Millisecond), reason)
+			return true
+		case *snapshot != "":
+			start := time.Now()
+			size, err := core.SaveImageFile(*snapshot, db, platform)
+			if err != nil {
+				log.Printf("snapshot save (%s) failed: %v", reason, err)
+				return false
+			}
+			log.Printf("saved platform image %s (%d bytes, %v, %s)",
+				*snapshot, size, time.Since(start).Round(time.Millisecond), reason)
+			return true
 		}
-		start := time.Now()
-		size, err := core.SaveImageFile(*snapshot, db, platform)
-		if err != nil {
-			log.Printf("snapshot save (%s) failed: %v", reason, err)
-			return
-		}
-		log.Printf("saved platform image %s (%d bytes, %v, %s)",
-			*snapshot, size, time.Since(start).Round(time.Millisecond), reason)
+		return true
 	}
 
-	if *snapshot != "" {
-		sigs := make(chan os.Signal, 1)
+	if journal != nil || *snapshot != "" {
+		// Buffered for two signals: the first triggers the final save, the
+		// second (operator impatience or a supervisor escalating) forces
+		// immediate exit instead of hanging in a slow save.
+		sigs := make(chan os.Signal, 2)
 		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 		go func() {
 			sig := <-sigs
-			save(sig.String())
+			go func() {
+				second := <-sigs
+				log.Printf("second signal (%s) during shutdown: forcing immediate exit", second)
+				os.Exit(130)
+			}()
+			ok := save(sig.String())
+			if journal != nil {
+				if err := journal.Close(); err != nil {
+					log.Printf("close journal: %v", err)
+					ok = false
+				}
+			}
+			if !ok {
+				log.Printf("shutdown (%s) with FAILED save: durable state is stale", sig)
+				os.Exit(1)
+			}
 			os.Exit(0)
 		}()
 		if *snapshotEvery > 0 {
@@ -141,17 +235,29 @@ func main() {
 				}
 			}()
 		}
-	} else if *snapshotEvery > 0 {
-		log.Fatalf("-snapshot-interval requires -snapshot")
+		if *compactEvery > 0 {
+			go func() {
+				for range time.Tick(*compactEvery) {
+					save("interval")
+				}
+			}()
+		}
 	}
 
 	srv := rest.NewServer(enricher)
 	srv.SetSnapshotPath(*snapshot)
+	if journal != nil {
+		srv.SetJournal(journal)
+	}
 	if restored {
 		log.Printf("CroSSE platform on %s (databank: %d tables, restored)", *addr, len(db.Catalog().Names()))
 	} else {
 		log.Printf("CroSSE platform on %s (databank: %d landfills)", *addr, *scale)
 	}
-	fmt.Println("try: curl -s localhost" + *addr + "/api/tables")
+	hint := *addr
+	if strings.HasPrefix(hint, ":") {
+		hint = "localhost" + hint
+	}
+	fmt.Println("try: curl -s " + hint + "/api/tables")
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -121,13 +121,47 @@
 // (BenchmarkSnapshotLoad), and equal believer sets are shared across
 // restored statements under the copy-on-write discipline.
 //
-// Operationally, cmd/crosse-server loads the image on boot when -snapshot
-// names an existing file, saves it atomically on SIGINT/SIGTERM and every
-// -snapshot-interval, and the REST layer exposes GET /api/admin/snapshot
-// (stream a backup) and POST /api/admin/snapshot (persist to the configured
-// path). cmd/snapcheck proves cold-start recovery in CI: it saves an image
-// plus recorded probe results, restores in a fresh process, and diffs
-// SESQL/SPARQL results and pattern counts.
+// Between images, a write-ahead log (internal/wal + core.Journal) bounds
+// data loss to the acknowledged operation. The log is an append-only
+// stream of CRC-32-framed, length-prefixed records over the snapshot
+// codec's varint conventions; records carry no explicit LSN (record i of
+// a log whose header anchors startLSN s has LSN s+i+1, gap-free by
+// construction). Every platform mutation routed through a core.Journal
+// applies in memory and appends exactly one record under one lock — so
+// log order is application order and replay reproduces statement ids —
+// then waits for durability outside the lock, which lets one fsync
+// acknowledge every record appended while the previous fsync was in
+// flight (group commit; wal.SyncPolicy selects fsync-per-ack, periodic
+// fsync, or none). Platform images are LSN-anchored (format version 2):
+// recovery loads the newest image and replays exactly the records past
+// its anchor. A torn tail — a final record cut off mid-frame or failing
+// its checksum at end of file — is crash residue of an unacknowledged
+// append and is silently truncated; damage with intact records after it
+// is bit rot and fails loudly (wal.ErrCorrupt). Compaction
+// (Journal.Compact) writes a fresh image at the current LSN and then
+// atomically rotates in an empty log anchored there, so a crash between
+// the two steps only leaves records the new image already shadows. Any
+// append/fsync failure wedges the journal permanently rather than let
+// in-memory state run ahead of the durable log. The guarantees are
+// enforced twice: a fault-injection property suite
+// (internal/core/crash_test.go over wal.MemFS + wal.FaultFS) crashes
+// randomized workloads at arbitrary write/sync boundaries in-process,
+// and cmd/walcheck + the CI wal-crash-recovery job kill -9 a real
+// serving process mid-workload and diff recovery against exactly the
+// acknowledged operations.
+//
+// Operationally, cmd/crosse-server runs journaled with -wal DIR (with
+// -wal-sync always|interval|never and periodic -compact-interval), or
+// with image-only persistence via -snapshot: it loads the image on boot
+// when the file exists, saves atomically on SIGINT/SIGTERM and every
+// -snapshot-interval, exits non-zero when the shutdown save fails (a
+// second signal forces immediate exit), and the REST layer exposes
+// GET /api/admin/snapshot (stream a backup), POST /api/admin/snapshot
+// (persist to the configured path), GET /api/admin/wal (log position and
+// sync counters) and POST /api/admin/compact. cmd/snapcheck proves
+// cold-start recovery in CI: it saves an image plus recorded probe
+// results, restores in a fresh process, and diffs SESQL/SPARQL results
+// and pattern counts.
 //
 // See README.md for a tour and DESIGN.md for the reproduction inventory.
 package crosse

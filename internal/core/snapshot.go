@@ -22,22 +22,35 @@ import (
 
 	"crosse/internal/engine"
 	"crosse/internal/kb"
+	"crosse/internal/wal"
 )
 
 // Image frame constants.
 const (
-	imageMagic   = "CROSSEIMG"
-	imageVersion = 1
+	imageMagic = "CROSSEIMG"
+
+	// imageVersion 2 adds the write-ahead-log anchor: the LSN of the last
+	// logged mutation folded into the image, written (as a uvarint, covered
+	// by the checksum) right after the version byte. Recovery replays the
+	// log from that LSN. Version 1 images (pre-WAL) still load, with an
+	// implied anchor of 0.
+	imageVersion   = 2
+	imageVersionV1 = 1
 
 	// maxImageSection bounds one decoded section so a corrupt length prefix
 	// cannot drive a runaway allocation.
 	maxImageSection = 1 << 31
 )
 
-// WriteImage writes a platform image: magic, version, the engine SQL dump
-// and the kb binary snapshot (each length-prefixed), and a trailing CRC-32
-// over both payloads.
+// WriteImage writes a platform image anchored at LSN 0 (no log).
 func WriteImage(w io.Writer, db *engine.DB, p *kb.Platform) error {
+	return WriteImageLSN(w, db, p, 0)
+}
+
+// WriteImageLSN writes a platform image: magic, version, the log anchor,
+// the engine SQL dump and the kb binary snapshot (each length-prefixed),
+// and a trailing CRC-32 over the anchor and both payloads.
+func WriteImageLSN(w io.Writer, db *engine.DB, p *kb.Platform, lsn uint64) error {
 	var sql bytes.Buffer
 	if err := db.Dump(&sql); err != nil {
 		return fmt.Errorf("core: dump databank: %w", err)
@@ -46,8 +59,10 @@ func WriteImage(w io.Writer, db *engine.DB, p *kb.Platform) error {
 	if err := p.Snapshot(&snap); err != nil {
 		return fmt.Errorf("core: snapshot semantic platform: %w", err)
 	}
+	anchor := binary.AppendUvarint(nil, lsn)
 
 	crc := crc32.NewIEEE()
+	crc.Write(anchor)
 	crc.Write(sql.Bytes())
 	crc.Write(snap.Bytes())
 
@@ -56,6 +71,9 @@ func WriteImage(w io.Writer, db *engine.DB, p *kb.Platform) error {
 		return err
 	}
 	if err := bw.WriteByte(imageVersion); err != nil {
+		return err
+	}
+	if _, err := bw.Write(anchor); err != nil {
 		return err
 	}
 	for _, section := range [][]byte{sql.Bytes(), snap.Bytes()} {
@@ -96,73 +114,105 @@ func readSection(br *bufio.Reader) ([]byte, error) {
 // fresh databank and semantic platform. The checksum is verified before any
 // state is rebuilt.
 func ReadImage(r io.Reader) (*engine.DB, *kb.Platform, error) {
+	db, p, _, err := ReadImageLSN(r)
+	return db, p, err
+}
+
+// ReadImageLSN is ReadImage also returning the image's write-ahead-log
+// anchor: the LSN of the last logged mutation the image contains. Version 1
+// images (written before the log existed) report anchor 0.
+func ReadImageLSN(r io.Reader) (*engine.DB, *kb.Platform, uint64, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(imageMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, nil, fmt.Errorf("core: read image header: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: read image header: %w", err)
 	}
 	if string(magic) != imageMagic {
-		return nil, nil, fmt.Errorf("core: not a platform image (bad magic %q)", magic)
+		return nil, nil, 0, fmt.Errorf("core: not a platform image (bad magic %q)", magic)
 	}
 	version, err := br.ReadByte()
 	if err != nil {
-		return nil, nil, err
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, nil, 0, fmt.Errorf("core: read image version: %w", err)
 	}
-	if version != imageVersion {
-		return nil, nil, fmt.Errorf("core: unsupported image version %d (have %d)", version, imageVersion)
+	if version != imageVersion && version != imageVersionV1 {
+		return nil, nil, 0, fmt.Errorf("core: unsupported image version %d (have %d)", version, imageVersion)
+	}
+	var lsn uint64
+	var anchor []byte
+	if version == imageVersion {
+		lsn, err = binary.ReadUvarint(br)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, nil, 0, fmt.Errorf("core: read image log anchor: %w", err)
+		}
+		anchor = binary.AppendUvarint(nil, lsn)
 	}
 	sqlDump, err := readSection(br)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: read databank section: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: read databank section: %w", err)
 	}
 	snap, err := readSection(br)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: read semantic section: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: read semantic section: %w", err)
 	}
 	var sum [4]byte
 	if _, err := io.ReadFull(br, sum[:]); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, nil, fmt.Errorf("core: read image checksum: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: read image checksum: %w", err)
 	}
 	crc := crc32.NewIEEE()
+	crc.Write(anchor)
 	crc.Write(sqlDump)
 	crc.Write(snap)
 	if got := binary.LittleEndian.Uint32(sum[:]); got != crc.Sum32() {
-		return nil, nil, fmt.Errorf("core: image checksum mismatch (stored %08x, computed %08x)", got, crc.Sum32())
+		return nil, nil, 0, fmt.Errorf("core: image checksum mismatch (stored %08x, computed %08x)", got, crc.Sum32())
 	}
 
 	db := engine.Open()
 	if err := db.Restore(bytes.NewReader(sqlDump)); err != nil {
-		return nil, nil, fmt.Errorf("core: restore databank: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: restore databank: %w", err)
 	}
 	p, err := kb.Restore(bytes.NewReader(snap))
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: restore semantic platform: %w", err)
+		return nil, nil, 0, fmt.Errorf("core: restore semantic platform: %w", err)
 	}
-	return db, p, nil
+	return db, p, lsn, nil
 }
 
-// SaveImageFile writes the platform image to path atomically (temp file in
-// the same directory, then rename), returning the image size in bytes. A
-// crash mid-save leaves the previous image intact.
+// SaveImageFile writes the platform image to path atomically, returning the
+// image size in bytes. The temp file is fsynced before the rename and the
+// parent directory after it, so the swap survives power loss — an atomic
+// rename alone only survives a process crash. A crash mid-save leaves the
+// previous image intact.
 func SaveImageFile(path string, db *engine.DB, p *kb.Platform) (int64, error) {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	return saveImageFS(wal.OS, path, db, p, 0)
+}
+
+// saveImageFS is SaveImageFile over an explicit filesystem (the journal
+// saves through a fault-injecting FS in the crash property suite) with an
+// explicit log anchor.
+func saveImageFS(fs wal.FS, path string, db *engine.DB, p *kb.Platform, lsn uint64) (int64, error) {
+	var buf bytes.Buffer
+	if err := WriteImageLSN(&buf, db, p, lsn); err != nil {
+		return 0, err
+	}
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return 0, err
 	}
-	tmp := f.Name()
-	if err := WriteImage(f, db, p); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	size, err := f.Seek(0, io.SeekEnd)
+	size := int64(buf.Len())
+	_, err = f.Write(buf.Bytes())
 	if err == nil {
 		err = f.Sync()
 	}
@@ -170,11 +220,14 @@ func SaveImageFile(path string, db *engine.DB, p *kb.Platform) (int64, error) {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return 0, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return 0, err
+	}
+	if err := fs.SyncDir(filepath.Dir(path)); err != nil {
 		return 0, err
 	}
 	return size, nil
@@ -182,10 +235,16 @@ func SaveImageFile(path string, db *engine.DB, p *kb.Platform) (int64, error) {
 
 // LoadImageFile restores a platform image from disk.
 func LoadImageFile(path string) (*engine.DB, *kb.Platform, error) {
+	db, p, _, err := LoadImageFileLSN(path)
+	return db, p, err
+}
+
+// LoadImageFileLSN restores a platform image and its log anchor from disk.
+func LoadImageFileLSN(path string) (*engine.DB, *kb.Platform, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	defer f.Close()
-	return ReadImage(f)
+	return ReadImageLSN(f)
 }

@@ -84,6 +84,28 @@ func TestImageChecksum(t *testing.T) {
 	}
 }
 
+// Every proper prefix of a valid image must be rejected. Recovery can
+// meet a torn image after a crash mid-save (the rename is atomic, but a
+// copied or half-restored file is not), and a truncated image must fail
+// cleanly at every possible cut — never load as a silently partial
+// platform.
+func TestImageTruncationSeries(t *testing.T) {
+	e := fixture(t)
+	var img bytes.Buffer
+	if err := WriteImageLSN(&img, e.DB, e.Platform, 42); err != nil {
+		t.Fatal(err)
+	}
+	raw := img.Bytes()
+	if _, _, lsn, err := ReadImageLSN(bytes.NewReader(raw)); err != nil || lsn != 42 {
+		t.Fatalf("full image: lsn=%d err=%v", lsn, err)
+	}
+	for n := range raw {
+		if _, _, _, err := ReadImageLSN(bytes.NewReader(raw[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded successfully", n, len(raw))
+		}
+	}
+}
+
 func TestImageFileSaveLoad(t *testing.T) {
 	e := fixture(t)
 	path := filepath.Join(t.TempDir(), "platform.img")

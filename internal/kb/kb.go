@@ -257,6 +257,35 @@ func WithReference(ref Reference) InsertOption {
 	return func(o *insertOpts) { o.ref = &ref }
 }
 
+// InsertArgs is the resolved form of a set of InsertOptions. The
+// write-ahead log records it instead of the opaque option closures so an
+// insertion replays with exactly the arguments it was acknowledged with.
+type InsertArgs struct {
+	Ref        *Reference
+	Integrated bool
+}
+
+// ResolveInsertOptions flattens options into their recordable form.
+func ResolveInsertOptions(opts ...InsertOption) InsertArgs {
+	var o insertOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return InsertArgs{Ref: o.ref, Integrated: o.integrated}
+}
+
+// Options converts the resolved arguments back to insertion options.
+func (a InsertArgs) Options() []InsertOption {
+	var opts []InsertOption
+	if a.Ref != nil {
+		opts = append(opts, WithReference(*a.Ref))
+	}
+	if a.Integrated {
+		opts = append(opts, Integrated())
+	}
+	return opts
+}
+
 // Integrated marks the insertion as an integrated annotation: the subject
 // must pass the platform's concept checker (i.e. be a concept shown by the
 // main platform).
@@ -403,14 +432,25 @@ func (p *Platform) Import(user, id string) error {
 // believer sets mutate copy-on-write only when a snapshot shares them, so
 // a bulk import of an encoded corpus is a pure ID-level set operation.
 func (p *Platform) ImportFrom(user, fromUser string, filter func(*Statement) bool) (int, error) {
+	ids, err := p.ImportFromIDs(user, fromUser, filter)
+	return len(ids), err
+}
+
+// ImportFromIDs is ImportFrom returning the ids of the statements actually
+// imported, in insertion order. The write-ahead log records those ids
+// rather than the filter (an arbitrary closure), so replaying the batch
+// imports exactly the statements the original call did even if unrelated
+// statements were inserted or retracted since.
+func (p *Platform) ImportFromIDs(user, fromUser string, filter func(*Statement) bool) ([]string, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.requireUser(user); err != nil {
-		return 0, err
+		return nil, err
 	}
 	if err := p.requireUser(fromUser); err != nil {
-		return 0, err
+		return nil, err
 	}
+	var ids []string
 	var keys []rdf.TripleKey
 	for _, st := range p.order {
 		if st.Owner != fromUser {
@@ -423,12 +463,13 @@ func (p *Platform) ImportFrom(user, fromUser string, filter func(*Statement) boo
 			continue
 		}
 		st.addBeliever(user)
+		ids = append(ids, st.ID)
 		keys = append(keys, st.key)
 	}
 	if len(keys) > 0 {
 		p.views[user].AddBatch(keys)
 	}
-	return len(keys), nil
+	return ids, nil
 }
 
 // Statement returns a snapshot of a statement by id. The snapshot's

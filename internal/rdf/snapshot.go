@@ -199,6 +199,63 @@ func (d *SnapshotDecoder) KeyInRange(dictLen int) (TripleKey, error) {
 	return k, nil
 }
 
+// Term writes a term as kind tag + value, with the datatype appended for
+// typed literals (same tag scheme as the dictionary table). The WAL op
+// codec uses this for insert records, whose terms must travel as strings:
+// dictionary IDs are assigned during replay, so a log record cannot
+// reference them.
+func (e SnapshotEncoder) Term(t Term) error {
+	tag := byte(snapIRI)
+	switch t.Kind {
+	case Blank:
+		tag = snapBlank
+	case Literal:
+		if t.Datatype == "" {
+			tag = snapPlainLit
+		} else {
+			tag = snapTypedLit
+		}
+	}
+	if err := e.Byte(tag); err != nil {
+		return err
+	}
+	if err := e.String(t.Value); err != nil {
+		return err
+	}
+	if tag == snapTypedLit {
+		return e.String(t.Datatype)
+	}
+	return nil
+}
+
+// Term reads a term written by SnapshotEncoder.Term.
+func (d *SnapshotDecoder) Term() (Term, error) {
+	tag, err := d.Byte()
+	if err != nil {
+		return Term{}, err
+	}
+	value, err := d.String()
+	if err != nil {
+		return Term{}, err
+	}
+	switch tag {
+	case snapIRI:
+		return Term{Kind: IRI, Value: value}, nil
+	case snapBlank:
+		return Term{Kind: Blank, Value: value}, nil
+	case snapPlainLit:
+		return Term{Kind: Literal, Value: value}, nil
+	case snapTypedLit:
+		dt, err := d.String()
+		if err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: Literal, Value: value, Datatype: dt}, nil
+	default:
+		return Term{}, corruptf("unknown term tag %d", tag)
+	}
+}
+
 // asEncoder reuses the caller's *bufio.Writer or wraps w in a fresh one.
 // The returned flush is a no-op for reused writers (the owner flushes) and
 // a real Flush for wrapped ones.

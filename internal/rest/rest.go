@@ -25,14 +25,31 @@ import (
 // Server serves the CroSSE REST API.
 type Server struct {
 	enricher *core.Enricher
+	// mutator is the platform mutation path. Reads go straight to the
+	// enricher's platform; every handler that changes platform state goes
+	// through here so a journal-backed server write-ahead-logs each
+	// mutation before acknowledging it.
+	mutator core.Mutator
+	// journal, when set, backs /api/admin/wal and /api/admin/compact.
+	journal *core.Journal
 	// snapshotPath, when set, is where POST /api/admin/snapshot persists
 	// the platform image (see SetSnapshotPath).
 	snapshotPath string
 }
 
 // NewServer wraps an Enricher (which carries the databank, the semantic
-// platform and the resource mapping).
-func NewServer(e *core.Enricher) *Server { return &Server{enricher: e} }
+// platform and the resource mapping). Mutations apply directly to the
+// platform until SetJournal routes them through a write-ahead log.
+func NewServer(e *core.Enricher) *Server {
+	return &Server{enricher: e, mutator: e.Platform}
+}
+
+// SetJournal routes every platform mutation through the journal's logged
+// path and enables the WAL admin endpoints.
+func (s *Server) SetJournal(j *core.Journal) {
+	s.journal = j
+	s.mutator = j
+}
 
 // SetSnapshotPath configures the file POST /api/admin/snapshot saves the
 // platform image to. An empty path (the default) disables the save
@@ -61,6 +78,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/kb.dot", s.kbDOT)
 	mux.HandleFunc("GET /api/admin/snapshot", s.downloadSnapshot)
 	mux.HandleFunc("POST /api/admin/snapshot", s.saveSnapshot)
+	mux.HandleFunc("GET /api/admin/wal", s.walStatus)
+	mux.HandleFunc("POST /api/admin/compact", s.compact)
 	return mux
 }
 
@@ -94,7 +113,7 @@ func (s *Server) createUser(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.enricher.Platform.RegisterUser(req.Name); err != nil {
+	if err := s.mutator.RegisterUser(req.Name); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
@@ -192,7 +211,7 @@ func (s *Server) createStatement(w http.ResponseWriter, r *http.Request) {
 			Title: req.Ref.Title, Author: req.Ref.Author, Link: req.Ref.Link, File: req.Ref.File,
 		}))
 	}
-	id, err := s.enricher.Platform.Insert(req.User, t, opts...)
+	id, err := s.mutator.Insert(req.User, t, opts...)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -208,7 +227,7 @@ func (s *Server) importStatement(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.enricher.Platform.Import(req.User, r.PathValue("id")); err != nil {
+	if err := s.mutator.Import(req.User, r.PathValue("id")); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -221,7 +240,7 @@ func (s *Server) retractStatement(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user query parameter required"))
 		return
 	}
-	if err := s.enricher.Platform.Retract(user, r.PathValue("id")); err != nil {
+	if err := s.mutator.Retract(user, r.PathValue("id")); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -255,7 +274,7 @@ func (s *Server) registerQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.enricher.Platform.RegisterQuery(req.Owner, req.Name, req.Text); err != nil {
+	if err := s.mutator.RegisterQuery(req.Owner, req.Name, req.Text); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -494,9 +513,9 @@ func (s *Server) declare(w http.ResponseWriter, r *http.Request) {
 	var err error
 	switch req.Kind {
 	case "property":
-		err = s.enricher.Platform.DeclareProperty(req.User, name)
+		err = s.mutator.DeclareProperty(req.User, name)
 	case "resource", "":
-		err = s.enricher.Platform.DeclareResource(req.User, name)
+		err = s.mutator.DeclareResource(req.User, name)
 	default:
 		err = fmt.Errorf("rest: kind must be resource or property")
 	}
@@ -561,6 +580,32 @@ func (s *Server) saveSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"path": s.snapshotPath, "bytes": size})
+}
+
+// walStatus reports the write-ahead log's position: the image anchor, the
+// last appended and last fsync-covered LSNs, size and sync counters.
+func (s *Server) walStatus(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("rest: no write-ahead log configured (start the server with -wal)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.journal.Status())
+}
+
+// compact re-anchors the journal: a fresh platform image at the current
+// LSN plus an empty log, reclaiming the replay work of every record the
+// image now contains.
+func (s *Server) compact(w http.ResponseWriter, r *http.Request) {
+	if s.journal == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("rest: no write-ahead log configured (start the server with -wal)"))
+		return
+	}
+	st, err := s.journal.Compact()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) listTables(w http.ResponseWriter, r *http.Request) {

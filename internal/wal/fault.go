@@ -1,0 +1,193 @@
+package wal
+
+// FaultFS wraps an FS and injects a failure at the Nth write or sync —
+// either a clean error, a short write (a prefix of the bytes lands, then
+// the error), or a crash, after which every operation fails until the
+// test "reboots" on the underlying filesystem. Combined with
+// MemFS.Crash/CrashKeeping (which discard un-synced bytes the way power
+// loss does) it drives the crash-recovery property suite: crash a
+// platform at an arbitrary write/sync boundary, recover from what is
+// durable, and compare against the acknowledged-operation prefix.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the failure FaultFS injects at the chosen operation.
+var ErrInjected = errors.New("wal: injected fault")
+
+// ErrCrashed is returned by every operation after an injected crash.
+var ErrCrashed = errors.New("wal: filesystem crashed")
+
+// Fault kinds.
+const (
+	// FaultError fails the Nth operation and leaves the filesystem usable.
+	FaultError = iota
+	// FaultShortWrite persists a prefix of the Nth write, then fails it.
+	// On a sync it behaves like FaultError.
+	FaultShortWrite
+	// FaultCrash fails the Nth operation and everything after it, as a
+	// process that lost its disk. The test then calls MemFS.Crash (or
+	// CrashKeeping) and reopens on the inner FS to simulate the reboot.
+	FaultCrash
+)
+
+// FaultFS wraps an FS counting writes and syncs, injecting one configured
+// fault. The zero value of the embedded configuration injects nothing.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	ops     int // writes + syncs observed so far
+	at      int // 1-based operation index to fault; 0 = disabled
+	kind    int
+	crashed bool
+}
+
+// NewFaultFS wraps inner with fault injection disabled.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// FaultAt arms one fault of the given kind at the n-th write-or-sync from
+// now (1-based, counted from the current operation count).
+func (f *FaultFS) FaultAt(n, kind int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.at = f.ops + n
+	f.kind = kind
+}
+
+// Ops returns the number of writes and syncs observed so far.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the injected crash has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// step counts one write/sync and decides its fate: inject reports whether
+// this operation is the faulted one; keep is how many bytes of a write to
+// let through (meaningful for short writes only).
+func (f *FaultFS) step(isWrite bool, n int) (inject bool, keep int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, 0, ErrCrashed
+	}
+	f.ops++
+	if f.at == 0 || f.ops != f.at {
+		return false, n, nil
+	}
+	if f.kind == FaultCrash {
+		f.crashed = true
+	}
+	if isWrite && f.kind == FaultShortWrite {
+		return true, n / 2, nil
+	}
+	return true, 0, nil
+}
+
+// barrier gates the namespace operations: they pass through untouched
+// unless a crash already fired.
+func (f *FaultFS) barrier() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.barrier(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.barrier(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string, size int64) (File, error) {
+	if err := f.barrier(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenAppend(name, size)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if err := f.barrier(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.barrier(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	inject, _, err := f.step(false, 0)
+	if err != nil {
+		return err
+	}
+	if inject {
+		return fmt.Errorf("sync %s: %w", dir, ErrInjected)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (h *faultFile) Write(p []byte) (int, error) {
+	inject, keep, err := h.fs.step(true, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if inject {
+		n := 0
+		if keep > 0 {
+			n, _ = h.inner.Write(p[:keep])
+		}
+		return n, ErrInjected
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultFile) Sync() error {
+	inject, _, err := h.fs.step(false, 0)
+	if err != nil {
+		return err
+	}
+	if inject {
+		return ErrInjected
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultFile) Close() error { return h.inner.Close() }

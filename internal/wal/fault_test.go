@@ -1,0 +1,148 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"testing"
+)
+
+// MemFS must model fsync semantics: un-synced bytes vanish on Crash,
+// synced ones survive, and namespace operations (create/rename) are
+// volatile until SyncDir.
+func TestMemFSDurability(t *testing.T) {
+	mem := NewMemFS()
+	f, err := mem.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable"))
+	f.Sync()
+	f.Write([]byte("-volatile"))
+	mem.SyncDir(".") // the file's creation is durable, its tail is not
+	mem.Crash()
+
+	got, err := mem.ReadFile("a")
+	if err != nil {
+		t.Fatalf("file lost: %v", err)
+	}
+	if string(got) != "durable" {
+		t.Fatalf("got %q, want synced prefix only", got)
+	}
+
+	// A file created after the last SyncDir does not survive the crash.
+	g, _ := mem.Create("b")
+	g.Write([]byte("x"))
+	g.Sync() // content synced, but the namespace entry is not
+	mem.Crash()
+	if _, err := mem.ReadFile("b"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("unsynced-dir file survived: %v", err)
+	}
+
+	// Rename is volatile the same way.
+	h, _ := mem.Create("c")
+	h.Write([]byte("y"))
+	h.Sync()
+	mem.SyncDir(".")
+	if err := mem.Rename("c", "d"); err != nil {
+		t.Fatal(err)
+	}
+	mem.Crash()
+	if _, err := mem.ReadFile("c"); err != nil {
+		t.Fatalf("pre-rename name lost: %v", err)
+	}
+	if _, err := mem.ReadFile("d"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("unsynced rename survived")
+	}
+}
+
+// CrashKeeping keeps the synced prefix plus a random slice of the
+// un-synced bytes — never less than synced, never more than written.
+func TestMemFSCrashKeeping(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		mem := NewMemFS()
+		f, _ := mem.Create("a")
+		f.Write([]byte("0123"))
+		f.Sync()
+		f.Write([]byte("456789"))
+		mem.SyncDir(".")
+		mem.CrashKeeping(rng)
+		got, err := mem.ReadFile("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) < 4 || len(got) > 10 || string(got) != "0123456789"[:len(got)] {
+			t.Fatalf("trial %d: kept %q", trial, got)
+		}
+	}
+}
+
+// FaultFS must hit exactly the armed operation with the armed kind.
+func TestFaultKinds(t *testing.T) {
+	// Clean error on the 2nd write: first lands, second fails whole.
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	f, _ := ffs.Create("a")
+	ffs.FaultAt(2, FaultError)
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := f.Write([]byte("three")); err != nil { // only ONE fault armed
+		t.Fatal(err)
+	}
+	got, _ := mem.ReadFile("a")
+	if string(got) != "onethree" {
+		t.Fatalf("content %q", got)
+	}
+
+	// Short write: half the bytes land, then the error.
+	mem2 := NewMemFS()
+	ffs2 := NewFaultFS(mem2)
+	g, _ := ffs2.Create("b")
+	ffs2.FaultAt(1, FaultShortWrite)
+	if n, err := g.Write([]byte("abcdef")); !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	got2, _ := mem2.ReadFile("b")
+	if string(got2) != "abc" {
+		t.Fatalf("content %q", got2)
+	}
+
+	// Crash: the armed op and everything after fails, Crashed reports it.
+	mem3 := NewMemFS()
+	ffs3 := NewFaultFS(mem3)
+	h, _ := ffs3.Create("c")
+	ffs3.FaultAt(1, FaultCrash)
+	if err := h.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v", err)
+	}
+	if !ffs3.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if _, err := ffs3.Create("d"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if err := ffs3.SyncDir("."); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash syncdir: %v", err)
+	}
+}
+
+// Ops must count writes, file syncs and directory syncs — the boundaries
+// the property suite arms faults at.
+func TestFaultOpCounting(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	f, _ := ffs.Create("a")
+	f.Write([]byte("x"))
+	f.Sync()
+	ffs.SyncDir(".")
+	if got := ffs.Ops(); got != 3 {
+		t.Fatalf("ops = %d, want 3", got)
+	}
+}

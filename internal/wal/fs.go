@@ -1,0 +1,242 @@
+package wal
+
+// This file defines the filesystem seam the WAL (and the platform image
+// writer in internal/core) runs on. Production uses OS, which backs the
+// interface with real files and directory fsyncs. Tests use MemFS, an
+// in-memory filesystem that models the durability semantics the log's
+// crash guarantees depend on: bytes written to a file are volatile until
+// the file is fsynced, and directory operations (create/rename/remove)
+// are volatile until the directory is fsynced. Crash/CrashKeeping simulate
+// power loss by discarding (all or part of) the volatile state, which is
+// exactly the event the torn-tail recovery rule exists for. FaultFS (see
+// fault.go) wraps any FS to inject failures at the Nth write or sync.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File is an open, append-position file handle.
+type File interface {
+	io.Writer
+	// Sync durably persists everything written so far.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the WAL and the image writer need:
+// whole-file reads for recovery scans, create/append handles for writing,
+// and explicit directory syncs so renames and creations can be made
+// durable (an atomic rename alone does not survive power loss).
+type FS interface {
+	// ReadFile returns the full content of name; a missing file reports
+	// an error satisfying os.IsNotExist / errors.Is(err, fs.ErrNotExist).
+	ReadFile(name string) ([]byte, error)
+	// Create creates name, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending, first truncating
+	// it to size bytes (how recovery drops a torn tail).
+	OpenAppend(name string, size int64) (File, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	// SyncDir durably persists directory operations under dir.
+	SyncDir(dir string) error
+}
+
+// --- real filesystem ---
+
+type osFS struct{}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) OpenAppend(name string, size int64) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- in-memory filesystem with durability modeling ---
+
+// memFile is one file's content. buf is the live content (what reads and
+// the OS page cache would see); synced is how much of it has been made
+// durable by Sync.
+type memFile struct {
+	buf    []byte
+	synced int
+}
+
+// MemFS is an in-memory FS modeling fsync semantics for crash tests:
+// written bytes and directory operations are volatile until the file
+// (resp. directory) is synced, and Crash discards volatile state the way
+// power loss would. All names share one flat namespace; SyncDir persists
+// every pending directory operation regardless of its dir argument.
+type MemFS struct {
+	mu      sync.Mutex
+	live    map[string]*memFile // current namespace
+	durable map[string]*memFile // namespace as of the last SyncDir
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{live: map[string]*memFile{}, durable: map[string]*memFile{}}
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	out := make([]byte, len(f.buf))
+	copy(out, f.buf)
+	return out, nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.live[name] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) OpenAppend(name string, size int64) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(f.buf)) {
+		return nil, fmt.Errorf("wal: truncate %s to %d bytes (have %d)", name, size, len(f.buf))
+	}
+	f.buf = f.buf[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	delete(m.live, oldname)
+	m.live[newname] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.live[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.live, name)
+	return nil
+}
+
+func (m *MemFS) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.durable = make(map[string]*memFile, len(m.live))
+	for name, f := range m.live {
+		m.durable[name] = f
+	}
+	return nil
+}
+
+// Crash simulates power loss: the namespace reverts to the last SyncDir
+// and every surviving file's content reverts to its synced prefix —
+// un-synced bytes are discarded. The filesystem stays usable afterwards,
+// playing the role of the disk after reboot.
+func (m *MemFS) Crash() {
+	m.crash(func(f *memFile) int { return f.synced })
+}
+
+// CrashKeeping simulates the messier power loss where the kernel had
+// written back an arbitrary prefix of the un-synced page cache before the
+// cut: each surviving file keeps its synced prefix plus a random amount
+// of the bytes written after it — including, possibly, half a record.
+// This is what produces torn WAL tails.
+func (m *MemFS) CrashKeeping(rng *rand.Rand) {
+	m.crash(func(f *memFile) int {
+		return f.synced + rng.Intn(len(f.buf)-f.synced+1)
+	})
+}
+
+func (m *MemFS) crash(keep func(*memFile) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live = make(map[string]*memFile, len(m.durable))
+	for name, f := range m.durable {
+		n := keep(f)
+		kept := &memFile{buf: append([]byte(nil), f.buf[:n]...)}
+		kept.synced = len(kept.buf)
+		m.live[name] = kept
+		m.durable[name] = kept
+	}
+}
+
+type memHandle struct {
+	fs *MemFS
+	f  *memFile
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.buf = append(h.f.buf, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.synced = len(h.f.buf)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+// dirOf returns the directory component for SyncDir calls.
+func dirOf(path string) string { return filepath.Dir(path) }

@@ -1,0 +1,578 @@
+// Package wal implements the platform's append-only write-ahead log: a
+// CRC-32-framed, length-prefixed record stream with group commit and
+// snapshot-anchored recovery. The log bounds data loss between platform
+// images: every platform mutation appends exactly one record before it is
+// acknowledged, and recovery is "load the last image, then replay every
+// record past the image's log sequence number".
+//
+// Wire format (integers are unsigned varints, the convention of the
+// platform's snapshot codec in internal/rdf):
+//
+//	header: "CROSSEWAL" | version byte | startLSN
+//	record: payloadLen | CRC-32 (IEEE, little-endian) of payload | payload
+//
+// Records carry no explicit LSN: record i of a log whose header says
+// startLSN s has LSN s+i+1, so the sequence is gap-free by construction
+// and compaction re-anchors it by rewriting the header. startLSN is the
+// LSN of the last record already folded into the platform image the log
+// was rotated against; a fresh deployment starts at 0.
+//
+// Torn-tail rule: a final record that is truncated (the file ends inside
+// its length prefix, checksum, or payload) or whose checksum fails is the
+// residue of a crash mid-append — it was never acknowledged, so recovery
+// drops it and truncates the file. Everything before it must replay
+// cleanly, and a record that fails its checksum with more bytes after it
+// is mid-log corruption: recovery fails loudly rather than guess.
+//
+// Group commit: Append serialises a record into the log's buffer and
+// returns its LSN without waiting; Commit blocks until the record is
+// durable under the sync policy. Under SyncAlways one fsync acknowledges
+// every record appended while the previous fsync was in flight, so
+// concurrent writers share syncs instead of queueing one fsync each.
+// SyncInterval acknowledges once the record reaches the OS (surviving a
+// process crash, not power loss) and fsyncs on a timer; SyncNever only
+// syncs on rotation and close.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when Commit makes records durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before acknowledging (group-committed).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acknowledges after the record reaches the OS and
+	// fsyncs every Options.SyncEvery; power loss can cost up to one
+	// interval of acknowledged records, a process crash costs nothing.
+	SyncInterval
+	// SyncNever fsyncs only on rotation and close.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParseSyncPolicy converts a flag value to a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or never)", s)
+}
+
+const (
+	logMagic   = "CROSSEWAL"
+	logVersion = 1
+
+	// maxRecord bounds one record so a corrupt length prefix cannot drive
+	// a runaway allocation. A complete length prefix above the bound is
+	// bit corruption, not a torn write (truncating a varint clears its
+	// continuation chain instead of inflating the value), so it fails
+	// loudly even at the tail.
+	maxRecord = 1 << 30
+
+	defaultSyncEvery = 100 * time.Millisecond
+)
+
+// ErrCorrupt tags recovery failures caused by mid-log corruption (as
+// opposed to I/O errors and torn tails, which are repaired silently).
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Options configure Open.
+type Options struct {
+	// FS is the filesystem; nil means the real one.
+	FS FS
+	// Sync is the durability policy for Commit.
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// Start anchors a log created by Open (the LSN of the platform image
+	// the caller just wrote, 0 for a fresh deployment). Ignored when the
+	// log already exists.
+	Start uint64
+	// Replay, when set, receives every durable record in order during
+	// Open. Records with LSN ≤ FromLSN are validated but not delivered
+	// (they are already folded into the image). A Replay error aborts
+	// Open: the state the log describes cannot be rebuilt.
+	Replay func(lsn uint64, payload []byte) error
+	// FromLSN is the image anchor replay resumes after. Open fails if
+	// Replay is set and the log starts past FromLSN (a gap: records
+	// between the image and the log's first record are gone).
+	FromLSN uint64
+	// Logf, when set, receives operational notices (torn-tail repair).
+	Logf func(format string, args ...any)
+}
+
+// Log is an append-only record log. Safe for concurrent use.
+type Log struct {
+	fs   FS
+	path string
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        File
+	w        *bufio.Writer
+	start    uint64 // header anchor
+	appended uint64 // LSN of the last record written into the buffer
+	synced   uint64 // LSN covered by the last successful fsync
+	size     int64  // bytes appended (header + records)
+	syncing  bool   // an fsync is in flight (group-commit gate)
+	err      error  // sticky failure: the log wedges on any write error
+
+	appends uint64 // records appended (status)
+	syncs   uint64 // fsyncs issued (status)
+
+	policy SyncPolicy
+	every  time.Duration
+	ticker *time.Ticker
+	done   chan struct{}
+}
+
+// Status is a point-in-time snapshot of the log's position.
+type Status struct {
+	Start   uint64 `json:"start_lsn"`  // image anchor (compacted prefix)
+	LSN     uint64 `json:"lsn"`        // last appended record
+	Synced  uint64 `json:"synced_lsn"` // last fsync-covered record
+	Size    int64  `json:"size_bytes"`
+	Appends uint64 `json:"appends"`
+	Syncs   uint64 `json:"syncs"`
+	Policy  string `json:"sync_policy"`
+}
+
+// Open opens the log at path, creating it (anchored at opts.Start) when it
+// does not exist. An existing log is scanned end to end: every record is
+// CRC-verified, opts.Replay receives the ones past opts.FromLSN, a torn
+// tail is truncated, and the log is left positioned for appending.
+func Open(path string, opts Options) (*Log, error) {
+	l := &Log{
+		fs:     opts.FS,
+		path:   path,
+		policy: opts.Sync,
+		every:  opts.SyncEvery,
+	}
+	if l.fs == nil {
+		l.fs = OS
+	}
+	if l.every <= 0 {
+		l.every = defaultSyncEvery
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	data, err := l.fs.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		if err := l.create(path, opts.Start); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	default:
+		res, err := scan(data, opts.FromLSN, opts.Replay)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		if opts.Replay != nil && res.start > opts.FromLSN {
+			return nil, fmt.Errorf("%w: %s starts at LSN %d, past the image anchor %d (records %d..%d are missing)",
+				ErrCorrupt, path, res.start, opts.FromLSN, opts.FromLSN+1, res.start)
+		}
+		if res.torn > 0 && opts.Logf != nil {
+			opts.Logf("wal: dropped torn tail of %s: %d byte(s) after LSN %d (crash residue, never acknowledged)",
+				path, res.torn, res.last)
+		}
+		f, err := l.fs.OpenAppend(path, int64(res.good))
+		if err != nil {
+			return nil, fmt.Errorf("wal: reopen %s: %w", path, err)
+		}
+		l.f = f
+		l.w = bufio.NewWriter(f)
+		l.start = res.start
+		l.appended = res.last
+		l.synced = res.last
+		l.size = int64(res.good)
+	}
+
+	if l.policy == SyncInterval {
+		l.ticker = time.NewTicker(l.every)
+		l.done = make(chan struct{})
+		go l.syncLoop(l.ticker, l.done)
+	}
+	return l, nil
+}
+
+// create writes a fresh log file anchored at start and makes its creation
+// durable (file sync + directory sync) before any record lands in it.
+func (l *Log) create(path string, start uint64) error {
+	f, err := l.fs.Create(path)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	var hdr []byte
+	hdr = append(hdr, logMagic...)
+	hdr = append(hdr, logVersion)
+	hdr = binary.AppendUvarint(hdr, start)
+	if _, err = f.Write(hdr); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: initialise %s: %w", path, err)
+	}
+	if err := l.fs.SyncDir(dirOf(path)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync dir of %s: %w", path, err)
+	}
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.start = start
+	l.appended = start
+	l.synced = start
+	l.size = int64(len(hdr))
+	return nil
+}
+
+// scanResult is what a recovery scan learns about an existing log.
+type scanResult struct {
+	start uint64 // header anchor
+	last  uint64 // LSN of the last intact record
+	good  int    // bytes up to and including the last intact record
+	torn  int    // trailing bytes dropped under the torn-tail rule
+}
+
+// scan walks a log image, CRC-verifying every record, delivering the ones
+// past fromLSN to replay, and classifying any trailing damage: a final
+// record cut off by the end of the file (or failing its checksum right at
+// the end) is a torn tail and is dropped; damage with intact data after
+// it fails loudly with ErrCorrupt.
+func scan(data []byte, fromLSN uint64, replay func(uint64, []byte) error) (scanResult, error) {
+	hdrLen := len(logMagic) + 1
+	if len(data) < hdrLen || string(data[:len(logMagic)]) != logMagic {
+		return scanResult{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := data[len(logMagic)]; v != logVersion {
+		return scanResult{}, fmt.Errorf("%w: unsupported version %d (have %d)", ErrCorrupt, v, logVersion)
+	}
+	start, n := binary.Uvarint(data[hdrLen:])
+	if n <= 0 {
+		return scanResult{}, fmt.Errorf("%w: unreadable start LSN", ErrCorrupt)
+	}
+	res := scanResult{start: start, last: start, good: hdrLen + n}
+
+	off := res.good
+	for off < len(data) {
+		length, n := binary.Uvarint(data[off:])
+		if n == 0 { // length prefix runs off the end of the file
+			break
+		}
+		if n < 0 || length > maxRecord {
+			return res, fmt.Errorf("%w: record after LSN %d declares %d bytes", ErrCorrupt, res.last, length)
+		}
+		end := off + n + 4 + int(length)
+		if end > len(data) { // payload or checksum cut off
+			break
+		}
+		sum := binary.LittleEndian.Uint32(data[off+n:])
+		payload := data[off+n+4 : end]
+		if crc32.ChecksumIEEE(payload) != sum {
+			if end == len(data) { // checksum failure on the final record
+				break
+			}
+			return res, fmt.Errorf("%w: checksum mismatch at LSN %d with %d intact byte(s) after it",
+				ErrCorrupt, res.last+1, len(data)-end)
+		}
+		lsn := res.last + 1
+		if replay != nil && lsn > fromLSN {
+			if err := replay(lsn, payload); err != nil {
+				return res, fmt.Errorf("replay LSN %d: %w", lsn, err)
+			}
+		}
+		res.last = lsn
+		res.good = end
+		off = end
+	}
+	res.torn = len(data) - res.good
+	return res, nil
+}
+
+// fail wedges the log: after any write, flush or sync error the in-memory
+// platform may be ahead of the durable log, so every later operation
+// (including compaction) refuses until the operator restarts from
+// image + log. Callers must hold l.mu.
+func (l *Log) fail(err error) error {
+	if l.err == nil {
+		l.err = fmt.Errorf("wal: log wedged: %w", err)
+	}
+	l.cond.Broadcast()
+	return l.err
+}
+
+// Err returns the sticky failure that wedged the log, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Append serialises one record into the log's buffer and returns its LSN.
+// The record is NOT durable yet: call Commit (or AppendSync) before
+// acknowledging the mutation it describes. Appends from concurrent
+// writers are ordered by the log's lock; callers that need record order
+// to match state-application order must apply and append under one lock.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	var hdr [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.ChecksumIEEE(payload))
+	if _, err := l.w.Write(hdr[:n+4]); err != nil {
+		return 0, l.fail(err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, l.fail(err)
+	}
+	l.appended++
+	l.appends++
+	l.size += int64(n + 4 + len(payload))
+	return l.appended, nil
+}
+
+// Commit blocks until the record at lsn is durable under the sync policy:
+// fsynced for SyncAlways (sharing one fsync with every record appended in
+// the meantime), handed to the OS for SyncInterval and SyncNever.
+func (l *Log) Commit(lsn uint64) error {
+	if l.policy == SyncAlways {
+		return l.syncTo(lsn)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// AppendSync appends a record and waits for it to be durable.
+func (l *Log) AppendSync(payload []byte) (uint64, error) {
+	lsn, err := l.Append(payload)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, l.Commit(lsn)
+}
+
+// Sync forces an fsync covering everything appended so far, regardless of
+// policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.appended
+	l.mu.Unlock()
+	return l.syncTo(target)
+}
+
+// syncTo is the group-commit core: it blocks until the fsync frontier
+// covers lsn. At most one fsync is in flight; the first waiter past it
+// flushes the buffer and syncs on behalf of every record appended while
+// the previous fsync ran, and the rest just wait on the frontier.
+func (l *Log) syncTo(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.synced >= lsn {
+			return nil
+		}
+		if l.syncing {
+			l.cond.Wait()
+			continue
+		}
+		l.syncing = true
+		if err := l.w.Flush(); err != nil {
+			l.syncing = false
+			return l.fail(err)
+		}
+		covered := l.appended
+		l.mu.Unlock()
+		err := l.f.Sync()
+		l.mu.Lock()
+		l.syncing = false
+		if err != nil {
+			return l.fail(err)
+		}
+		l.syncs++
+		if covered > l.synced {
+			l.synced = covered
+		}
+		l.cond.Broadcast()
+	}
+}
+
+// syncLoop is the SyncInterval timer: it fsyncs on a cadence so power
+// loss costs at most one interval of acknowledged records.
+// The ticker and done channel are passed in rather than read from l:
+// Close stops the ticker and nils the field, and may run before this
+// goroutine is even scheduled.
+func (l *Log) syncLoop(ticker *time.Ticker, done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			l.mu.Lock()
+			behind := l.appended > l.synced && l.err == nil
+			target := l.appended
+			l.mu.Unlock()
+			if behind {
+				_ = l.syncTo(target) // an error wedges the log; appends report it
+			}
+		}
+	}
+}
+
+// LSN returns the LSN of the last appended record.
+func (l *Log) LSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// StatusNow reports the log's current position and counters.
+func (l *Log) StatusNow() Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Status{
+		Start:   l.start,
+		LSN:     l.appended,
+		Synced:  l.synced,
+		Size:    l.size,
+		Appends: l.appends,
+		Syncs:   l.syncs,
+		Policy:  l.policy.String(),
+	}
+}
+
+// Rotate atomically replaces the log with an empty one anchored at start
+// (the LSN of the platform image the caller just wrote — compaction).
+// Everything pending is flushed and fsynced first so in-flight Commits
+// resolve, then the fresh log is created beside the old one, synced, and
+// renamed over it; the directory sync makes the swap durable. A crash at
+// any point leaves either the old log (whose prefix the new image simply
+// shadows) or the new one.
+func (l *Log) Rotate(start uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if start > l.appended {
+		return fmt.Errorf("wal: rotate to LSN %d beyond appended %d", start, l.appended)
+	}
+	// Settle the old log so every record it acknowledged is on disk until
+	// the very moment the rename supersedes it.
+	if err := l.w.Flush(); err != nil {
+		return l.fail(err)
+	}
+	if l.synced < l.appended {
+		if err := l.f.Sync(); err != nil {
+			return l.fail(err)
+		}
+		l.syncs++
+		l.synced = l.appended
+		l.cond.Broadcast()
+	}
+
+	tmp := l.path + ".rotate"
+	nf, err := l.fs.Create(tmp)
+	if err != nil {
+		return l.fail(err)
+	}
+	var hdr []byte
+	hdr = append(hdr, logMagic...)
+	hdr = append(hdr, logVersion)
+	hdr = binary.AppendUvarint(hdr, start)
+	if _, err = nf.Write(hdr); err == nil {
+		err = nf.Sync()
+	}
+	if err == nil {
+		err = l.fs.Rename(tmp, l.path)
+	}
+	if err == nil {
+		err = l.fs.SyncDir(dirOf(l.path))
+	}
+	if err != nil {
+		nf.Close()
+		l.fs.Remove(tmp)
+		return l.fail(err)
+	}
+	l.f.Close()
+	l.f = nf
+	l.w = bufio.NewWriter(nf)
+	l.start = start
+	l.appended = start
+	l.synced = start
+	l.size = int64(len(hdr))
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log. A wedged log closes its file
+// without syncing (the whole point of the wedge is that its buffered
+// state is not trustworthy).
+func (l *Log) Close() error {
+	if l.ticker != nil {
+		l.ticker.Stop()
+		close(l.done)
+		l.ticker = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return l.err
+	}
+	err := l.err
+	if err == nil {
+		if err = l.w.Flush(); err == nil {
+			err = l.f.Sync()
+		}
+		if err != nil {
+			l.fail(err)
+		} else {
+			l.synced = l.appended
+		}
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

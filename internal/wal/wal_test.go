@@ -1,0 +1,509 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, path string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("open %s: %v", path, err)
+	}
+	return l
+}
+
+// collect re-opens a log capturing every replayed record.
+func collect(t *testing.T, path string, opts Options) (map[uint64]string, *Log) {
+	t.Helper()
+	got := map[uint64]string{}
+	opts.Replay = func(lsn uint64, payload []byte) error {
+		got[lsn] = string(payload)
+		return nil
+	}
+	return got, openT(t, path, opts)
+}
+
+func TestAppendReplayRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path, Options{Sync: SyncAlways})
+	want := map[uint64]string{}
+	for i := 0; i < 100; i++ {
+		payload := fmt.Sprintf("record-%d", i)
+		lsn, err := l.AppendSync([]byte(payload))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("append %d: got LSN %d", i, lsn)
+		}
+		want[lsn] = payload
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	got, l2 := collect(t, path, Options{})
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for lsn, p := range want {
+		if got[lsn] != p {
+			t.Fatalf("LSN %d: got %q want %q", lsn, got[lsn], p)
+		}
+	}
+	if st := l2.StatusNow(); st.LSN != 100 || st.Start != 0 {
+		t.Fatalf("status after reopen: %+v", st)
+	}
+}
+
+// Replay must skip records already folded into the image (LSN ≤ FromLSN)
+// while still CRC-validating them, and appending after recovery continues
+// the sequence.
+func TestReplayFromAnchor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path, Options{Sync: SyncAlways})
+	for i := 1; i <= 10; i++ {
+		if _, err := l.AppendSync([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	got, l2 := collect(t, path, Options{FromLSN: 7})
+	if len(got) != 3 {
+		t.Fatalf("replayed %v, want LSNs 8..10 only", got)
+	}
+	for lsn := uint64(8); lsn <= 10; lsn++ {
+		if got[lsn] != fmt.Sprintf("r%d", lsn) {
+			t.Fatalf("LSN %d: got %q", lsn, got[lsn])
+		}
+	}
+	if lsn, err := l2.AppendSync([]byte("r11")); err != nil || lsn != 11 {
+		t.Fatalf("append after recovery: lsn=%d err=%v", lsn, err)
+	}
+	l2.Close()
+}
+
+// A log that starts past the image anchor has lost records: recovery must
+// refuse rather than silently skip the gap.
+func TestReplayGapFailsLoudly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l := openT(t, path, Options{Start: 50})
+	if _, err := l.AppendSync([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, err := Open(path, Options{FromLSN: 20, Replay: func(uint64, []byte) error { return nil }})
+	if err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("gap open: got %v, want ErrCorrupt", err)
+	}
+	// Without replay (no recovery semantics requested) the same log opens.
+	l2 := openT(t, path, Options{})
+	if st := l2.StatusNow(); st.Start != 50 || st.LSN != 51 {
+		t.Fatalf("status: %+v", st)
+	}
+	l2.Close()
+}
+
+// Truncating a valid log at EVERY byte position must recover exactly the
+// records whose frames are complete — the torn-tail rule, exhaustively.
+func TestTruncationSeries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l := openT(t, path, Options{Sync: SyncAlways})
+	ends := []int{int(l.StatusNow().Size)} // ends[k] = file size after k records
+	for i := 1; i <= 12; i++ {
+		if _, err := l.AppendSync(fmt.Appendf(nil, "payload-%d-%s", i, "xxxxxxxxxx")); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, int(l.StatusNow().Size))
+	}
+	l.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != ends[len(ends)-1] {
+		t.Fatalf("file is %d bytes, status said %d", len(full), ends[len(ends)-1])
+	}
+
+	header := ends[0]
+	for cut := header; cut <= len(full); cut++ {
+		trunc := filepath.Join(dir, "trunc.log")
+		if err := os.WriteFile(trunc, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The number of complete records at this cut.
+		wantRecords := 0
+		for k, end := range ends {
+			if cut >= end {
+				wantRecords = k
+			}
+		}
+		got, l2 := collect(t, trunc, Options{})
+		if len(got) != wantRecords {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(got), wantRecords)
+		}
+		if st := l2.StatusNow(); st.LSN != uint64(wantRecords) || st.Size != int64(ends[wantRecords]) {
+			t.Fatalf("cut at %d: status %+v, want LSN %d size %d", cut, st, wantRecords, ends[wantRecords])
+		}
+		// The log must be appendable after tail repair.
+		if _, err := l2.AppendSync([]byte("after")); err != nil {
+			t.Fatalf("cut at %d: append after repair: %v", cut, err)
+		}
+		l2.Close()
+	}
+
+	// Truncating into the header is corruption, not a torn tail.
+	for cut := 0; cut < header; cut++ {
+		trunc := filepath.Join(dir, "hdr.log")
+		if err := os.WriteFile(trunc, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(trunc, Options{}); err == nil {
+			t.Fatalf("header cut at %d: opened successfully", cut)
+		}
+	}
+}
+
+// A bit flip in the FINAL record is indistinguishable from a torn tail
+// (dropped); the same flip mid-log must fail loudly.
+func TestCorruptionClassification(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l := openT(t, path, Options{Sync: SyncAlways})
+	var lastStart int64
+	for i := 1; i <= 8; i++ {
+		lastStart = l.StatusNow().Size
+		if _, err := l.AppendSync(fmt.Appendf(nil, "record-number-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	full, _ := os.ReadFile(path)
+
+	flip := func(data []byte, at int) []byte {
+		out := append([]byte(nil), data...)
+		out[at] ^= 0x40
+		return out
+	}
+
+	// Flip inside the last record's payload → torn tail, 7 records survive.
+	tail := filepath.Join(dir, "tail.log")
+	os.WriteFile(tail, flip(full, int(lastStart)+6), 0o644)
+	got, l2 := collect(t, tail, Options{})
+	if len(got) != 7 {
+		t.Fatalf("tail flip: recovered %d records, want 7", len(got))
+	}
+	l2.Close()
+
+	// Same flip when bytes follow → mid-log corruption, loud failure.
+	mid := filepath.Join(dir, "mid.log")
+	os.WriteFile(mid, flip(full, len(full)/2), 0o644)
+	if _, err := Open(mid, Options{}); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log flip: got %v, want ErrCorrupt", err)
+	}
+
+	// A corrupt length prefix that *inflates* the length is loud even at
+	// the tail (varint truncation can only shorten, never inflate — an
+	// unterminated varint is a torn tail, a terminated huge one is rot).
+	big := filepath.Join(dir, "big.log")
+	huge := append([]byte(nil), full...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0x7f) // complete ~2^35 length
+	os.WriteFile(big, huge, 0o644)
+	if _, err := Open(big, Options{}); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized length: got %v, want ErrCorrupt", err)
+	}
+}
+
+// slowFS delays every file Sync, giving concurrent committers a window to
+// pile up behind the in-flight fsync the way they do on a real disk.
+type slowFS struct {
+	FS
+	delay time.Duration
+}
+
+func (s slowFS) Create(name string) (File, error) {
+	f, err := s.FS.Create(name)
+	return slowFile{f, s.delay}, err
+}
+
+func (s slowFS) OpenAppend(name string, size int64) (File, error) {
+	f, err := s.FS.OpenAppend(name, size)
+	return slowFile{f, s.delay}, err
+}
+
+type slowFile struct {
+	File
+	delay time.Duration
+}
+
+func (f slowFile) Sync() error {
+	time.Sleep(f.delay)
+	return f.File.Sync()
+}
+
+// Group commit: concurrent committers must share fsyncs — with W writers
+// each appending sequentially against a disk with realistic fsync
+// latency, the fsync count stays well under the record count while every
+// Commit still means "my record is fsynced".
+func TestGroupCommitSharesFsyncs(t *testing.T) {
+	mem := NewMemFS()
+	l := openT(t, "wal.log", Options{FS: slowFS{mem, 200 * time.Microsecond}, Sync: SyncAlways})
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				lsn, err := l.Append(fmt.Appendf(nil, "w%d-%d", w, i))
+				if err == nil {
+					err = l.Commit(lsn)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				st := l.StatusNow()
+				if st.Synced < lsn {
+					errs <- fmt.Errorf("commit returned with synced=%d < lsn=%d", st.Synced, lsn)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := l.StatusNow()
+	if st.LSN != writers*perWriter {
+		t.Fatalf("appended %d, want %d", st.LSN, writers*perWriter)
+	}
+	if st.Syncs >= st.Appends {
+		t.Fatalf("no batching: %d fsyncs for %d appends", st.Syncs, st.Appends)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything must replay.
+	got, l2 := collect(t, "wal.log", Options{FS: mem})
+	if len(got) != writers*perWriter {
+		t.Fatalf("replayed %d, want %d", len(got), writers*perWriter)
+	}
+	l2.Close()
+}
+
+// SyncInterval: the ticker must make acknowledged records durable without
+// any explicit Sync call.
+func TestIntervalSync(t *testing.T) {
+	mem := NewMemFS()
+	l := openT(t, "wal.log", Options{FS: mem, Sync: SyncInterval, SyncEvery: time.Millisecond})
+	for i := 0; i < 20; i++ {
+		if _, err := l.AppendSync([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.StatusNow().Synced < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker never synced: %+v", l.StatusNow())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	l.Close()
+}
+
+// Rotation anchors a fresh log at the given LSN, and recovery of the
+// rotated log resumes the sequence.
+func TestRotate(t *testing.T) {
+	mem := NewMemFS()
+	l := openT(t, "wal.log", Options{FS: mem, Sync: SyncAlways})
+	for i := 1; i <= 5; i++ {
+		if _, err := l.AppendSync([]byte(fmt.Sprintf("old%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(5); err != nil {
+		t.Fatalf("rotate: %v", err)
+	}
+	if st := l.StatusNow(); st.Start != 5 || st.LSN != 5 {
+		t.Fatalf("post-rotate status: %+v", st)
+	}
+	if lsn, err := l.AppendSync([]byte("new6")); err != nil || lsn != 6 {
+		t.Fatalf("append after rotate: lsn=%d err=%v", lsn, err)
+	}
+	l.Close()
+
+	got, l2 := collect(t, "wal.log", Options{FS: mem, FromLSN: 5})
+	defer l2.Close()
+	if len(got) != 1 || got[6] != "new6" {
+		t.Fatalf("replay after rotate: %v", got)
+	}
+
+	// Rotating beyond the appended frontier is a caller bug.
+	if err := l2.Rotate(99); err == nil {
+		t.Fatal("rotate past frontier succeeded")
+	}
+}
+
+// A failed header write during rotation must fail the rotation — not
+// silently rename a headerless log into place (regression: the write
+// error was shadowed, so the rename and directory sync ran anyway and
+// the next recovery died on "bad magic").
+func TestRotateHeaderWriteFailure(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	l := openT(t, "wal.log", Options{FS: ffs, Sync: SyncAlways})
+	if _, err := l.AppendSync([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	// With everything settled, the next write is the new log's header.
+	ffs.FaultAt(1, FaultError)
+	if err := l.Rotate(1); err == nil {
+		t.Fatal("rotate with failed header write succeeded")
+	}
+	if l.Err() == nil {
+		t.Fatal("log not wedged after failed rotation")
+	}
+	_ = l.Close()
+
+	// The old log was never superseded: the acknowledged record recovers.
+	mem.Crash()
+	got, l2 := collect(t, "wal.log", Options{FS: mem})
+	defer l2.Close()
+	if len(got) != 1 || got[1] != "acked" {
+		t.Fatalf("recovered %v, want the pre-rotation record", got)
+	}
+}
+
+// Any write/sync failure wedges the log permanently: later appends,
+// commits and rotates all fail, and Close does not fsync the suspect
+// buffer.
+func TestStickyWedge(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	l := openT(t, "wal.log", Options{FS: ffs, Sync: SyncAlways})
+	if _, err := l.AppendSync([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FaultAt(1, FaultError) // next write or sync fails
+	if _, err := l.AppendSync([]byte("boom")); err == nil {
+		t.Fatal("faulted append succeeded")
+	}
+	if _, err := l.Append([]byte("after")); err == nil {
+		t.Fatal("append after wedge succeeded")
+	}
+	if err := l.Rotate(1); err == nil {
+		t.Fatal("rotate after wedge succeeded")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync after wedge succeeded")
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() nil after wedge")
+	}
+	_ = l.Close()
+
+	// Only the pre-fault record is durable.
+	mem.Crash()
+	got, l2 := collect(t, "wal.log", Options{FS: mem})
+	defer l2.Close()
+	if len(got) != 1 || got[1] != "ok" {
+		t.Fatalf("recovered %v, want only LSN 1", got)
+	}
+}
+
+// Power loss (strict: every un-synced byte gone) after SyncAlways commits
+// must preserve every acknowledged record.
+func TestPowerLossKeepsAcknowledged(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		mem := NewMemFS()
+		l := openT(t, "wal.log", Options{FS: mem, Sync: SyncAlways})
+		n := 1 + rng.Intn(30)
+		for i := 1; i <= n; i++ {
+			if _, err := l.AppendSync(fmt.Appendf(nil, "t%d-%d", trial, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A possibly-unacknowledged straggler sits in the buffer or page
+		// cache when the power goes.
+		if rng.Intn(2) == 0 {
+			if _, err := l.Append([]byte("straggler")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mem.Crash() // no Close: the process just died
+		got, l2 := collect(t, "wal.log", Options{FS: mem})
+		if len(got) != n {
+			t.Fatalf("trial %d: recovered %d records, want %d", trial, len(got), n)
+		}
+		l2.Close()
+	}
+}
+
+// CrashKeeping retains a random prefix of un-synced bytes — torn tails in
+// the wild. Recovery must land on a record boundary between the
+// acknowledged frontier and the append frontier.
+func TestTornTailRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		mem := NewMemFS()
+		l := openT(t, "wal.log", Options{FS: mem, Sync: SyncNever})
+		synced := 0
+		n := 3 + rng.Intn(20)
+		for i := 1; i <= n; i++ {
+			if _, err := l.Append(fmt.Appendf(nil, "payload-%d", i)); err != nil {
+				t.Fatal(err)
+			}
+			if rng.Intn(4) == 0 {
+				if err := l.Sync(); err != nil {
+					t.Fatal(err)
+				}
+				synced = i
+			}
+		}
+		// Push buffered bytes to the "page cache" so CrashKeeping has
+		// un-synced bytes to tear.
+		if err := l.Commit(uint64(n)); err != nil {
+			t.Fatal(err)
+		}
+		mem.CrashKeeping(rng)
+		got, l2 := collect(t, "wal.log", Options{FS: mem})
+		if len(got) < synced || len(got) > n {
+			t.Fatalf("trial %d: recovered %d records, want between %d and %d", trial, len(got), synced, n)
+		}
+		for lsn := 1; lsn <= len(got); lsn++ {
+			if got[uint64(lsn)] != fmt.Sprintf("payload-%d", lsn) {
+				t.Fatalf("trial %d: LSN %d corrupted: %q", trial, lsn, got[uint64(lsn)])
+			}
+		}
+		l2.Close()
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParseSyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("roundtrip %v: got %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy parsed")
+	}
+}
