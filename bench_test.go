@@ -475,13 +475,24 @@ func BenchmarkSQLSelect(b *testing.B) {
 
 // BenchmarkSQLJoin measures the multi-join pipeline: a three-table
 // star-ish join, hash vs nested-loop ablation (smaller set — nested loops
-// are quadratic), and the streaming aggregation over the joined rows.
+// are quadratic), the streaming aggregation over the joined rows, and the
+// 100k-row probe join the parallel-scaling sweep tracks (run with
+// -cpu 1,4,8: the morsel-driven probe should scale near-linearly).
 func BenchmarkSQLJoin(b *testing.B) {
 	const multi = `SELECT COUNT(*) FROM points p JOIN dims d ON p.id = d.id JOIN grps g ON d.grp = g.grp WHERE p.n < 500`
 	big := sqlBenchDB(b, 5000)
 	b.Run("MultiJoinHash", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := big.Query(multi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	huge := sqlBenchDB(b, 100000)
+	b.Run("Hash100k", func(b *testing.B) {
+		const q = `SELECT COUNT(*) FROM points p JOIN dims d ON p.id = d.id WHERE p.n < 500`
+		for i := 0; i < b.N; i++ {
+			if _, err := huge.Query(q); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -504,6 +515,35 @@ func BenchmarkSQLJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkSQLGroupBy and BenchmarkSQLOrderTopK are the other two
+// parallel-scaling families: per-worker aggregation maps merged by
+// commutative accumulators, and per-worker bounded heaps merged into one
+// top-K. Both run over 100k rows so the morsel path engages at its default
+// threshold; compare -cpu 1,4,8.
+func BenchmarkSQLGroupBy(b *testing.B) {
+	db := sqlBenchDB(b, 100000)
+	const q = `SELECT k, COUNT(*), MIN(v), MAX(v) FROM points GROUP BY k`
+	b.Run("Merge100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSQLOrderTopK(b *testing.B) {
+	db := sqlBenchDB(b, 100000)
+	const q = `SELECT id, v FROM points ORDER BY v DESC LIMIT 10`
+	b.Run("Heap100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSQLCompiledPlan isolates what the plan cache buys: a cache hit
 // (epoch check + map lookup + streaming execution) vs parse+compile+run
 // per call, plus the bare parse+compile cost of a multi-join query. The
@@ -522,12 +562,12 @@ func BenchmarkSQLCompiledPlan(b *testing.B) {
 
 	b.Run("CachedRun", func(b *testing.B) {
 		cache := core.NewQueryCache(0)
-		if _, err := cache.SQLSelect(db.Catalog(), q, parse); err != nil {
+		if _, err := cache.SQLSelect(db.Catalog(), q, sqlexec.Options{}, parse); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			p, err := cache.SQLSelect(db.Catalog(), q, parse)
+			p, err := cache.SQLSelect(db.Catalog(), q, sqlexec.Options{}, parse)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -580,11 +620,13 @@ func BenchmarkSQLCompiledPlan(b *testing.B) {
 
 // sparqlBenchStore builds the 20k-triple store the SPARQL benchmark
 // families share: 10% hazard facts, a level per element, a subclass chain.
-func sparqlBenchStore() *rdf.Store {
+func sparqlBenchStore() *rdf.Store { return sparqlBenchStoreN(20000) }
+
+func sparqlBenchStoreN(elems int) *rdf.Store {
 	const ns = core.DefaultIRIPrefix
 	st := rdf.NewStore()
 	rng := rand.New(rand.NewSource(3))
-	for i := 0; i < 20000; i++ {
+	for i := 0; i < elems; i++ {
 		s := rdf.NewIRI(fmt.Sprintf("%selem%d", ns, i))
 		if i%10 == 0 {
 			st.Add(rdf.Triple{S: s, P: rdf.NewIRI(ns + "isA"), O: rdf.NewIRI(ns + "Hazard")})
@@ -622,6 +664,18 @@ func BenchmarkSPARQL(b *testing.B) {
 			}
 		})
 	}
+	// The parallel-scaling family: a 110k-triple store whose 10k-match head
+	// pattern clears the morsel threshold, so -cpu 1,4,8 tracks the
+	// parallel BGP pipeline rather than the serial fallback.
+	big := sparqlBenchStoreN(100000)
+	b.Run("BGPJoin100k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sparql.Eval(big, sparqlBenchBGPJoin); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSPARQLCompiledPlan isolates what the compiled-plan cache buys on

@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` output into a machine-readable
-// JSON artifact mapping benchmark name → metrics (ns/op, B/op, allocs/op and
-// any custom ReportMetric units), so CI can track the performance trajectory
-// across PRs without scraping text logs.
+// JSON artifact mapping benchmark name → per-CPU entries, each holding the
+// GOMAXPROCS setting (the "-8" suffix go test appends to the name) and the
+// metrics measured there (ns/op, B/op, allocs/op and any custom ReportMetric
+// units), so CI can track both the performance trajectory across PRs and the
+// parallel-scaling curve of a `-cpu 1,4,8` sweep without scraping text logs.
 //
 // Usage:
 //

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -10,18 +11,35 @@ import (
 // custom testing.B ReportMetric units); "iterations" records the run count.
 type Metrics map[string]float64
 
-// Report maps benchmark name (GOMAXPROCS suffix stripped, so keys are
-// stable across machines) to its metrics. When the same name appears more
-// than once (e.g. -count>1), each metric is the mean over the repeated
-// runs, so the artifact reflects all measurements instead of whichever run
-// happened to come last.
-type Report map[string]Metrics
+// Entry is one benchmark's measurements at one GOMAXPROCS setting. The
+// processor count go test appends to the name ("-8") lands in CPU instead
+// of the key, so a `-cpu 1,4,8` scaling sweep yields one entry per setting
+// rather than a meaningless mean across them.
+type Entry struct {
+	CPU     int     `json:"cpu"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Report maps benchmark name (GOMAXPROCS suffix split off into each
+// entry's CPU field, so keys are stable across machines) to its per-CPU
+// results, ordered by rising CPU. When the same (name, cpu) pair appears
+// more than once (e.g. -count>1), each metric is the mean over the
+// repeated runs, so the artifact reflects all measurements instead of
+// whichever run happened to come last.
+type Report map[string][]Entry
+
+// benchKey identifies one aggregation bucket: repeated runs of a name at
+// the same GOMAXPROCS average together, runs at different settings don't.
+type benchKey struct {
+	name string
+	cpu  int
+}
 
 // Parse extracts benchmark results from `go test -bench` output. Non-result
 // lines (pkg headers, PASS, logs) are ignored.
 func Parse(out string) (Report, error) {
-	sums := map[string]Metrics{}
-	counts := map[string]map[string]int{}
+	sums := map[benchKey]Metrics{}
+	counts := map[benchKey]map[string]int{}
 	for _, line := range strings.Split(out, "\n") {
 		fields := strings.Fields(line)
 		// A result line is: name iterations (value unit)+
@@ -45,41 +63,47 @@ func Parse(out string) (Report, error) {
 		if !ok || len(m) == 1 {
 			continue
 		}
-		name := stripProcs(fields[0])
-		if sums[name] == nil {
-			sums[name] = Metrics{}
-			counts[name] = map[string]int{}
+		name, cpu := splitProcs(fields[0])
+		key := benchKey{name, cpu}
+		if sums[key] == nil {
+			sums[key] = Metrics{}
+			counts[key] = map[string]int{}
 		}
 		for unit, v := range m {
-			sums[name][unit] += v
-			counts[name][unit]++
+			sums[key][unit] += v
+			counts[key][unit]++
 		}
 	}
 	report := Report{}
-	for name, acc := range sums {
+	for key, acc := range sums {
 		m := Metrics{}
 		for unit, sum := range acc {
-			m[unit] = sum / float64(counts[name][unit])
+			m[unit] = sum / float64(counts[key][unit])
 		}
-		report[name] = m
+		report[key.name] = append(report[key.name], Entry{CPU: key.cpu, Metrics: m})
+	}
+	for name := range report {
+		es := report[name]
+		sort.Slice(es, func(i, j int) bool { return es[i].CPU < es[j].CPU })
 	}
 	return report, nil
 }
 
-// stripProcs removes the trailing -GOMAXPROCS suffix go test appends to
-// benchmark names ("BenchmarkFoo/bar-8" → "BenchmarkFoo/bar"). Only a
+// splitProcs separates the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names ("BenchmarkFoo/bar-8" → "BenchmarkFoo/bar", 8). Only a
 // plausible processor count (1..1024) is treated as a suffix, so a
 // dash-digit tail that is part of the benchmark's own name (e.g. a
 // "size-100000" sub-benchmark on a GOMAXPROCS=1 runner, where go test
-// appends nothing) is kept intact.
-func stripProcs(name string) string {
+// appends nothing) is kept intact. Without a suffix the run was at
+// GOMAXPROCS=1.
+func splitProcs(name string) (string, int) {
 	i := strings.LastIndexByte(name, '-')
 	if i < 0 {
-		return name
+		return name, 1
 	}
 	n, err := strconv.Atoi(name[i+1:])
 	if err != nil || n < 1 || n > 1024 {
-		return name
+		return name, 1
 	}
-	return name[:i]
+	return name[:i], n
 }

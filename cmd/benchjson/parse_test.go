@@ -15,6 +15,18 @@ PASS
 ok  	crosse	1.234s
 `
 
+// at returns the entry for one GOMAXPROCS setting of one benchmark.
+func at(t *testing.T, r Report, name string, cpu int) Metrics {
+	t.Helper()
+	for _, e := range r[name] {
+		if e.CPU == cpu {
+			return e.Metrics
+		}
+	}
+	t.Fatalf("%s has no cpu=%d entry: %v", name, cpu, r[name])
+	return nil
+}
+
 func TestParse(t *testing.T) {
 	r, err := Parse(sample)
 	if err != nil {
@@ -24,21 +36,19 @@ func TestParse(t *testing.T) {
 		t.Fatalf("parsed %d entries, want 4: %v", len(r), r)
 	}
 
-	m, ok := r["BenchmarkBeliefImport/statements1000"]
-	if !ok {
-		t.Fatal("missing BeliefImport entry (GOMAXPROCS suffix should be stripped)")
-	}
+	m := at(t, r, "BenchmarkBeliefImport/statements1000", 8)
 	if m["ns/op"] != 217979 || m["B/op"] != 225168 || m["allocs/op"] != 59 || m["iterations"] != 100 {
 		t.Errorf("BeliefImport metrics = %v", m)
 	}
 
-	if m := r["BenchmarkManyUserMemory/sharedOverlays"]; m["B/op"] != 90617784 {
+	// No suffix means the run was at GOMAXPROCS=1.
+	if m := at(t, r, "BenchmarkManyUserMemory/sharedOverlays", 1); m["B/op"] != 90617784 {
 		t.Errorf("sharedOverlays metrics = %v", m)
 	}
-	if m := r["BenchmarkConcurrentEnrich"]; m["ns/op"] != 627344 {
+	if m := at(t, r, "BenchmarkConcurrentEnrich", 4); m["ns/op"] != 627344 {
 		t.Errorf("ConcurrentEnrich metrics = %v", m)
 	}
-	if m := r["BenchmarkCustomMetric"]; m["widgets/op"] != 42.5 {
+	if m := at(t, r, "BenchmarkCustomMetric", 2); m["widgets/op"] != 42.5 {
 		t.Errorf("custom metric = %v", m)
 	}
 	if _, ok := r["BenchmarkBroken"]; ok {
@@ -46,8 +56,38 @@ func TestParse(t *testing.T) {
 	}
 }
 
-// With -count>1 the same benchmark name repeats; the report must aggregate
-// (mean per metric), not keep whichever run came last.
+// A -cpu sweep reports the same name at several GOMAXPROCS settings: each
+// must become its own entry (not a mean across settings), ordered by
+// rising CPU so scaling curves read straight off the artifact.
+func TestParseCPUSweep(t *testing.T) {
+	const sweep = `goos: linux
+BenchmarkSQLJoin/Hash100k-8    	      50	   2000000 ns/op
+BenchmarkSQLJoin/Hash100k-4    	      30	   3500000 ns/op
+BenchmarkSQLJoin/Hash100k    	      10	  12000000 ns/op
+PASS
+`
+	r, err := Parse(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := r["BenchmarkSQLJoin/Hash100k"]
+	if len(es) != 3 {
+		t.Fatalf("sweep produced %d entries, want 3: %v", len(es), es)
+	}
+	for i, want := range []struct {
+		cpu int
+		ns  float64
+	}{{1, 12000000}, {4, 3500000}, {8, 2000000}} {
+		if es[i].CPU != want.cpu || es[i].Metrics["ns/op"] != want.ns {
+			t.Errorf("entry %d = cpu %d, %v ns/op; want cpu %d, %v ns/op",
+				i, es[i].CPU, es[i].Metrics["ns/op"], want.cpu, want.ns)
+		}
+	}
+}
+
+// With -count>1 the same benchmark name repeats at the same GOMAXPROCS;
+// the report must aggregate (mean per metric), not keep whichever run came
+// last.
 func TestParseAggregatesRepeatedRuns(t *testing.T) {
 	const repeated = `goos: linux
 BenchmarkFoo-8    	     100	    1000 ns/op	     320 B/op	       4 allocs/op
@@ -63,7 +103,7 @@ PASS
 	if len(r) != 2 {
 		t.Fatalf("parsed %d entries, want 2: %v", len(r), r)
 	}
-	m := r["BenchmarkFoo"]
+	m := at(t, r, "BenchmarkFoo", 8)
 	if m["ns/op"] != 2200 {
 		t.Errorf("ns/op = %v, want mean 2200", m["ns/op"])
 	}
@@ -76,23 +116,26 @@ PASS
 	if m["iterations"] != 200 {
 		t.Errorf("iterations = %v, want mean 200", m["iterations"])
 	}
-	if r["BenchmarkBar"]["ns/op"] != 500 {
+	if at(t, r, "BenchmarkBar", 8)["ns/op"] != 500 {
 		t.Errorf("single-run benchmark affected by aggregation: %v", r["BenchmarkBar"])
 	}
 }
 
-func TestStripProcs(t *testing.T) {
-	cases := map[string]string{
-		"BenchmarkFoo-8":             "BenchmarkFoo",
-		"BenchmarkFoo/bar-16":        "BenchmarkFoo/bar",
-		"BenchmarkFoo/size1000":      "BenchmarkFoo/size1000", // no dash at all
-		"BenchmarkFoo/extraKB-x":     "BenchmarkFoo/extraKB-x",
-		"BenchmarkFoo/size-100000":   "BenchmarkFoo/size-100000", // dash-digits, but not a plausible GOMAXPROCS
-		"BenchmarkFoo/size-100000-8": "BenchmarkFoo/size-100000",
+func TestSplitProcs(t *testing.T) {
+	cases := map[string]struct {
+		name string
+		cpu  int
+	}{
+		"BenchmarkFoo-8":             {"BenchmarkFoo", 8},
+		"BenchmarkFoo/bar-16":        {"BenchmarkFoo/bar", 16},
+		"BenchmarkFoo/size1000":      {"BenchmarkFoo/size1000", 1}, // no dash at all
+		"BenchmarkFoo/extraKB-x":     {"BenchmarkFoo/extraKB-x", 1},
+		"BenchmarkFoo/size-100000":   {"BenchmarkFoo/size-100000", 1}, // dash-digits, but not a plausible GOMAXPROCS
+		"BenchmarkFoo/size-100000-8": {"BenchmarkFoo/size-100000", 8},
 	}
 	for in, want := range cases {
-		if got := stripProcs(in); got != want {
-			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		if name, cpu := splitProcs(in); name != want.name || cpu != want.cpu {
+			t.Errorf("splitProcs(%q) = %q, %d; want %q, %d", in, name, cpu, want.name, want.cpu)
 		}
 	}
 }

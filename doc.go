@@ -83,6 +83,39 @@
 // parity suite (internal/sqlexec/parity_test.go) pins the compiled
 // semantics to.
 //
+// # Intra-query parallel execution
+//
+// Both executors share a morsel-driven scheduler (internal/exec): the
+// query's driving input — the base-table scan on the SQL side, the head
+// pattern's posting list on the SPARQL side — is materialised once in
+// serial enumeration order and partitioned into fixed-size morsels; a
+// bounded worker pool claims morsel indexes from an atomic counter and
+// each worker runs the full compiled pipeline (joins, filters,
+// projection) with private execution state, against shared state frozen
+// before the first worker starts (hash tables and materialised join
+// sides in SQL, the resolved constant table and one read transaction in
+// SPARQL — which requires an rdf.ConcurrentReader, a reader whose probes
+// are pure reads under the transaction lock). SQL heap tables implement
+// sqldb.StableRowScanner — scanned rows are immutable in place, updates
+// replace rows wholesale — so materialisation retains the stored rows
+// zero-copy. Output is buffered per morsel (or stamped with its
+// (morsel, sequence) arrival position) and merged in morsel order, which
+// makes the parallel result byte-identical to the serial one: same rows,
+// same order, same ties, same first error. Aggregations merge per-worker
+// maps through commutative partials (COUNT sums, MIN/MAX compare with
+// arrival stamps breaking ties); ORDER BY unions per-worker bounded
+// top-K heaps; a contiguous completed-morsel prefix can prove a LIMIT
+// satisfied and cancel the remaining morsels. Shapes that cannot merge
+// exactly fall back to serial: grouped plans with order-sensitive
+// accumulators (float SUM/AVG, DISTINCT aggregates), ASK,
+// property-path heads, foreign-table scans, and inputs below the morsel
+// threshold, where fan-out costs more than it wins. The knob is
+// sqlexec.Options.Parallelism / sparql.Options.Parallelism /
+// core.Enricher.SetParallelism (0 = GOMAXPROCS, 1 = serial); parity
+// suites run every test at 1, 2 and 4 workers, and a determinism suite
+// requires ORDER BY (+ OFFSET/LIMIT) output to be byte-identical across
+// parallelism levels on tie-heavy keys.
+//
 // The enrichment pipeline (internal/core) keeps a compiled-query cache for
 // SESQL, SPARQL and SQL, keyed on the exact query text. For SPARQL the
 // cache stores the compiled physical Plan — slot table, join-ready

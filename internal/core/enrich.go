@@ -31,6 +31,11 @@ type Enricher struct {
 	// cache memoises compiled SESQL and SPARQL queries by text. Nil
 	// disables caching (every call re-parses); New installs one by default.
 	cache *QueryCache
+
+	// par caps intra-query parallelism for both executors: 0 (the
+	// default) means GOMAXPROCS, 1 forces serial evaluation. See
+	// SetParallelism.
+	par int
 }
 
 // New wires an Enricher. A nil mapping gets the default SmartGround one.
@@ -46,6 +51,13 @@ func New(db *engine.DB, platform *kb.Platform, mapping *Mapping) *Enricher {
 // SetQueryCache replaces the enricher's compiled-query cache. A nil cache
 // disables compiled-query reuse (useful for benchmarking the parse path).
 func (e *Enricher) SetQueryCache(c *QueryCache) { e.cache = c }
+
+// SetParallelism caps intra-query parallelism for the enrichment
+// pipeline's SQL and SPARQL evaluation: 0 (the default) means GOMAXPROCS,
+// 1 forces the serial executors. Large scans, joins and BGP probes then
+// fan out across a bounded worker pool; output is identical at every
+// setting. Not safe to call concurrently with Query.
+func (e *Enricher) SetParallelism(n int) { e.par = n }
 
 // QueryCacheStats reports the cache's cumulative hits and misses; zeros when
 // caching is disabled.
@@ -71,10 +83,11 @@ func (e *Enricher) parseSESQL(text string) (*sesql.Query, error) {
 // resolution and join planning on every repeat query.
 func (e *Enricher) planSQL(text string, sel *sqlparser.Select) (*sqlexec.SelectPlan, error) {
 	db := e.DB.Catalog()
+	opts := sqlexec.Options{Parallelism: e.par}
 	if e.cache == nil {
-		return sqlexec.Compile(db, sel)
+		return sqlexec.CompileOpts(db, sel, opts)
 	}
-	return e.cache.SQLSelect(db, text, func() (*sqlparser.Select, error) { return sel, nil })
+	return e.cache.SQLSelect(db, text, opts, func() (*sqlparser.Select, error) { return sel, nil })
 }
 
 // planSPARQL compiles a SPARQL text into a physical plan, consulting the
@@ -741,7 +754,7 @@ func (e *Enricher) streamSPARQL(view rdf.Graph, text string, st *Stats, minVars 
 	if p.NumVars() < minVars {
 		return fmt.Errorf("core: %s", minVarsErr)
 	}
-	if err := p.Stream(view, fn); err != nil {
+	if err := p.StreamOpts(view, sparql.Options{Parallelism: e.par}, fn); err != nil {
 		return fmt.Errorf("core: SPARQL: %w", err)
 	}
 	return nil

@@ -63,6 +63,7 @@ type sqlKey struct {
 type sqlPlanEntry struct {
 	plan  *sqlexec.SelectPlan
 	epoch uint64
+	opts  sqlexec.Options
 }
 
 // DefaultQueryCacheSize bounds each of the three cache maps (SESQL,
@@ -88,17 +89,19 @@ func NewQueryCache(max int) *QueryCache {
 
 // SQLSelect returns the compiled physical plan of a SELECT against db,
 // compiling on first sight and whenever the catalog's schema epoch has
-// moved since the plan was compiled. The text is the cache key; parse
-// supplies the AST on a miss (so callers that already hold a parsed
-// SELECT don't re-parse). A hit skips parsing, column-slot resolution and
-// join planning entirely — the plan is ready to Run or Stream.
-func (c *QueryCache) SQLSelect(db *sqldb.Database, text string, parse func() (*sqlparser.Select, error)) (*sqlexec.SelectPlan, error) {
+// moved since the plan was compiled, or the requested execution options
+// differ from the cached plan's (plans bind their options at compile
+// time). The text is the cache key; parse supplies the AST on a miss (so
+// callers that already hold a parsed SELECT don't re-parse). A hit skips
+// parsing, column-slot resolution and join planning entirely — the plan
+// is ready to Run or Stream.
+func (c *QueryCache) SQLSelect(db *sqldb.Database, text string, opts sqlexec.Options, parse func() (*sqlparser.Select, error)) (*sqlexec.SelectPlan, error) {
 	epoch := db.SchemaEpoch()
 	key := sqlKey{db: db, text: text}
 	c.mu.RLock()
 	e, ok := c.sql[key]
 	c.mu.RUnlock()
-	if ok && e.epoch == epoch {
+	if ok && e.epoch == epoch && e.opts == opts {
 		c.hits.Add(1)
 		return e.plan, nil
 	}
@@ -106,7 +109,7 @@ func (c *QueryCache) SQLSelect(db *sqldb.Database, text string, parse func() (*s
 	if err != nil {
 		return nil, err
 	}
-	plan, err := sqlexec.Compile(db, sel)
+	plan, err := sqlexec.CompileOpts(db, sel, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +126,7 @@ func (c *QueryCache) SQLSelect(db *sqldb.Database, text string, parse func() (*s
 			delete(c.sql, k)
 		}
 	}
-	c.sql[key] = &sqlPlanEntry{plan: plan, epoch: epoch}
+	c.sql[key] = &sqlPlanEntry{plan: plan, epoch: epoch, opts: opts}
 	c.mu.Unlock()
 	c.misses.Add(1)
 	return plan, nil

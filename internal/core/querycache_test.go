@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"crosse/internal/engine"
+	"crosse/internal/sqlexec"
 	"crosse/internal/sqlparser"
 )
 
@@ -125,11 +126,11 @@ func TestSQLPlanCacheEpochInvalidation(t *testing.T) {
 	c := NewQueryCache(0)
 	const text = `SELECT s FROM q ORDER BY id`
 
-	p1, err := c.SQLSelect(db.Catalog(), text, parseSelect(t, text))
+	p1, err := c.SQLSelect(db.Catalog(), text, sqlexec.Options{}, parseSelect(t, text))
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := c.SQLSelect(db.Catalog(), text, parseSelect(t, text))
+	p2, err := c.SQLSelect(db.Catalog(), text, sqlexec.Options{}, parseSelect(t, text))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestSQLPlanCacheEpochInvalidation(t *testing.T) {
 	if _, err := db.Exec(`INSERT INTO q VALUES (3, 'c')`); err != nil {
 		t.Fatal(err)
 	}
-	if p3, _ := c.SQLSelect(db.Catalog(), text, parseSelect(t, text)); p3 != p1 {
+	if p3, _ := c.SQLSelect(db.Catalog(), text, sqlexec.Options{}, parseSelect(t, text)); p3 != p1 {
 		t.Error("data mutation must not invalidate the cached plan")
 	}
 	res, err := p1.Run()
@@ -163,7 +164,7 @@ func TestSQLPlanCacheEpochInvalidation(t *testing.T) {
 	if _, err := db.Exec(`INSERT INTO q VALUES (9, 'z')`); err != nil {
 		t.Fatal(err)
 	}
-	p4, err := c.SQLSelect(db.Catalog(), text, parseSelect(t, text))
+	p4, err := c.SQLSelect(db.Catalog(), text, sqlexec.Options{}, parseSelect(t, text))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestSQLPlanCacheEpochInvalidation(t *testing.T) {
 	if db.Catalog().SchemaEpoch() == before {
 		t.Error("CREATE INDEX must bump the schema epoch")
 	}
-	if p5, _ := c.SQLSelect(db.Catalog(), text, parseSelect(t, text)); p5 == p4 {
+	if p5, _ := c.SQLSelect(db.Catalog(), text, sqlexec.Options{}, parseSelect(t, text)); p5 == p4 {
 		t.Error("CREATE INDEX must invalidate cached plans")
 	}
 }
@@ -203,7 +204,7 @@ func TestSQLPlanCacheSweepsStaleEpochs(t *testing.T) {
 	}
 	c := NewQueryCache(0)
 	for _, q := range []string{`SELECT x FROM a`, `SELECT y FROM b`} {
-		if _, err := c.SQLSelect(db.Catalog(), q, parseSelect(t, q)); err != nil {
+		if _, err := c.SQLSelect(db.Catalog(), q, sqlexec.Options{}, parseSelect(t, q)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -215,7 +216,7 @@ func TestSQLPlanCacheSweepsStaleEpochs(t *testing.T) {
 	}
 	// Next miss (any text, same db) sweeps every stale-epoch entry —
 	// including the plan still holding the dropped table a.
-	if _, err := c.SQLSelect(db.Catalog(), `SELECT y FROM b`, parseSelect(t, `SELECT y FROM b`)); err != nil {
+	if _, err := c.SQLSelect(db.Catalog(), `SELECT y FROM b`, sqlexec.Options{}, parseSelect(t, `SELECT y FROM b`)); err != nil {
 		t.Fatal(err)
 	}
 	if n := c.sqlLen(); n != 1 {
@@ -272,7 +273,7 @@ func TestSQLPlanCacheDDLRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 300; i++ {
-				p, err := c.SQLSelect(db.Catalog(), text, parseSelect(t, text))
+				p, err := c.SQLSelect(db.Catalog(), text, sqlexec.Options{}, parseSelect(t, text))
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,0 +1,162 @@
+// Package exec is the shared morsel-driven scheduler behind the SQL and
+// SPARQL executors' intra-query parallelism. A query's driving input is
+// partitioned into fixed-size contiguous morsels in serial enumeration
+// order; a bounded worker pool claims morsel indexes from an atomic
+// counter, so each worker processes a strictly increasing sequence of
+// morsels and every morsel is processed by exactly one worker. Executors
+// keep all mutable scratch state per worker and buffer output per morsel,
+// then merge the buffers in morsel-index order — which makes the parallel
+// output identical to the serial executor's, byte for byte, without any
+// cross-worker synchronisation on the hot path.
+//
+// Cancellation is a monotonically decreasing cut index: Cut(m) declares
+// every morsel with index >= m unneeded (LIMIT satisfied by a completed
+// prefix, ASK answered, error observed). Workers poll Cancelled cheaply
+// and stop claiming or abort in-flight morsels past the cut.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism option value: 0 (the default) means
+// GOMAXPROCS, anything else is clamped to at least 1.
+func Workers(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	if parallelism < 0 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Morsels returns the number of size-row morsels covering n rows (the last
+// morsel may be short).
+func Morsels(n, size int) int {
+	return (n + size - 1) / size
+}
+
+// Bounds returns the half-open input-row range [lo, hi) of morsel m when n
+// rows are partitioned into size-row morsels.
+func Bounds(m, size, n int) (lo, hi int) {
+	lo = m * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// At composes a global arrival stamp from a morsel index and a sequence
+// number within the morsel. Stamps order exactly like the serial
+// executor's arrival order, so they serve as the stable-sort tiebreak of
+// parallel ORDER BY paths.
+func At(morsel int, seq int64) int64 {
+	return int64(morsel)<<32 | seq
+}
+
+// Pool schedules morsel indexes [0, morsels) over a bounded set of worker
+// goroutines.
+type Pool struct {
+	workers int
+	morsels int
+	next    atomic.Int64
+	cut     atomic.Int64 // first morsel index that is no longer needed
+}
+
+// NewPool sizes a pool; the worker count is capped at the morsel count.
+func NewPool(workers, morsels int) *Pool {
+	if workers > morsels {
+		workers = morsels
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, morsels: morsels}
+	p.cut.Store(int64(morsels))
+	return p
+}
+
+// Workers returns the effective worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Cut declares every morsel with index >= m unneeded. Cuts only move the
+// boundary down, so concurrent cuts compose to the smallest.
+func (p *Pool) Cut(m int) {
+	for {
+		cur := p.cut.Load()
+		if int64(m) >= cur {
+			return
+		}
+		if p.cut.CompareAndSwap(cur, int64(m)) {
+			return
+		}
+	}
+}
+
+// Cancelled reports whether morsel m is past the cut. Workers poll this
+// per row (one atomic load) to abort in-flight morsels early.
+func (p *Pool) Cancelled(m int) bool { return int64(m) >= p.cut.Load() }
+
+// Run calls fn(worker, morsel) for every morsel index below the cut,
+// spreading the calls over the pool's workers, and blocks until all
+// claimed morsels have finished. Each worker's morsel sequence is strictly
+// increasing; every morsel is handed to exactly one worker.
+func (p *Pool) Run(fn func(worker, morsel int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				m := int(p.next.Add(1) - 1)
+				if m >= p.morsels || p.Cancelled(m) {
+					return
+				}
+				fn(w, m)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Limiter decides when a LIMIT is provably satisfied by a completed prefix
+// of morsels. Output is merged in morsel order, so morsels past index j
+// are unneeded exactly when morsels 0..j-1 have all completed and together
+// buffered at least the target number of output rows. (Callers must not
+// use a Limiter when buffered counts can overcount merged output — e.g.
+// under DISTINCT, where cross-worker duplicates merge away.)
+type Limiter struct {
+	mu       sync.Mutex
+	need     int
+	counts   []int
+	done     []bool
+	frontier int // first morsel not yet completed
+	have     int // rows buffered by the completed prefix
+}
+
+// NewLimiter tracks `morsels` morsels against a target of need rows.
+func NewLimiter(morsels, need int) *Limiter {
+	return &Limiter{need: need, counts: make([]int, morsels), done: make([]bool, morsels)}
+}
+
+// Done records that morsel m completed with rows buffered output rows. It
+// reports ok=true with the first unneeded morsel index once the completed
+// prefix covers the target.
+func (l *Limiter) Done(m, rows int) (cut int, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.counts[m] = rows
+	l.done[m] = true
+	for l.frontier < len(l.done) && l.done[l.frontier] {
+		l.have += l.counts[l.frontier]
+		l.frontier++
+		if l.have >= l.need {
+			return l.frontier, true
+		}
+	}
+	return 0, false
+}

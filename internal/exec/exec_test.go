@@ -1,0 +1,109 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMorselBounds(t *testing.T) {
+	n, size := 2500, 1024
+	nm := Morsels(n, size)
+	if nm != 3 {
+		t.Fatalf("Morsels(%d,%d) = %d, want 3", n, size, nm)
+	}
+	next := 0
+	for m := 0; m < nm; m++ {
+		lo, hi := Bounds(m, size, n)
+		if lo != next || hi <= lo || hi > n {
+			t.Fatalf("morsel %d: bounds [%d,%d) after %d", m, lo, hi, next)
+		}
+		next = hi
+	}
+	if next != n {
+		t.Fatalf("morsels cover %d of %d rows", next, n)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(4); w != 4 {
+		t.Fatalf("Workers(4) = %d", w)
+	}
+	if w := Workers(0); w < 1 {
+		t.Fatalf("Workers(0) = %d", w)
+	}
+	if w := Workers(-3); w != 1 {
+		t.Fatalf("Workers(-3) = %d", w)
+	}
+}
+
+// TestPoolCoverage proves every morsel runs exactly once and each worker's
+// claimed sequence is strictly increasing.
+func TestPoolCoverage(t *testing.T) {
+	const morsels = 257
+	p := NewPool(8, morsels)
+	var mu sync.Mutex
+	ran := make([]int, morsels)
+	last := map[int]int{}
+	p.Run(func(w, m int) {
+		mu.Lock()
+		ran[m]++
+		if prev, ok := last[w]; ok && m <= prev {
+			t.Errorf("worker %d claimed morsel %d after %d", w, m, prev)
+		}
+		last[w] = m
+		mu.Unlock()
+	})
+	for m, c := range ran {
+		if c != 1 {
+			t.Fatalf("morsel %d ran %d times", m, c)
+		}
+	}
+}
+
+// TestPoolCut proves a cut stops later morsels while everything below the
+// cut still runs.
+func TestPoolCut(t *testing.T) {
+	const morsels = 100
+	p := NewPool(4, morsels)
+	var ran [morsels]atomic.Bool
+	p.Run(func(w, m int) {
+		if m == 10 {
+			p.Cut(50)
+		}
+		ran[m].Store(true)
+	})
+	for m := 0; m < 50; m++ {
+		if !ran[m].Load() {
+			t.Fatalf("morsel %d below the cut did not run", m)
+		}
+	}
+	if !p.Cancelled(50) || p.Cancelled(49) {
+		t.Fatalf("cut boundary wrong")
+	}
+}
+
+func TestLimiterPrefix(t *testing.T) {
+	l := NewLimiter(5, 10)
+	// Out-of-order completion: the target is only met once the prefix is
+	// contiguous.
+	if _, ok := l.Done(2, 100); ok {
+		t.Fatal("morsel 2 alone cannot satisfy the prefix")
+	}
+	if _, ok := l.Done(0, 4); ok {
+		t.Fatal("4 rows < 10")
+	}
+	cut, ok := l.Done(1, 6)
+	if !ok || cut != 2 {
+		t.Fatalf("Done(1) = (%d,%v), want (2,true): 0..1 hold 10 rows", cut, ok)
+	}
+}
+
+func TestLimiterNeverMet(t *testing.T) {
+	l := NewLimiter(3, 100)
+	for m := 0; m < 3; m++ {
+		if _, ok := l.Done(m, 1); ok {
+			t.Fatalf("limiter met at morsel %d with 3 total rows", m)
+		}
+	}
+}

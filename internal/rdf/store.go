@@ -447,9 +447,24 @@ type IDReader interface {
 	IDOf(t Term) (TermID, bool)
 }
 
+// ConcurrentReader marks IDReader implementations that are safe for
+// concurrent use from multiple goroutines within one ReadIDs transaction:
+// every method is a pure read, and the transaction's read lock blocks all
+// writers for the reader's whole lifetime. The store-backed readers
+// (private store, shared arena, overlay view) all qualify; adapters that
+// intern terms on the fly do not. The SPARQL executor's parallel path
+// requires this capability.
+type ConcurrentReader interface {
+	IDReader
+	// ConcurrentIDReads is a marker; it does nothing.
+	ConcurrentIDReads()
+}
+
 // storeReader implements IDReader without per-call locking; the enclosing
 // ReadIDs holds the store's read lock for the reader's whole lifetime.
 type storeReader struct{ s *Store }
+
+func (storeReader) ConcurrentIDReads() {}
 
 func (r storeReader) ForEachIDs(p PatternIDs, fn func(s, p, o TermID) bool) {
 	r.s.matchIDs(p, fn)

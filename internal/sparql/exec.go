@@ -105,14 +105,19 @@ func (s Solution) Var(name string) (rdf.Term, bool) {
 // enrichment pipeline consumes. DISTINCT, ORDER BY, OFFSET and LIMIT are
 // honoured exactly as in Eval; fn returning false stops evaluation early.
 func (p *Plan) Stream(g rdf.Graph, fn func(Solution) bool) error {
+	return p.StreamOpts(g, Options{}, fn)
+}
+
+// StreamOpts is Stream with evaluation options.
+func (p *Plan) StreamOpts(g rdf.Graph, o Options, fn func(Solution) bool) error {
 	if p.q.Form == Ask {
 		return fmt.Errorf("sparql: Stream requires a SELECT query")
 	}
 	if ig, ok := g.(rdf.IDGraph); ok {
-		ig.ReadIDs(func(r rdf.IDReader) { p.run(r, Options{}, fn) })
+		ig.ReadIDs(func(r rdf.IDReader) { p.run(r, o, fn) })
 		return nil
 	}
-	p.run(newGraphAdapter(g), Options{}, fn)
+	p.run(newGraphAdapter(g), o, fn)
 	return nil
 }
 
@@ -219,6 +224,12 @@ func (p *Plan) run(r rdf.IDReader, o Options, streamFn func(Solution) bool) *Res
 	e.streamFn = streamFn
 	if p.q.Limit == 0 {
 		return &Result{Vars: p.vars}
+	}
+
+	// Large head-pattern posting lists take the morsel-driven parallel
+	// path (see parallel.go); everything below is the serial pipeline.
+	if res, done := e.tryParallel(); done {
+		return res
 	}
 
 	if len(p.order) == 0 {
@@ -671,6 +682,15 @@ func (e *exec) emitSorted() {
 					return c > 0
 				}
 				return c < 0
+			}
+		}
+		// Full-row ID comparison as the final tiebreak: the sort becomes
+		// a total order, so ORDER BY output — and any OFFSET/LIMIT window
+		// over it — is deterministic, independent of index map iteration
+		// order and identical between the serial and parallel paths.
+		for i := range ra {
+			if ra[i] != rb[i] {
+				return ra[i] < rb[i]
 			}
 		}
 		return false

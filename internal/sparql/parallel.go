@@ -1,0 +1,209 @@
+package sparql
+
+// parallel.go — morsel-driven parallel evaluation of compiled plans. The
+// head pattern of the root group (the first step of the activation's join
+// order) is materialised once — an index probe streaming its (s, p, o) ID
+// matches into a slice — and partitioned into fixed-size morsels; a
+// bounded worker pool (see internal/exec) claims morsels from an atomic
+// counter, and each worker drives its own backtracking pipeline (private
+// row, private group contexts) over its matches under the one shared read
+// transaction. Workers buffer solution rows per morsel; the coordinator
+// merges the buffers in morsel order and replays them through the
+// unchanged DISTINCT / ORDER BY / OFFSET / LIMIT tail, so the parallel
+// result is exactly what the serial executor would produce given the same
+// head enumeration.
+//
+// The path requires an rdf.ConcurrentReader — a reader whose methods are
+// pure reads under the transaction lock. Graphs that fall back to the
+// interning adapter, ASK queries (first match wins; nothing to fan out),
+// property-path heads, and small posting lists all stay serial.
+
+import (
+	sched "crosse/internal/exec"
+	"crosse/internal/rdf"
+)
+
+// Tuning knobs. Variables rather than constants so the parity suite can
+// force the parallel path on small fixtures.
+var (
+	// parMinMatches is the head-pattern cardinality below which the serial
+	// pipeline runs instead.
+	parMinMatches = 2048
+	// parMorselMatches is the number of head matches per morsel.
+	parMorselMatches = 512
+)
+
+// tryParallel evaluates the plan on the parallel path when it is
+// eligible, reporting done=false to let the serial pipeline take over.
+// The caller has already dispatched ASK and LIMIT-0 queries.
+func (e *exec) tryParallel() (*Result, bool) {
+	p := e.p
+	workers := sched.Workers(e.opts.Parallelism)
+	if workers <= 1 || len(e.row) == 0 || len(p.root.patterns) == 0 {
+		return nil, false
+	}
+	if _, ok := e.r.(rdf.ConcurrentReader); !ok {
+		return nil, false
+	}
+
+	// Activate the root group on the coordinator to learn the join order's
+	// head pattern. Activation is deterministic given the empty row and the
+	// frozen reader, so every worker reproduces it exactly; if we decline
+	// below, the serial path simply re-activates.
+	gs := &e.groups[p.root.id]
+	e.activate(gs)
+	for _, f := range gs.preFilters {
+		if !e.filterPasses(f) {
+			// A failed constant filter: the group emits nothing.
+			return &Result{Vars: p.vars}, true
+		}
+	}
+	head := gs.head
+	if head == nil || head.pp.path != nil {
+		return nil, false
+	}
+	pat := headPattern(e, head.pp)
+	if e.r.CountIDs(pat) < parMinMatches {
+		return nil, false
+	}
+
+	// Materialise the head pattern's matches. This fixes the enumeration
+	// order the morsel merge then reproduces.
+	var matches []rdf.TermID
+	e.r.ForEachIDs(pat, func(s, pr, o rdf.TermID) bool {
+		matches = append(matches, s, pr, o)
+		return true
+	})
+	n := len(matches) / 3
+
+	nm := sched.Morsels(n, parMorselMatches)
+	pool := sched.NewPool(workers, nm)
+	res := make([][]rdf.TermID, nm)
+	wks := make([]*parExec, pool.Workers())
+	for i := range wks {
+		wks[i] = newParExec(e, pool)
+	}
+
+	// A completed prefix of morsels can prove a LIMIT satisfied — but only
+	// when buffered rows map 1:1 to emitted solutions (no cross-worker
+	// DISTINCT collapsing, no sort reordering).
+	var limiter *sched.Limiter
+	if !e.distinct && len(p.order) == 0 && e.limit >= 0 {
+		limiter = sched.NewLimiter(nm, e.limit+e.skip)
+	}
+
+	pool.Run(func(w, m int) {
+		wks[w].runMorsel(m, matches, res, limiter)
+	})
+
+	// Merge in morsel order through the serial tail.
+	if len(p.order) > 0 {
+		for _, rows := range res {
+			e.arena = append(e.arena, rows...)
+		}
+		e.emitSorted()
+		return &Result{Vars: p.vars, Bindings: e.out}, true
+	}
+	ns := len(e.row)
+	for _, rows := range res {
+		for off := 0; off+ns <= len(rows); off += ns {
+			if !e.emitFinal(rows[off : off+ns]) {
+				return &Result{Vars: p.vars, Bindings: e.out}, true
+			}
+		}
+	}
+	return &Result{Vars: p.vars, Bindings: e.out}, true
+}
+
+// headPattern builds the head step's probe pattern against the empty row,
+// mirroring stepCtx.run.
+func headPattern(e *exec, pp *patternPlan) rdf.PatternIDs {
+	var pat rdf.PatternIDs
+	if pp.s.slot < 0 {
+		pat.S = e.ids[pp.s.konst]
+	}
+	if pp.o.slot < 0 {
+		pat.O = e.ids[pp.o.konst]
+	}
+	if pp.pred >= 0 {
+		pat.P = e.ids[pp.pred]
+	}
+	return pat
+}
+
+// parExec is one worker's private executor: its own row, group contexts
+// and scratch marks, sharing only the reader and the resolved constant
+// table with the coordinator.
+type parExec struct {
+	e      *exec
+	head   *stepCtx
+	pool   *sched.Pool
+	morsel int
+	buf    []rdf.TermID
+	seen   map[string]struct{} // worker-local DISTINCT pre-filter
+}
+
+func newParExec(parent *exec, pool *sched.Pool) *parExec {
+	p := parent.p
+	we := &exec{
+		p:       p,
+		r:       parent.r,
+		opts:    parent.opts,
+		ids:     parent.ids,
+		extra:   parent.extra,
+		row:     make([]rdf.TermID, len(p.slotNames)),
+		boundEp: make([]uint32, len(p.slotNames)),
+		groups:  make([]groupState, p.ngroups),
+	}
+	we.initGroup(p.root)
+	w := &parExec{e: we, pool: pool}
+	gs := &we.groups[p.root.id]
+	gs.emit = w.collect
+	we.activate(gs)
+	w.head = gs.head
+	if parent.distinct && len(p.order) == 0 {
+		// Pre-sort deduplication is arrival-order-safe: a worker's morsel
+		// sequence is strictly increasing, so a locally seen key was seen
+		// at an earlier global position too. The coordinator's emitFinal
+		// re-deduplicates across workers. Under ORDER BY the serial tail
+		// deduplicates after sorting, so every row must survive to it.
+		w.seen = map[string]struct{}{}
+	}
+	return w
+}
+
+// collect is the worker's emit hook: buffer a copy of the solution row.
+func (w *parExec) collect() bool {
+	row := w.e.row
+	if w.seen != nil {
+		key := w.e.projKey(row)
+		if _, dup := w.seen[key]; dup {
+			return true
+		}
+		w.seen[key] = struct{}{}
+	}
+	w.buf = append(w.buf, row...)
+	return !w.pool.Cancelled(w.morsel)
+}
+
+// runMorsel feeds one morsel of head matches through the worker's
+// pipeline, exactly as the head step's index enumeration would have.
+func (w *parExec) runMorsel(m int, matches []rdf.TermID, res [][]rdf.TermID, limiter *sched.Limiter) {
+	w.morsel = m
+	w.buf = nil
+	lo, hi := sched.Bounds(m, parMorselMatches, len(matches)/3)
+	for i := lo; i < hi; i++ {
+		if w.pool.Cancelled(m) {
+			break
+		}
+		if !w.head.match(matches[3*i], matches[3*i+1], matches[3*i+2]) {
+			break
+		}
+	}
+	res[m] = w.buf
+	if limiter != nil {
+		if cut, ok := limiter.Done(m, len(w.buf)/len(w.e.row)); ok {
+			w.pool.Cut(cut)
+		}
+	}
+}

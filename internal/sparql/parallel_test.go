@@ -1,0 +1,151 @@
+package sparql
+
+// parallel_test.go — regression tests for the morsel-driven parallel path
+// (parallel.go). The ordered contract under test: ORDER BY output — and
+// any OFFSET/LIMIT window over it — is byte-identical at every
+// Parallelism setting, ties included. The executor guarantees this by
+// making the sort a total order (full-row ID tiebreak, see emitSorted),
+// so low-cardinality order keys are exactly what these queries use.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crosse/internal/rdf"
+)
+
+// TestParallelOrderedDeterminism runs 100 randomised ORDER BY (+ OFFSET /
+// LIMIT) queries over a tie-heavy store and requires the parallel results
+// at 2 and 4 workers to be byte-identical to the forced-serial result.
+func TestParallelOrderedDeterminism(t *testing.T) {
+	forceParallel(t)
+	const ns = "http://x/"
+	p := func(name string) rdf.Term { return rdf.NewIRI(ns + name) }
+	st := rdf.NewStore()
+	// Seven rank values and five zones over 300 subjects: every sort key
+	// ties heavily, so any order instability between the serial and
+	// parallel paths shows up immediately.
+	for i := 0; i < 300; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("%se%03d", ns, i))
+		st.Add(rdf.Triple{S: s, P: p("rank"),
+			O: rdf.NewTypedLiteral(fmt.Sprint(i%7), rdf.XSDInteger)})
+		st.Add(rdf.Triple{S: s, P: p("zone"), O: rdf.NewIRI(fmt.Sprintf("%szone%d", ns, i%5))})
+		if i%3 == 0 {
+			st.Add(rdf.Triple{S: s, P: p("tag"), O: rdf.NewLiteral(fmt.Sprintf("t%d", i%4))})
+		}
+	}
+
+	rng := rand.New(rand.NewSource(59))
+	projections := []string{"?x ?r", "?r ?z", "?x ?r ?z", "?z", "?r ?t"}
+	orders := []string{
+		" ORDER BY ?r",
+		" ORDER BY DESC(?r)",
+		" ORDER BY ?z ?r",
+		" ORDER BY DESC(?z) ?r",
+		" ORDER BY ?t ?r",
+	}
+	for q := 0; q < 100; q++ {
+		var b strings.Builder
+		b.WriteString("SELECT ")
+		if rng.Intn(3) == 0 {
+			b.WriteString("DISTINCT ")
+		}
+		b.WriteString(projections[rng.Intn(len(projections))])
+		b.WriteString(fmt.Sprintf(" WHERE { ?x <%srank> ?r . ?x <%szone> ?z .", ns, ns))
+		if rng.Intn(2) == 0 {
+			b.WriteString(fmt.Sprintf(" OPTIONAL { ?x <%stag> ?t }", ns))
+		}
+		if rng.Intn(3) == 0 {
+			b.WriteString(" FILTER (?r > 1)")
+		}
+		b.WriteString(" }")
+		b.WriteString(orders[rng.Intn(len(orders))])
+		if rng.Intn(2) == 0 {
+			b.WriteString(fmt.Sprintf(" LIMIT %d", rng.Intn(25)+1))
+			if rng.Intn(2) == 0 {
+				b.WriteString(fmt.Sprintf(" OFFSET %d", rng.Intn(10)))
+			}
+		}
+		text := b.String()
+
+		qu, err := Parse(text)
+		if err != nil {
+			t.Fatalf("generated unparseable query %q: %v", text, err)
+		}
+		base, err := EvalQueryOpts(st, qu, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%q serial: %v", text, err)
+		}
+		want := renderSeq(base.Bindings, base.Vars)
+		for _, par := range []int{2, 4} {
+			got, err := EvalQueryOpts(st, qu, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%q parallelism %d: %v", text, par, err)
+			}
+			if g := renderSeq(got.Bindings, got.Vars); !reflect.DeepEqual(g, want) {
+				t.Fatalf("%q: parallelism %d diverges from serial\nserial:   %v\nparallel: %v",
+					text, par, want, g)
+			}
+		}
+	}
+}
+
+// TestParallelStreamLimit pins the streaming path: StreamOpts at higher
+// parallelism honours LIMIT/OFFSET and early consumer stops exactly like
+// the serial stream.
+func TestParallelStreamLimit(t *testing.T) {
+	forceParallel(t)
+	const ns = "http://x/"
+	st := rdf.NewStore()
+	for i := 0; i < 200; i++ {
+		st.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("%se%03d", ns, i)),
+			P: rdf.NewIRI(ns + "rank"),
+			O: rdf.NewTypedLiteral(fmt.Sprint(i%9), rdf.XSDInteger),
+		})
+	}
+	for _, text := range []string{
+		fmt.Sprintf("SELECT ?x ?r WHERE { ?x <%srank> ?r } LIMIT 17", ns),
+		fmt.Sprintf("SELECT ?x ?r WHERE { ?x <%srank> ?r } OFFSET 5 LIMIT 17", ns),
+		fmt.Sprintf("SELECT DISTINCT ?r WHERE { ?x <%srank> ?r } LIMIT 4", ns),
+	} {
+		qu, err := Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := Compile(qu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 2, 4} {
+			n := 0
+			if err := pl.StreamOpts(st, Options{Parallelism: par}, func(Solution) bool {
+				n++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			want := qu.Limit
+			if want > 200 {
+				want = 200
+			}
+			if n != want {
+				t.Fatalf("%q parallelism %d: streamed %d solutions, want %d", text, par, n, want)
+			}
+			// Early stop after 3 solutions.
+			n = 0
+			if err := pl.StreamOpts(st, Options{Parallelism: par}, func(Solution) bool {
+				n++
+				return n < 3
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if n != 3 {
+				t.Fatalf("%q parallelism %d: early stop streamed %d, want 3", text, par, n)
+			}
+		}
+	}
+}

@@ -567,7 +567,29 @@ func renderSeq(bs []Binding, vars []string) []string {
 	return out
 }
 
+// forceParallel drops the parallel-path thresholds so the small parity
+// fixtures split into many morsels and exercise the scheduler, restoring
+// the production values on cleanup.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	minM, morsel := parMinMatches, parMorselMatches
+	parMinMatches, parMorselMatches = 1, 5
+	t.Cleanup(func() { parMinMatches, parMorselMatches = minM, morsel })
+}
+
+// parityEvalOptions covers the executor's knobs: reorder ablation, the
+// forced-serial setting, and parallel evaluation at several widths.
+var parityEvalOptions = []Options{
+	{},
+	{DisableReorder: true},
+	{Parallelism: 1},
+	{Parallelism: 2},
+	{Parallelism: 4},
+	{Parallelism: 4, DisableReorder: true},
+}
+
 func TestExecutorParityWithSeedSemantics(t *testing.T) {
+	forceParallel(t)
 	st := parityStore()
 	pre := `PREFIX s: <` + onto + `> `
 	cases := []struct {
@@ -614,8 +636,8 @@ func TestExecutorParityWithSeedSemantics(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, disable := range []bool{false, true} {
-				got, err := EvalQueryOpts(st, q, Options{DisableReorder: disable})
+			for _, opts := range parityEvalOptions {
+				got, err := EvalQueryOpts(st, q, opts)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -633,7 +655,7 @@ func TestExecutorParityWithSeedSemantics(t *testing.T) {
 					g := renderSeq(got.Bindings, got.Vars)
 					w := renderSeq(want.Bindings, want.Vars)
 					if !reflect.DeepEqual(g, w) {
-						t.Fatalf("ordered results differ (reorder disabled=%v):\n got %v\nwant %v", disable, g, w)
+						t.Fatalf("ordered results differ (opts=%+v):\n got %v\nwant %v", opts, g, w)
 					}
 				case tc.count:
 					if len(got.Bindings) != len(want.Bindings) {
@@ -660,7 +682,7 @@ func TestExecutorParityWithSeedSemantics(t *testing.T) {
 					g := renderBindings(got.Bindings, got.Vars)
 					w := renderBindings(want.Bindings, want.Vars)
 					if !reflect.DeepEqual(g, w) {
-						t.Fatalf("solution sets differ (reorder disabled=%v):\n got %v\nwant %v", disable, g, w)
+						t.Fatalf("solution sets differ (opts=%+v):\n got %v\nwant %v", opts, g, w)
 					}
 				}
 			}
@@ -757,6 +779,7 @@ func naiveBGPJoin(g rdf.Graph, patterns []TriplePattern) []Binding {
 }
 
 func TestRandomBGPsSlotPathVsTermLevel(t *testing.T) {
+	forceParallel(t)
 	rng := rand.New(rand.NewSource(97))
 	const ns = "http://x/"
 	varNames := []string{"x", "y", "z", "w"}
@@ -809,15 +832,15 @@ func TestRandomBGPsSlotPathVsTermLevel(t *testing.T) {
 		q := &Query{Limit: -1, Vars: vars, Where: grp}
 
 		want := renderBindings(naiveBGPJoin(st, patterns), vars)
-		for _, disable := range []bool{false, true} {
-			res, err := EvalQueryOpts(st, q, Options{DisableReorder: disable})
+		for _, opts := range []Options{{}, {DisableReorder: true}, {Parallelism: 2}, {Parallelism: 4}} {
+			res, err := EvalQueryOpts(st, q, opts)
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
 			got := renderBindings(res.Bindings, vars)
 			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("trial %d (reorder disabled=%v): slot path %d solutions, term-level %d\npatterns: %v",
-					trial, disable, len(got), len(want), patterns)
+				t.Fatalf("trial %d (opts=%+v): slot path %d solutions, term-level %d\npatterns: %v",
+					trial, opts, len(got), len(want), patterns)
 			}
 		}
 	}

@@ -29,6 +29,14 @@ type Options struct {
 	// of greedy selectivity-first order. Ablation knob (see the ablation
 	// benchmarks); not for production use.
 	DisableReorder bool
+
+	// Parallelism caps the worker count of the morsel-driven parallel
+	// evaluation path: 0 (the default) means GOMAXPROCS, 1 forces the
+	// serial path, larger values bound the fan-out. Evaluation falls back
+	// to serial when the graph's reader is not concurrency-safe, the head
+	// pattern's posting list is small, or the query shape cannot be
+	// partitioned (see parallel.go).
+	Parallelism int
 }
 
 // Plan is a compiled, immutable physical form of a Query. It is safe for

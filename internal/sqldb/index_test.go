@@ -195,9 +195,12 @@ func TestDeleteWherePredicateErrorKeepsConsistency(t *testing.T) {
 	}
 }
 
-// UpdateWhere callers may mutate the row argument in place and return
-// it; incremental index repointing must still see the pre-update values.
-func TestUpdateWhereInPlaceMutation(t *testing.T) {
+// The StableRowScanner contract: rows handed out by Scan are never
+// mutated in place — an update replaces the whole row — so a consumer
+// that retained a scanned row (zero-copy materialisation in sqlexec's
+// parallel path) keeps seeing the pre-update values, while the index
+// repoints to the new ones.
+func TestUpdateWhereReplacesRowsWholesale(t *testing.T) {
 	tab, err := NewTable("t", Schema{{Name: "k", Type: sqlval.TypeString}})
 	if err != nil {
 		t.Fatal(err)
@@ -208,19 +211,30 @@ func TestUpdateWhereInPlaceMutation(t *testing.T) {
 	if err := tab.Insert([]sqlval.Value{sqlval.NewString("old")}); err != nil {
 		t.Fatal(err)
 	}
+	var retained [][]sqlval.Value
+	if err := tab.Scan(func(row []sqlval.Value) bool {
+		retained = append(retained, row)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := tab.UpdateWhere(
 		func([]sqlval.Value) (bool, error) { return true, nil },
 		func(row []sqlval.Value) ([]sqlval.Value, error) {
-			row[0] = sqlval.NewString("new") // in-place, same slice returned
-			return row, nil
+			out := append([]sqlval.Value(nil), row...)
+			out[0] = sqlval.NewString("new")
+			return out, nil
 		}); err != nil {
 		t.Fatal(err)
 	}
 	if got := scanEqRows(t, tab, "k", sqlval.NewString("new")); len(got) != 1 {
-		t.Fatalf("index missed the in-place update: %v", got)
+		t.Fatalf("index missed the update: %v", got)
 	}
 	if got := scanEqRows(t, tab, "k", sqlval.NewString("old")); len(got) != 0 {
 		t.Fatalf("stale index entry survived: %v", got)
+	}
+	if len(retained) != 1 || retained[0][0].String() != "old" {
+		t.Fatalf("retained scan row mutated in place: %v", retained)
 	}
 }
 

@@ -65,6 +65,19 @@ type FilteredRelation interface {
 	ScanEq(col string, v sqlval.Value, fn func(row []sqlval.Value) bool) error
 }
 
+// StableRowScanner marks relations whose Scan/ScanEq callbacks receive
+// retained row slices that are never mutated in place afterwards: inserts
+// store freshly coerced slices, updates replace a row wholesale, deletes
+// only move row headers. A consumer may keep the slices it was handed
+// (zero-copy materialisation) instead of deep-copying; relations that
+// reuse a callback buffer — foreign tables decoding from the wire — must
+// not implement it.
+type StableRowScanner interface {
+	Relation
+	// StableRowScan is a marker; it does nothing.
+	StableRowScan()
+}
+
 // Table is an in-memory heap table with optional hash indexes.
 type Table struct {
 	mu      sync.RWMutex
@@ -166,6 +179,10 @@ func (t *Table) Insert(row []sqlval.Value) error {
 	}
 	return nil
 }
+
+// StableRowScan marks the table's scans as safe for zero-copy
+// materialisation (see StableRowScanner).
+func (t *Table) StableRowScan() {}
 
 // Scan iterates over all rows. The callback must not mutate the row.
 func (t *Table) Scan(fn func(row []sqlval.Value) bool) error {
@@ -305,8 +322,10 @@ func (t *Table) DeleteWhere(pred func(row []sqlval.Value) (bool, error)) (int, e
 }
 
 // UpdateWhere applies fn to each row matching pred; fn returns the new row
-// (which is validated and coerced). It reports how many rows changed.
-// Row positions are stable under update, so indexes are patched
+// (which is validated and coerced) and must not mutate the row slice it
+// receives — stored rows are immutable in place (the StableRowScanner
+// contract), an update replaces the whole row. It reports how many rows
+// changed. Row positions are stable under update, so indexes are patched
 // incrementally — only entries whose indexed value actually changed move
 // between key buckets. Changes to the primary-key column fall back to a
 // full rebuild (the PK index doubles as the uniqueness probe, so its
@@ -332,10 +351,10 @@ func (t *Table) UpdateWhere(pred func(row []sqlval.Value) (bool, error), fn func
 		if !match {
 			continue
 		}
-		// Snapshot the row before fn runs: incremental index repointing
-		// compares old vs new key values, and fn is allowed to mutate the
-		// row slice in place and return it.
-		old := append([]sqlval.Value(nil), r...)
+		// r keeps referencing the pre-update values after t.rows[i] is
+		// replaced below; incremental index repointing compares them
+		// against the new keys.
+		old := r
 		nr, err := fn(r)
 		if err != nil {
 			return changed, err

@@ -48,6 +48,13 @@ type Options struct {
 	// DisableTopK makes ORDER BY + LIMIT fully sort instead of keeping a
 	// bounded top-K heap.
 	DisableTopK bool
+	// Parallelism bounds the worker count of morsel-driven parallel
+	// execution: 0 (the default) means GOMAXPROCS, 1 forces the serial
+	// path, anything higher caps the workers of one query. Output is
+	// identical to the serial path at every setting; plans fall back to
+	// serial when the input is small or the shape cannot merge exactly
+	// (see run.go).
+	Parallelism int
 }
 
 // SelectPlan is a compiled, immutable physical form of a SELECT. It is

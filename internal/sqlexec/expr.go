@@ -670,6 +670,12 @@ type aggState struct {
 	max    sqlval.Value
 	seen   map[string]struct{} // DISTINCT support
 	keyBuf []byte              // scratch for DISTINCT keys
+
+	// stamp is the arrival position of the value being added; minAt/maxAt
+	// record the stamp that last changed min/max. The serial path leaves
+	// them zero; the parallel grouped merge needs them to reproduce the
+	// serial first-among-equals MIN/MAX tie behaviour across workers.
+	stamp, minAt, maxAt int64
 }
 
 func newAggState(call *sqlparser.FuncCall) *aggState {
@@ -726,14 +732,56 @@ func (a *aggState) addValue(v sqlval.Value) error {
 	case "MIN":
 		if a.first || sqlval.CompareForSort(v, a.min) < 0 {
 			a.min = v
+			a.minAt = a.stamp
 		}
 	case "MAX":
 		if a.first || sqlval.CompareForSort(v, a.max) > 0 {
 			a.max = v
+			a.maxAt = a.stamp
 		}
 	}
 	a.first = false
 	return nil
+}
+
+// mergeableAgg reports whether an aggregate merges exactly from per-worker
+// partials: COUNT is an integer sum, MIN/MAX a stamped comparison. SUM and
+// AVG are excluded — their float accumulation is order-sensitive in the
+// last ulp, so merging partials could differ from the serial left-fold —
+// as are DISTINCT aggregates, whose per-worker seen-sets cannot be
+// reconciled from encoded keys.
+func mergeableAgg(fc *sqlparser.FuncCall) bool {
+	if fc.Distinct {
+		return false
+	}
+	switch fc.Name {
+	case "COUNT", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// merge folds another partial into a. Only valid for mergeableAgg
+// aggregates; b's values must carry arrival stamps so CompareForSort ties
+// resolve to the globally first arrival, exactly as the serial
+// accumulation would.
+func (a *aggState) merge(b *aggState) {
+	a.count += b.count
+	if b.first {
+		return // b never saw a non-NULL value
+	}
+	if a.first {
+		a.min, a.minAt = b.min, b.minAt
+		a.max, a.maxAt = b.max, b.maxAt
+		a.first = false
+		return
+	}
+	if c := sqlval.CompareForSort(b.min, a.min); c < 0 || (c == 0 && b.minAt < a.minAt) {
+		a.min, a.minAt = b.min, b.minAt
+	}
+	if c := sqlval.CompareForSort(b.max, a.max); c > 0 || (c == 0 && b.maxAt < a.maxAt) {
+		a.max, a.maxAt = b.max, b.maxAt
+	}
 }
 
 func (a *aggState) result() sqlval.Value {

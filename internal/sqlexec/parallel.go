@@ -1,0 +1,554 @@
+package sqlexec
+
+// parallel.go — morsel-driven parallel execution of compiled SelectPlans.
+// The driving scan is materialised once in serial enumeration order and
+// partitioned into fixed-size morsels; a bounded worker pool (see
+// internal/exec) claims morsels from an atomic counter and runs the full
+// join/filter/projection pipeline per worker against the shared, frozen
+// right-side rows and hash tables. All mutable execution state — the
+// joined-row buffer, projection buffer, DISTINCT sets, aggregation maps,
+// top-K heaps — is per worker; output is buffered per morsel (or stamped
+// with its (morsel, seq) arrival position) and merged in morsel order, so
+// the parallel output is byte-identical to the serial pipeline's: same
+// rows, same order, same ties, same first error.
+//
+// Shapes that cannot merge exactly fall back to serial: grouped plans
+// with SUM/AVG (float accumulation is order-sensitive in the last ulp) or
+// DISTINCT aggregates, driving relations without an O(1) cardinality
+// (foreign tables), pushed-down equality seeks (tiny by construction),
+// and inputs below parallelMinRows, where fan-out costs more than it wins.
+
+import (
+	"sort"
+	"sync"
+
+	sched "crosse/internal/exec"
+	"crosse/internal/sqldb"
+	"crosse/internal/sqlval"
+)
+
+// Tuning knobs. Variables rather than constants so the parity suite can
+// force the parallel path on small inputs.
+var (
+	// parallelMinRows is the driving-scan cardinality below which the
+	// serial pipeline runs instead.
+	parallelMinRows = 4096
+	// parallelMorsel is the number of driving rows per morsel.
+	parallelMorsel = 1024
+)
+
+// tryParallel runs the plan on the parallel path when it is eligible,
+// reporting done=false to let the serial pipeline take over.
+func (r *runner) tryParallel() (done bool, err error) {
+	p := r.p
+	workers := sched.Workers(p.opts.Parallelism)
+	if workers <= 1 || p.limit == 0 {
+		return false, nil
+	}
+	if p.grouped {
+		for _, a := range p.group.aggs {
+			if !mergeableAgg(a.fc) {
+				return false, nil
+			}
+		}
+	}
+	driving := p.scan0
+	if r.swapped {
+		driving = p.joins[0].src
+	}
+	if est, ok := scanEstimate(driving); !ok || est < parallelMinRows {
+		return false, nil
+	}
+	return true, r.runParallel(workers, driving)
+}
+
+// parMorsel is one morsel's buffered output: projected rows (plain
+// unsorted mode only) and the first error the worker hit inside the
+// morsel. Exactly one worker writes each element.
+type parMorsel struct {
+	rows [][]sqlval.Value
+	err  error
+}
+
+func (r *runner) runParallel(workers int, driving scanPlan) error {
+	p := r.p
+
+	// Build every non-streamed side and materialise the driving scan
+	// concurrently, each with its own scratch row; everything is frozen
+	// before the first worker starts. The driving side is materialised
+	// raw — its source-local filters run on the workers.
+	var (
+		wg        sync.WaitGroup
+		drive     [][]sqlval.Value
+		driveErr  error
+		buildErrs = make([]error, len(p.joins))
+	)
+	r.rights = make([][][]sqlval.Value, len(p.joins))
+	r.hashes = make([]map[string][]int32, len(p.joins))
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		drive, driveErr = p.materializeSide(driving, true)
+	}()
+	for i := range p.joins {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if r.swapped && i == 0 {
+				rows, err := p.materializeSide(p.scan0, false)
+				if err != nil {
+					buildErrs[0] = err
+					return
+				}
+				r.leftRows = rows
+				r.leftHash = buildHash(rows, p.joins[0].leftSlot-p.scan0.offset)
+				return
+			}
+			rows, err := p.materializeSide(p.joins[i].src, false)
+			if err != nil {
+				buildErrs[i] = err
+				return
+			}
+			r.rights[i] = rows
+			switch p.joins[i].kind {
+			case joinHash, joinHashLeft:
+				r.hashes[i] = buildHash(rows, p.joins[i].rightSlot-p.joins[i].src.offset)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Report the error the serial pipeline would have hit first: builds
+	// happen in join order, the driving scan after them.
+	for _, err := range buildErrs {
+		if err != nil {
+			return err
+		}
+	}
+	if driveErr != nil {
+		return driveErr
+	}
+
+	n := len(drive)
+	nm := sched.Morsels(n, parallelMorsel)
+	pool := sched.NewPool(workers, nm)
+	res := make([]parMorsel, nm)
+	ws := make([]*parWorker, pool.Workers())
+	for i := range ws {
+		ws[i] = newParWorker(r, pool, res)
+	}
+
+	// A completed prefix of morsels can prove a LIMIT satisfied — but
+	// only when buffered rows map 1:1 to merged output rows (no global
+	// DISTINCT collapsing, no sort reordering, no group aggregation).
+	var limiter *sched.Limiter
+	if !p.grouped && len(p.order) == 0 && !p.distinct && p.limit >= 0 {
+		need := p.limit
+		if p.offset > 0 {
+			need += p.offset
+		}
+		limiter = sched.NewLimiter(nm, need)
+	}
+
+	pool.Run(func(worker, m int) {
+		ws[worker].runMorsel(m, drive, limiter)
+	})
+
+	switch {
+	case p.grouped:
+		return r.mergeGroups(ws, res)
+	case len(p.order) > 0:
+		return r.mergeSorted(ws, res)
+	default:
+		return r.mergePlain(res)
+	}
+}
+
+// materializeSide scans one source into retained rows of the source's
+// width, using its own full-width scratch row (so concurrent builds never
+// share state). The pushed-down equality seek always applies; the
+// source-local filters apply unless raw is set. Sources whose scans hand
+// out immutable retained rows (sqldb.StableRowScanner — the in-memory
+// heap tables) are kept by reference; anything else is deep-copied into
+// an arena, since the callback rows may be reused buffers.
+func (p *SelectPlan) materializeSide(sp scanPlan, raw bool) ([][]sqlval.Value, error) {
+	tmp := &runner{p: p, row: make([]sqlval.Value, p.width)}
+	_, stable := sp.rel.(sqldb.StableRowScanner)
+	var arena *sqlval.RowArena
+	if !stable {
+		arena = sqlval.NewRowArena(sp.width)
+	}
+	var rows [][]sqlval.Value
+	if n, ok := sp.rel.(interface{ Len() int }); ok && raw {
+		rows = make([][]sqlval.Value, 0, n.Len())
+	}
+	seg := tmp.row[sp.offset : sp.offset+sp.width]
+	h := func(in []sqlval.Value) bool {
+		if !raw {
+			copy(seg, in)
+			if ok, done := tmp.applyConjuncts(sp.filters); !ok {
+				return !done
+			}
+		}
+		if stable {
+			rows = append(rows, in)
+		} else {
+			rows = append(rows, arena.Copy(in))
+		}
+		return true
+	}
+	var err error
+	if sp.eqCol != "" {
+		err = sp.rel.(sqldb.FilteredRelation).ScanEq(sp.eqCol, sp.eqVal, h)
+	} else {
+		err = sp.rel.Scan(h)
+	}
+	if err == nil {
+		err = tmp.err
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// parWorker is one worker's private execution state: a runner over its
+// own joined-row buffer (sharing the frozen sides through the coordinator
+// runner's fields) plus the mode-specific output buffers it sinks into.
+type parWorker struct {
+	r    *runner
+	p    *SelectPlan
+	pool *sched.Pool
+	res  []parMorsel
+
+	morsel int   // morsel being processed
+	seq    int64 // arrival sequence within the morsel
+
+	out []sqlval.Value // reused projection buffer
+
+	// plain unsorted mode: locally deduplicated projected rows, buffered
+	// per morsel.
+	seen       map[string]struct{}
+	keyScratch []byte
+	arena      *sqlval.RowArena
+	buf        [][]sqlval.Value
+
+	// ORDER BY mode: a per-worker heap (bounded exactly like the serial
+	// one, or unbounded under DISTINCT) of (keys, row, stamp) entries.
+	sorter *topKSorter
+
+	// grouped mode: per-worker aggregation map with arrival stamps.
+	groups map[string]*groupState
+	gorder []*groupState
+	garena *sqlval.RowArena
+	gkey   []byte
+}
+
+func newParWorker(r *runner, pool *sched.Pool, res []parMorsel) *parWorker {
+	p := r.p
+	wr := &runner{
+		p:        p,
+		row:      make([]sqlval.Value, p.width),
+		rights:   r.rights,
+		hashes:   r.hashes,
+		swapped:  r.swapped,
+		leftRows: r.leftRows,
+		leftHash: r.leftHash,
+	}
+	w := &parWorker{r: wr, p: p, pool: pool, res: res}
+	wr.sink = w
+	if p.grouped {
+		w.groups = make(map[string]*groupState)
+		w.garena = sqlval.NewRowArena(p.width)
+		return w
+	}
+	w.out = make([]sqlval.Value, len(p.items))
+	if p.distinct {
+		w.seen = map[string]struct{}{}
+	}
+	if len(p.order) > 0 {
+		w.sorter = newTopKSorter(p, len(p.headers))
+		if p.distinct {
+			// Bounding the heap before the cross-worker DISTINCT merge
+			// could evict rows that global deduplication would promote
+			// into the top K; keep everything and bound at the merge.
+			w.sorter.cap = -1
+		}
+	} else {
+		w.arena = sqlval.NewRowArena(len(p.items))
+	}
+	return w
+}
+
+// runMorsel drives the pipeline over one morsel of the driving rows,
+// mirroring the serial scan loop (including the swapped-orientation
+// probe), and records the morsel's buffered output and first error.
+func (w *parWorker) runMorsel(m int, drive [][]sqlval.Value, limiter *sched.Limiter) {
+	w.morsel = m
+	w.seq = 0
+	w.buf = nil
+	if w.sorter != nil {
+		w.sorter.seq = sched.At(m, 0)
+	}
+	r := w.r
+	r.stopped = false
+	p := w.p
+	lo, hi := sched.Bounds(m, parallelMorsel, len(drive))
+
+	if r.swapped {
+		j := &p.joins[0]
+		seg := r.row[j.src.offset : j.src.offset+j.src.width]
+		var scratch []byte
+	swp:
+		for i := lo; i < hi; i++ {
+			if w.pool.Cancelled(m) {
+				break
+			}
+			copy(seg, drive[i])
+			if ok, done := r.applyConjuncts(j.src.filters); !ok {
+				if done {
+					break
+				}
+				continue
+			}
+			v := r.row[j.rightSlot]
+			if v.IsNull() {
+				continue
+			}
+			scratch = sqlval.AppendJoinKey(scratch[:0], v)
+			for _, li := range r.leftHash[string(scratch)] {
+				if cmp, err := sqlval.Compare(v, r.leftRows[li][j.leftSlot]); err != nil || cmp != 0 {
+					continue
+				}
+				copy(r.row[:p.scan0.width], r.leftRows[li])
+				if ok, done := r.applyConjuncts(j.residual); !ok {
+					if done {
+						break swp
+					}
+					continue
+				}
+				if ok, done := r.applyConjuncts(j.post); !ok {
+					if done {
+						break swp
+					}
+					continue
+				}
+				if !r.step(2) {
+					break swp
+				}
+			}
+		}
+	} else {
+		seg := r.row[p.scan0.offset : p.scan0.offset+p.scan0.width]
+		for i := lo; i < hi; i++ {
+			if w.pool.Cancelled(m) {
+				break
+			}
+			copy(seg, drive[i])
+			if ok, done := r.applyConjuncts(p.scan0.filters); !ok {
+				if done {
+					break
+				}
+				continue
+			}
+			if !r.step(1) {
+				break
+			}
+		}
+	}
+
+	if r.err != nil {
+		w.res[m].err = r.err
+		r.err = nil
+		// Output past an error is discarded; stop fanning out beyond it.
+		w.pool.Cut(m + 1)
+	}
+	w.res[m].rows = w.buf
+	if limiter != nil {
+		if cut, ok := limiter.Done(m, len(w.buf)); ok {
+			w.pool.Cut(cut)
+		}
+	}
+}
+
+// add is the worker's rowSink: it consumes one completed joined row.
+func (w *parWorker) add(row []sqlval.Value) bool {
+	if w.groups != nil {
+		return w.addGroup(row)
+	}
+	for i, it := range w.p.items {
+		v, err := it.eval(row)
+		if err != nil {
+			w.r.err = err
+			return false
+		}
+		w.out[i] = v
+	}
+	if w.seen != nil {
+		// Worker-local DISTINCT pre-filter. A worker's morsel sequence is
+		// strictly increasing, so a locally seen key was seen at an
+		// earlier global position too — dropping here can only drop rows
+		// the global merge would drop. The merge re-deduplicates across
+		// workers.
+		w.keyScratch = w.keyScratch[:0]
+		for _, v := range w.out {
+			w.keyScratch = sqlval.AppendKey(w.keyScratch, v)
+		}
+		if _, dup := w.seen[string(w.keyScratch)]; dup {
+			return true
+		}
+		w.seen[string(w.keyScratch)] = struct{}{}
+	}
+	if w.sorter != nil {
+		if err := w.sorter.add(w.out, row); err != nil {
+			w.r.err = err
+			return false
+		}
+		return !w.pool.Cancelled(w.morsel)
+	}
+	w.buf = append(w.buf, w.arena.Copy(w.out))
+	w.seq++
+	return !w.pool.Cancelled(w.morsel)
+}
+
+func (w *parWorker) addGroup(row []sqlval.Value) bool {
+	g := w.p.group
+	w.gkey = w.gkey[:0]
+	for _, ke := range g.keys {
+		v, err := ke.eval(row)
+		if err != nil {
+			w.r.err = err
+			return false
+		}
+		w.gkey = sqlval.AppendKey(w.gkey, v)
+	}
+	at := sched.At(w.morsel, w.seq)
+	w.seq++
+	grp, ok := w.groups[string(w.gkey)]
+	if !ok {
+		grp = &groupState{first: w.garena.Copy(row), firstAt: at}
+		grp.aggs = make([]*aggState, len(g.aggs))
+		for i, a := range g.aggs {
+			grp.aggs[i] = newAggState(a.fc)
+		}
+		w.groups[string(w.gkey)] = grp
+		w.gorder = append(w.gorder, grp)
+	}
+	for i, a := range g.aggs {
+		if a.arg == nil { // COUNT(*)
+			grp.aggs[i].count++
+			continue
+		}
+		v, err := a.arg.eval(row)
+		if err != nil {
+			w.r.err = err
+			return false
+		}
+		grp.aggs[i].stamp = at
+		if err := grp.aggs[i].addValue(v); err != nil {
+			w.r.err = err
+			return false
+		}
+	}
+	return !w.pool.Cancelled(w.morsel)
+}
+
+func (w *parWorker) finish() error { return nil }
+
+// mergePlain replays the per-morsel buffers in morsel order through a
+// fresh plain sink — global DISTINCT, OFFSET, LIMIT and the caller's
+// yield all behave exactly as on the serial path, including rows buffered
+// before a worker's error.
+func (r *runner) mergePlain(res []parMorsel) error {
+	tail := newPlainSink(r)
+	for m := range res {
+		for _, row := range res[m].rows {
+			copy(tail.out, row)
+			if !tail.deliver(nil) {
+				return r.err
+			}
+		}
+		if res[m].err != nil {
+			return res[m].err
+		}
+	}
+	return nil
+}
+
+// mergeSorted combines the per-worker heaps. Every globally retained row
+// is in some worker's heap (a worker's heap is at least as selective as
+// the global one), so sorting the union by (keys, stamp) and slicing
+// OFFSET/LIMIT reproduces the serial stable sort, ties included. Under
+// DISTINCT the candidates are first deduplicated in arrival-stamp order —
+// the order the serial sink deduplicates in, before it sorts.
+func (r *runner) mergeSorted(ws []*parWorker, res []parMorsel) error {
+	for m := range res {
+		if res[m].err != nil {
+			return res[m].err
+		}
+	}
+	var all []sortedRow
+	for _, w := range ws {
+		all = append(all, w.sorter.rows...)
+	}
+	if r.p.distinct {
+		sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+		seen := make(map[string]struct{}, len(all))
+		var key []byte
+		kept := all[:0]
+		for _, sr := range all {
+			key = key[:0]
+			for _, v := range sr.row {
+				key = sqlval.AppendKey(key, v)
+			}
+			if _, dup := seen[string(key)]; dup {
+				continue
+			}
+			seen[string(key)] = struct{}{}
+			kept = append(kept, sr)
+		}
+		all = kept
+	}
+	merged := &topKSorter{p: r.p, rows: all, cap: -1}
+	return merged.flush(r.yield)
+}
+
+// mergeGroups folds the per-worker aggregation maps into one group set.
+// COUNT partials sum exactly, MIN/MAX partials compare with their arrival
+// stamps breaking CompareForSort ties toward the globally first value,
+// each group's representative first-row is the one with the smallest
+// stamp, and the merged groups are ordered by that stamp — first-seen
+// order, exactly as the serial grouped sink built it. The shared
+// HAVING/projection/ORDER tail then runs unchanged.
+func (r *runner) mergeGroups(ws []*parWorker, res []parMorsel) error {
+	for m := range res {
+		if res[m].err != nil {
+			return res[m].err
+		}
+	}
+	combined := make(map[string]*groupState)
+	for _, w := range ws {
+		for key, grp := range w.groups {
+			have, ok := combined[key]
+			if !ok {
+				combined[key] = grp
+				continue
+			}
+			if grp.firstAt < have.firstAt {
+				for i := range grp.aggs {
+					grp.aggs[i].merge(have.aggs[i])
+				}
+				combined[key] = grp
+			} else {
+				for i := range have.aggs {
+					have.aggs[i].merge(grp.aggs[i])
+				}
+			}
+		}
+	}
+	order := make([]*groupState, 0, len(combined))
+	for _, g := range combined {
+		order = append(order, g)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].firstAt < order[j].firstAt })
+	return emitGroups(r, order)
+}

@@ -229,6 +229,21 @@ var parityOptions = []Options{
 	{DisableIndexSeek: true},
 	{DisableHashJoin: true, DisableIndexSeek: true},
 	{DisableTopK: true},
+	{Parallelism: 1},
+	{Parallelism: 2},
+	{Parallelism: 4},
+	{Parallelism: 4, DisableHashJoin: true},
+	{Parallelism: 2, DisableTopK: true},
+}
+
+// forceParallel drops the parallel-path thresholds so the small parity
+// fixtures split into many morsels and actually exercise the scheduler,
+// restoring the production values on cleanup.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	minRows, morsel := parallelMinRows, parallelMorsel
+	parallelMinRows, parallelMorsel = 1, 7
+	t.Cleanup(func() { parallelMinRows, parallelMorsel = minRows, morsel })
 }
 
 // TestCompiledMatchesInterpreter is the parity property: for every
@@ -238,6 +253,7 @@ var parityOptions = []Options{
 // unspecified, and the executor's build-side choice may legitimately
 // differ from the interpreter's nesting).
 func TestCompiledMatchesInterpreter(t *testing.T) {
+	forceParallel(t)
 	rng := rand.New(rand.NewSource(41))
 	for trial := 0; trial < 12; trial++ {
 		db := parityDB(t, rng, 30+rng.Intn(30), 20+rng.Intn(25))

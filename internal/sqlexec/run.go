@@ -86,11 +86,6 @@ func (r *runner) run() error {
 	}
 
 	r.row = make([]sqlval.Value, p.width)
-	if p.grouped {
-		r.sink = newGroupedSink(r)
-	} else {
-		r.sink = newPlainSink(r)
-	}
 
 	// Decide the orientation of the first join: when both base relations
 	// expose O(1) cardinalities and the left side is the smaller input,
@@ -100,6 +95,18 @@ func (r *runner) run() error {
 		le, lok := scanEstimate(p.scan0)
 		re, rok := scanEstimate(p.joins[0].src)
 		r.swapped = lok && rok && le < re
+	}
+
+	// Large driving inputs take the morsel-driven parallel path (see
+	// parallel.go); everything below is the serial pipeline.
+	if done, err := r.tryParallel(); done {
+		return err
+	}
+
+	if p.grouped {
+		r.sink = newGroupedSink(r)
+	} else {
+		r.sink = newPlainSink(r)
 	}
 
 	// Materialise the non-streamed sides up front (sequentially, so no
@@ -459,6 +466,11 @@ func (s *plainSink) finish() error {
 type groupState struct {
 	first []sqlval.Value // retained copy of the group's first joined row
 	aggs  []*aggState
+
+	// firstAt is the arrival stamp of the group's first row — zero on the
+	// serial path, (morsel, seq) composite on the parallel one, where the
+	// merge orders groups by it to reproduce first-seen output order.
+	firstAt int64
 }
 
 type groupedSink struct {
@@ -521,22 +533,29 @@ func (s *groupedSink) add(row []sqlval.Value) bool {
 }
 
 func (s *groupedSink) finish() error {
-	p := s.p
+	return emitGroups(s.r, s.order)
+}
+
+// emitGroups runs the shared HAVING / projection / DISTINCT / ORDER /
+// LIMIT tail over completed groups in first-seen order. Both the serial
+// grouped sink and the parallel merge end here.
+func emitGroups(r *runner, order []*groupState) error {
+	p := r.p
 	g := p.group
 	// A grand-total aggregate over zero rows still yields one group.
-	if len(s.order) == 0 && len(g.keys) == 0 {
+	if len(order) == 0 && len(g.keys) == 0 {
 		grp := &groupState{first: make([]sqlval.Value, p.width)}
 		grp.aggs = make([]*aggState, len(g.aggs))
 		for i, a := range g.aggs {
 			grp.aggs[i] = newAggState(a.fc)
 		}
-		s.order = append(s.order, grp)
+		order = append(order, grp)
 	}
 
 	// The emit tail shares the plain sink's DISTINCT/ORDER/LIMIT logic.
-	tail := newPlainSink(s.r)
+	tail := newPlainSink(r)
 	ext := make([]sqlval.Value, p.width+len(g.aggs))
-	for _, grp := range s.order {
+	for _, grp := range order {
 		copy(ext, grp.first)
 		for i, a := range grp.aggs {
 			ext[p.width+i] = a.result()
@@ -558,8 +577,8 @@ func (s *groupedSink) finish() error {
 			tail.out[i] = v
 		}
 		if !tail.deliver(ext) {
-			if s.r.err != nil {
-				return s.r.err
+			if r.err != nil {
+				return r.err
 			}
 			return nil
 		}
@@ -570,11 +589,14 @@ func (s *groupedSink) finish() error {
 // --- stable top-K / full sort ---
 
 // sortedRow is one buffered output row with its evaluated order keys and
-// arrival sequence (the tiebreak that makes the sort stable).
+// arrival stamp (the tiebreak that makes the sort stable). On the serial
+// path the stamp is a plain sequence number; on the parallel path it is
+// the (morsel, within-morsel sequence) composite of exec.At, which orders
+// rows exactly as the serial pipeline would have produced them.
 type sortedRow struct {
 	keys []sqlval.Value
 	row  []sqlval.Value
-	seq  int
+	seq  int64
 }
 
 // topKSorter buffers output rows for ORDER BY. With a LIMIT (and top-K
@@ -588,7 +610,7 @@ type topKSorter struct {
 	keyA       *sqlval.RowArena
 	keyScratch []sqlval.Value // reused for rows the bounded heap rejects
 	cap        int            // -1 = unbounded (full sort)
-	seq        int
+	seq        int64
 }
 
 func newTopKSorter(p *SelectPlan, width int) *topKSorter {
