@@ -254,6 +254,46 @@ func BenchmarkFDW(b *testing.B) {
 	})
 }
 
+// BenchmarkFDWRetryOverhead measures what the resilience envelope
+// (per-request deadlines, retry accounting, circuit-breaker bookkeeping)
+// costs on the happy path: the same remote scan through a client with the
+// full envelope versus one with deadlines and retries disabled. The two
+// sub-benchmarks should stay within a few percent of each other — the
+// envelope is armed per round trip, not per row.
+func BenchmarkFDWRetryOverhead(b *testing.B) {
+	remote := engine.Open()
+	cfg := dataset.DefaultConfig()
+	cfg.Landfills = 500
+	if err := dataset.Populate(remote, cfg); err != nil {
+		b.Fatal(err)
+	}
+	srv := fdw.NewServer(remote.Catalog())
+
+	scanWith := func(b *testing.B, ccfg fdw.Config) {
+		a, c := net.Pipe()
+		go srv.ServeConn(a)
+		client := fdw.NewClientConfig(c, ccfg)
+		defer client.Close()
+		ft, err := client.ForeignTable("elem_contained", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ft.Scan(func([]sqlval.Value) bool { return true }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("resilient", func(b *testing.B) {
+		scanWith(b, fdw.Config{}) // defaults: 30s deadline, 3 attempts, breaker
+	})
+	b.Run("baseline", func(b *testing.B) {
+		scanWith(b, fdw.Config{RequestTimeout: -1, Retry: fdw.RetryPolicy{MaxAttempts: 1}})
+	})
+}
+
 // --- E8: crowdsourcing fan-out ---
 
 func BenchmarkBeliefImport(b *testing.B) {

@@ -8,6 +8,7 @@
 //	crosse-server                        # sample data on :8080
 //	crosse-server -addr :9090 -scale 500 # synthetic databank, custom port
 //	crosse-server -attach host:port      # also attach a remote FDW node
+//	crosse-server -attach host:port -partial-results -source-timeout 5s
 //	crosse-server -mapping map.xml       # custom resource mapping
 //	crosse-server -snapshot platform.img # durable image: load on boot,
 //	                                     # save on SIGINT/SIGTERM
@@ -30,6 +31,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -61,6 +64,9 @@ func main() {
 		walSync       = flag.String("wal-sync", "interval", "WAL durability policy: always (fsync per ack, group-committed), interval, never")
 		walSyncEvery  = flag.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence under -wal-sync interval")
 		compactEvery  = flag.Duration("compact-interval", 0, "rewrite image + truncate log periodically (0 disables; requires -wal)")
+		partial       = flag.Bool("partial-results", false, "degrade gracefully when a remote source is down: skip it (reported in query stats) instead of failing the query")
+		sourceTimeout = flag.Duration("source-timeout", 30*time.Second, "per-request deadline for remote FDW sources")
+		healthEvery   = flag.Duration("health-interval", 2*time.Second, "remote-source health poll cadence (0 disables polling)")
 	)
 	flag.Parse()
 
@@ -161,8 +167,11 @@ func main() {
 	enricher.Activity = core.NewActivity() // feeds /api/peers?by=activity
 	platform.SetConceptChecker(core.NewConceptChecker(db, enricher.Mapping))
 
+	enricher.SetPartialResults(*partial)
+
+	var health *fdw.Health
 	if *attach != "" {
-		client, err := fdw.Dial(*attach)
+		client, err := fdw.DialConfig(*attach, fdw.Config{Name: *attach, RequestTimeout: *sourceTimeout})
 		if err != nil {
 			log.Fatalf("attach %s: %v", *attach, err)
 		}
@@ -171,6 +180,11 @@ func main() {
 			log.Fatalf("import foreign schema: %v", err)
 		}
 		log.Printf("attached %d foreign table(s) from %s (prefix remote_)", n, *attach)
+		health = fdw.NewHealth()
+		health.Register(client)
+		if *healthEvery > 0 {
+			go health.Poll(context.Background(), *healthEvery)
+		}
 	}
 
 	// save persists the durable state for the configured mode and reports
@@ -202,46 +216,19 @@ func main() {
 		return true
 	}
 
-	if journal != nil || *snapshot != "" {
-		// Buffered for two signals: the first triggers the final save, the
-		// second (operator impatience or a supervisor escalating) forces
-		// immediate exit instead of hanging in a slow save.
-		sigs := make(chan os.Signal, 2)
-		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if *snapshotEvery > 0 {
 		go func() {
-			sig := <-sigs
-			go func() {
-				second := <-sigs
-				log.Printf("second signal (%s) during shutdown: forcing immediate exit", second)
-				os.Exit(130)
-			}()
-			ok := save(sig.String())
-			if journal != nil {
-				if err := journal.Close(); err != nil {
-					log.Printf("close journal: %v", err)
-					ok = false
-				}
+			for range time.Tick(*snapshotEvery) {
+				save("interval")
 			}
-			if !ok {
-				log.Printf("shutdown (%s) with FAILED save: durable state is stale", sig)
-				os.Exit(1)
-			}
-			os.Exit(0)
 		}()
-		if *snapshotEvery > 0 {
-			go func() {
-				for range time.Tick(*snapshotEvery) {
-					save("interval")
-				}
-			}()
-		}
-		if *compactEvery > 0 {
-			go func() {
-				for range time.Tick(*compactEvery) {
-					save("interval")
-				}
-			}()
-		}
+	}
+	if *compactEvery > 0 {
+		go func() {
+			for range time.Tick(*compactEvery) {
+				save("interval")
+			}
+		}()
 	}
 
 	srv := rest.NewServer(enricher)
@@ -249,6 +236,47 @@ func main() {
 	if journal != nil {
 		srv.SetJournal(journal)
 	}
+	if health != nil {
+		srv.SetHealth(health)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Buffered for two signals: the first drains in-flight requests and
+	// triggers the final save, the second (operator impatience or a
+	// supervisor escalating) forces immediate exit instead of hanging in a
+	// slow drain or save.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		go func() {
+			second := <-sigs
+			log.Printf("second signal (%s) during shutdown: forcing immediate exit", second)
+			os.Exit(130)
+		}()
+		// Stop accepting connections and drain in-flight requests before
+		// the final save, so a mutation acknowledged just before the
+		// signal lands in the saved state; a stuck handler forfeits the
+		// drain after the timeout rather than blocking the save forever.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("HTTP drain (%s) incomplete: %v", sig, err)
+		}
+		cancel()
+		ok := save(sig.String())
+		if journal != nil {
+			if err := journal.Close(); err != nil {
+				log.Printf("close journal: %v", err)
+				ok = false
+			}
+		}
+		if !ok {
+			log.Printf("shutdown (%s) with FAILED save: durable state is stale", sig)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}()
+
 	if restored {
 		log.Printf("CroSSE platform on %s (databank: %d tables, restored)", *addr, len(db.Catalog().Names()))
 	} else {
@@ -259,5 +287,10 @@ func main() {
 		hint = "localhost" + hint
 	}
 	fmt.Println("try: curl -s " + hint + "/api/tables")
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// Shutdown in progress: the signal handler finishes the save and exits
+	// the process.
+	select {}
 }

@@ -12,6 +12,9 @@ package main
 import (
 	"flag"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"crosse/internal/dataset"
 	"crosse/internal/engine"
@@ -40,5 +43,9 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("FDW data node on %s exposing %v", bound, db.Catalog().Names())
-	select {} // serve forever
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	log.Printf("shutting down (%s)", sig)
+	srv.Close() // stop the listener, drop open connections
 }

@@ -196,5 +196,52 @@
 // results, restores in a fresh process, and diffs SESQL/SPARQL results
 // and pattern counts.
 //
+// # Federation and fault tolerance
+//
+// Remote databanks attach over the FDW protocol (internal/fdw, the
+// postgres_fdw role) as foreign tables the SQL executor scans like local
+// ones, with equality predicates pushed to the remote node. The client is
+// resilient by default. Every round trip — send, stream, drain — runs
+// under a deadline (Config.RequestTimeout, default 30s, tightened per call
+// by the caller's context and enforced through net.Conn.SetDeadline, so a
+// stalled peer costs one deadline, never a hung query; context
+// cancellation fires the connection deadline immediately). Transient
+// transport failures (dial refused, reset, torn stream) retry with capped
+// exponential backoff plus jitter on a fresh connection (Config.Retry);
+// the protocol is stateless per request, so re-dialling re-attaches the
+// session transparently and foreign tables keep working across peer
+// restarts. Retries only happen while no row has reached the consumer —
+// a stream that fails after delivering rows surfaces fdw.ErrInterrupted
+// rather than silently duplicating or truncating — and remote application
+// errors (the peer answered in-protocol) never retry and never poison the
+// connection. A per-source circuit breaker (closed/open/half-open,
+// Config.Breaker) opens after FailureThreshold consecutive failures; while
+// open, operations fail fast with fdw.ErrSourceDown (no network touch)
+// until the probe interval admits one request as the half-open probe,
+// whose success readmits the source. fdw.Health registers every attached
+// client, pings each on an interval (the probe that heals an open circuit
+// with no query traffic), and exposes per-source state, the error holding
+// the circuit open, and request/retry/trip counters.
+//
+// Degradation is a query-level choice: by default a query touching a
+// down source fails fast with a typed error (REST answers 503), while
+// sqlexec.Options.PartialResults — crosse-server -partial-results — skips
+// scans that fail with sqldb.ErrSourceDown and reports the skipped source
+// names on the result (Result.SkippedSources, core.Stats.SkippedSources,
+// "degraded_sources" in the REST response), so a federated query over N
+// registries survives one dark registry and says exactly what is missing.
+// Operationally, GET /healthz is the liveness probe (200 while the node
+// serves queries, 503 only when the journal is wedged; degraded sources
+// mark status "degraded" without failing the probe) and
+// GET /api/admin/sources dumps the full per-source resilience state. The
+// guarantees are enforced twice: a randomized fault-injection property
+// suite (internal/fdw/fault_test.go over fdw.FaultConn — latency, wrong
+// errors, short writes, hangups and blackholes injected at arbitrary
+// protocol operations) asserts every trial ends within its deadline with
+// either the complete correct result or a typed error, and the CI
+// fdw-fault-injection job kill -9s a real fdw-server mid-scan, watches
+// the circuit open over the REST API, verifies the degraded partial
+// response, and verifies the half-open probe readmits the restarted node.
+//
 // See README.md for a tour and DESIGN.md for the reproduction inventory.
 package crosse

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -36,6 +37,11 @@ type Enricher struct {
 	// default) means GOMAXPROCS, 1 forces serial evaluation. See
 	// SetParallelism.
 	par int
+
+	// partial enables graceful degradation: queries touching a remote
+	// source whose circuit is open skip it (reported in
+	// Stats.SkippedSources) instead of failing. See SetPartialResults.
+	partial bool
 }
 
 // New wires an Enricher. A nil mapping gets the default SmartGround one.
@@ -58,6 +64,14 @@ func (e *Enricher) SetQueryCache(c *QueryCache) { e.cache = c }
 // fan out across a bounded worker pool; output is identical at every
 // setting. Not safe to call concurrently with Query.
 func (e *Enricher) SetParallelism(n int) { e.par = n }
+
+// SetPartialResults toggles graceful degradation for unavailable remote
+// sources: when on, a scan over a source that is down before producing any
+// row (an open FDW circuit) contributes zero rows and the source is named
+// in Stats.SkippedSources; when off (the default) such queries fail fast
+// with an error matching fdw.ErrSourceDown. Not safe to call concurrently
+// with Query.
+func (e *Enricher) SetPartialResults(on bool) { e.partial = on }
 
 // QueryCacheStats reports the cache's cumulative hits and misses; zeros when
 // caching is disabled.
@@ -83,7 +97,7 @@ func (e *Enricher) parseSESQL(text string) (*sesql.Query, error) {
 // resolution and join planning on every repeat query.
 func (e *Enricher) planSQL(text string, sel *sqlparser.Select) (*sqlexec.SelectPlan, error) {
 	db := e.DB.Catalog()
-	opts := sqlexec.Options{Parallelism: e.par}
+	opts := sqlexec.Options{Parallelism: e.par, PartialResults: e.partial}
 	if e.cache == nil {
 		return sqlexec.CompileOpts(db, sel, opts)
 	}
@@ -120,6 +134,10 @@ type Stats struct {
 	BaseSQLText   string
 	SPARQLQueries []string
 	FinalSQLText  string
+
+	// SkippedSources names remote sources that were down and skipped
+	// under partial-results degradation (empty on complete results).
+	SkippedSources []string
 }
 
 // Total returns the end-to-end latency.
@@ -135,6 +153,14 @@ func (e *Enricher) Query(user, text string) (*sqlexec.Result, error) {
 
 // QueryStats evaluates a SESQL query and reports per-stage statistics.
 func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error) {
+	return e.QueryStatsContext(nil, user, text)
+}
+
+// QueryStatsContext is QueryStats bounded by ctx: scans over remote
+// (context-aware) sources honour the context's deadline and cancellation,
+// so a stalled peer cannot hang the query past its deadline. A nil ctx
+// behaves like QueryStats.
+func (e *Enricher) QueryStatsContext(ctx context.Context, user, text string) (*sqlexec.Result, *Stats, error) {
 	st := &Stats{}
 
 	t0 := time.Now()
@@ -177,11 +203,12 @@ func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error
 			st.BaseSQLText = q.SQL
 			return nil, st, err
 		}
-		res, err := plan.Run()
+		res, err := plan.RunContext(ctx)
 		st.BaseSQL = time.Since(t0)
 		st.BaseSQLText = q.SQL
 		if res != nil {
 			st.BaseRows, st.FinalRows = len(res.Rows), len(res.Rows)
+			st.SkippedSources = res.SkippedSources
 		}
 		return res, st, err
 	}
@@ -215,7 +242,7 @@ func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error
 	}
 	work := &workset{headers: plan.Columns()}
 	arena := sqlval.NewRowArena(len(work.headers))
-	err = plan.Stream(func(row []sqlval.Value) bool {
+	skipped, err := plan.StreamContext(ctx, func(row []sqlval.Value) bool {
 		work.rows = append(work.rows, arena.Copy(row))
 		return true
 	})
@@ -223,6 +250,7 @@ func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error
 	if err != nil {
 		return nil, st, fmt.Errorf("core: base query: %w", err)
 	}
+	st.SkippedSources = skipped
 	st.BaseRows = len(work.rows)
 	visible := len(work.headers) - len(hidden.order)
 
@@ -262,6 +290,7 @@ func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error
 		}
 		st.Join += time.Since(t0)
 		st.FinalRows = len(res.Rows)
+		res.SkippedSources = skipped
 		return res, st, nil
 	}
 
@@ -288,6 +317,7 @@ func (e *Enricher) QueryStats(user, text string) (*sqlexec.Result, *Stats, error
 	// doubly sure derived names match the visible headers).
 	finalRes.Columns = append([]string(nil), work.headers[:len(work.headers)-len(hidden.order)]...)
 	st.FinalRows = len(finalRes.Rows)
+	finalRes.SkippedSources = skipped
 	return finalRes, st, nil
 }
 

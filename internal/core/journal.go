@@ -158,6 +158,16 @@ func (j *Journal) Platform() *kb.Platform { return j.p }
 // Status reports the underlying log's position.
 func (j *Journal) Status() wal.Status { return j.log.StatusNow() }
 
+// Wedged reports the error that permanently wedged the journal (state
+// applied but not logged), or nil while it accepts mutations. Liveness
+// endpoints use it: a wedged journal means the node serves reads but can
+// no longer acknowledge writes.
+func (j *Journal) Wedged() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wedged
+}
+
 // logged runs one mutation: apply to the in-memory platform, append its
 // record, then (outside the lock) wait for durability. An apply error is
 // the mutation's own error — nothing was logged, nothing changed. An

@@ -1,0 +1,179 @@
+package fdw
+
+// breaker.go — a per-source circuit breaker. Every remote operation asks
+// Allow before touching the network and reports its outcome afterwards;
+// once the peer has failed FailureThreshold consecutive times the circuit
+// opens and requests fail fast with ErrSourceDown (no connection attempt)
+// until a probe interval elapses. The first request after the interval is
+// the half-open probe: its success closes the circuit, its failure re-opens
+// it for another interval. This is the txn2 pkg/health discipline applied
+// to FDW peers: a down registry costs one deadline per probe interval, not
+// one per query.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast until the probe interval elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight; everything else
+	// fails fast until it reports.
+	BreakerHalfOpen
+)
+
+// String renders the state for health endpoints and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// BreakerConfig tunes a circuit breaker. The zero value picks defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures open the circuit
+	// (default 3). Every success resets the count, so the effective
+	// failure rate needed to trip is 100% over the window — transient
+	// blips retried successfully never accumulate.
+	FailureThreshold int
+	// Probe is how long an open circuit waits before letting one request
+	// through as a half-open probe (default 2s).
+	Probe time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Probe <= 0 {
+		c.Probe = 2 * time.Second
+	}
+	return c
+}
+
+// Breaker is one source's circuit. Methods are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+	lastErr  error     // the failure that opened (or is keeping open) the circuit
+
+	// cumulative counters for the health registry
+	trips     int // times the circuit opened
+	rejected  int // requests failed fast while open
+	succeeded int
+	failed    int
+}
+
+// NewBreaker builds a breaker with the given config (zero value = defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// Allow reports whether a request may proceed. When the circuit is open and
+// the probe interval has not elapsed it returns a *SourceDownError (wrapping
+// ErrSourceDown) carrying the failure that opened the circuit; the caller
+// must not touch the network. A nil return from Allow obliges the caller to
+// report the outcome via Success or Failure.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.Probe {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return nil // this request is the probe
+		}
+	case BreakerHalfOpen:
+		if !b.probing {
+			b.probing = true
+			return nil
+		}
+	}
+	b.rejected++
+	return &SourceDownError{State: b.state, Reason: b.lastErr}
+}
+
+// Success reports a completed request: the circuit closes and the failure
+// streak resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.succeeded++
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+	b.lastErr = nil
+}
+
+// Failure reports a failed request. A failed half-open probe re-opens the
+// circuit immediately; while closed, reaching FailureThreshold consecutive
+// failures opens it.
+func (b *Breaker) Failure(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failed++
+	b.lastErr = err
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.open()
+		}
+	case BreakerOpen:
+		// A request admitted before the circuit opened finished late;
+		// nothing changes.
+	}
+}
+
+// open transitions to BreakerOpen. Caller holds b.mu.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.probing = false
+	b.failures = 0
+	b.trips++
+}
+
+// State returns the current circuit position and the failure keeping it
+// open (nil when closed).
+func (b *Breaker) State() (BreakerState, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.lastErr
+}
+
+// breakerCounters is the registry-facing snapshot of cumulative outcomes.
+type breakerCounters struct {
+	trips, rejected, succeeded, failed int
+}
+
+func (b *Breaker) counters() breakerCounters {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerCounters{trips: b.trips, rejected: b.rejected, succeeded: b.succeeded, failed: b.failed}
+}

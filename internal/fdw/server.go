@@ -96,6 +96,8 @@ func (s *Server) serveConn(conn net.Conn) {
 
 func (s *Server) handle(enc *json.Encoder, req *request) error {
 	switch req.Op {
+	case "ping":
+		return enc.Encode(response{Done: true})
 	case "tables":
 		return enc.Encode(response{Tables: s.db.Names(), Done: true})
 	case "schema":

@@ -8,12 +8,14 @@ package rest
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"crosse/internal/core"
+	"crosse/internal/fdw"
 	"crosse/internal/kb"
 	"crosse/internal/preview"
 	"crosse/internal/rdf"
@@ -35,6 +37,9 @@ type Server struct {
 	// snapshotPath, when set, is where POST /api/admin/snapshot persists
 	// the platform image (see SetSnapshotPath).
 	snapshotPath string
+	// health, when set, backs GET /api/admin/sources and the per-source
+	// circuit summary in GET /healthz.
+	health *fdw.Health
 }
 
 // NewServer wraps an Enricher (which carries the databank, the semantic
@@ -55,6 +60,10 @@ func (s *Server) SetJournal(j *core.Journal) {
 // platform image to. An empty path (the default) disables the save
 // endpoint; GET (download) always works.
 func (s *Server) SetSnapshotPath(path string) { s.snapshotPath = path }
+
+// SetHealth exposes the remote-source health registry via
+// GET /api/admin/sources and folds its circuit summary into GET /healthz.
+func (s *Server) SetHealth(h *fdw.Health) { s.health = h }
 
 // Handler returns the API routes.
 func (s *Server) Handler() http.Handler {
@@ -80,6 +89,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/admin/snapshot", s.saveSnapshot)
 	mux.HandleFunc("GET /api/admin/wal", s.walStatus)
 	mux.HandleFunc("POST /api/admin/compact", s.compact)
+	mux.HandleFunc("GET /api/admin/sources", s.listSources)
+	mux.HandleFunc("GET /healthz", s.healthz)
 	return mux
 }
 
@@ -289,6 +300,10 @@ type resultJSON struct {
 	Stats   *statsJSON `json:"stats,omitempty"`
 	// Scores holds per-row contextual relevance when ranking was requested.
 	Scores []float64 `json:"scores,omitempty"`
+	// DegradedSources names remote sources that were down and skipped
+	// under partial-results degradation: the result is complete except for
+	// their rows. Empty (omitted) on complete results.
+	DegradedSources []string `json:"degraded_sources,omitempty"`
 }
 
 type statsJSON struct {
@@ -301,6 +316,7 @@ type statsJSON struct {
 	FinalRows      int      `json:"final_rows"`
 	SPARQLQueries  []string `json:"sparql_queries,omitempty"`
 	FinalSQL       string   `json:"final_sql,omitempty"`
+	SkippedSources []string `json:"skipped_sources,omitempty"`
 }
 
 func toResultJSON(res *sqlexec.Result, stats *core.Stats) resultJSON {
@@ -312,6 +328,7 @@ func toResultJSON(res *sqlexec.Result, stats *core.Stats) resultJSON {
 		}
 		out.Rows[i] = cells
 	}
+	out.DegradedSources = res.SkippedSources
 	if stats != nil {
 		out.Stats = &statsJSON{
 			ParseMicros:    stats.Parse.Microseconds(),
@@ -323,6 +340,7 @@ func toResultJSON(res *sqlexec.Result, stats *core.Stats) resultJSON {
 			FinalRows:      stats.FinalRows,
 			SPARQLQueries:  stats.SPARQLQueries,
 			FinalSQL:       stats.FinalSQLText,
+			SkippedSources: stats.SkippedSources,
 		}
 	}
 	return out
@@ -341,9 +359,13 @@ func (s *Server) sesqlQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, stats, err := s.enricher.QueryStats(req.User, req.SESQL)
+	res, stats, err := s.enricher.QueryStatsContext(r.Context(), req.User, req.SESQL)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		status := http.StatusBadRequest
+		if errors.Is(err, fdw.ErrSourceDown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err)
 		return
 	}
 	if !req.Stats {
@@ -606,6 +628,58 @@ func (s *Server) compact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// --- health ---
+
+// healthz is the liveness/readiness probe. 200 means the node accepts
+// queries and writes; 503 means the journal is wedged (reads still work,
+// writes cannot be acknowledged). Degraded remote sources do not fail the
+// probe — the node itself is healthy and can degrade gracefully — but the
+// per-source circuit summary is included so callers can distinguish
+// "healthy" from "healthy but partial".
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"status": "ok"}
+	status := http.StatusOK
+	if s.journal != nil {
+		wal := map[string]any{"wedged": false}
+		if err := s.journal.Wedged(); err != nil {
+			wal["wedged"] = true
+			wal["error"] = err.Error()
+			out["status"] = "degraded"
+			status = http.StatusServiceUnavailable
+		} else {
+			wal["lsn"] = s.journal.Status().LSN
+		}
+		out["wal"] = wal
+	}
+	if s.health != nil {
+		snap := s.health.Snapshot()
+		srcs := make([]map[string]any, len(snap))
+		healthy := 0
+		for i, st := range snap {
+			srcs[i] = map[string]any{"name": st.Name, "state": st.State}
+			if st.Healthy() {
+				healthy++
+			}
+		}
+		out["sources"] = srcs
+		if healthy < len(snap) && out["status"] == "ok" {
+			out["status"] = "degraded" // still 200: the node serves queries
+		}
+	}
+	writeJSON(w, status, out)
+}
+
+// listSources reports the full per-source resilience state: circuit
+// position, the error keeping it open, and cumulative request/retry/trip
+// counters.
+func (s *Server) listSources(w http.ResponseWriter, r *http.Request) {
+	if s.health == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("rest: no remote sources configured (start the server with -attach)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sources": s.health.Snapshot()})
 }
 
 func (s *Server) listTables(w http.ResponseWriter, r *http.Request) {

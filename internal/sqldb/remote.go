@@ -1,0 +1,56 @@
+package sqldb
+
+// remote.go — the seams the executor uses to talk to relations whose rows
+// live on another node (internal/fdw foreign tables). The storage layer
+// defines them so sqlexec can depend on the contract without importing the
+// network stack.
+
+import (
+	"context"
+	"errors"
+
+	"crosse/internal/sqlval"
+)
+
+// ErrSourceDown marks a scan failure where the backing source is known to
+// be unavailable before any row was produced — typically a remote peer
+// whose circuit breaker is open. The executor can fail such queries fast,
+// or (under sqlexec.Options.PartialResults) skip the source and report it
+// in the result instead of failing the whole query. internal/fdw aliases
+// this as fdw.ErrSourceDown.
+var ErrSourceDown = errors.New("source unavailable")
+
+// SourceNamer is implemented by errors that identify which source failed;
+// the executor uses it to name skipped sources in partial results.
+type SourceNamer interface {
+	SourceName() string
+}
+
+// SourceOf extracts the failing source's name from an error chain, falling
+// back to fallback when no SourceNamer is present.
+func SourceOf(err error, fallback string) string {
+	var sn SourceNamer
+	if errors.As(err, &sn) {
+		return sn.SourceName()
+	}
+	return fallback
+}
+
+// ContextRelation is an optional Relation extension for sources whose
+// scans can honour a deadline or cancellation — remote relations must
+// implement it so a stalled peer cannot hang a query past its deadline.
+// Local in-memory tables do not need it (their scans never block).
+type ContextRelation interface {
+	Relation
+	// ScanContext behaves like Scan bounded by ctx: when ctx is done the
+	// scan returns promptly with an error wrapping ctx.Err() or a
+	// transport deadline error.
+	ScanContext(ctx context.Context, fn func(row []sqlval.Value) bool) error
+}
+
+// ContextFilteredRelation is the context-aware counterpart of
+// FilteredRelation.
+type ContextFilteredRelation interface {
+	FilteredRelation
+	ScanEqContext(ctx context.Context, col string, v sqlval.Value, fn func(row []sqlval.Value) bool) error
+}

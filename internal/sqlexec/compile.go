@@ -55,6 +55,12 @@ type Options struct {
 	// serial when the input is small or the shape cannot merge exactly
 	// (see run.go).
 	Parallelism int
+	// PartialResults degrades instead of failing when a scanned source is
+	// down before producing any row (sqldb.ErrSourceDown — an open FDW
+	// circuit breaker): the source contributes zero rows and is named in
+	// Result.SkippedSources / StreamContext's skip list. Off by default:
+	// a down source fails the query fast with a typed error.
+	PartialResults bool
 }
 
 // SelectPlan is a compiled, immutable physical form of a SELECT. It is

@@ -14,6 +14,9 @@ type Result struct {
 	Columns  []string
 	Rows     [][]sqlval.Value
 	Affected int
+	// SkippedSources names sources that were down and skipped under
+	// Options.PartialResults (empty on complete results).
+	SkippedSources []string
 }
 
 // Exec parses and executes one SQL statement against db.

@@ -88,14 +88,14 @@ func (r *runner) runParallel(workers int, driving scanPlan) error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		drive, driveErr = p.materializeSide(driving, true)
+		drive, driveErr = p.materializeSide(r.shared, driving, true)
 	}()
 	for i := range p.joins {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			if r.swapped && i == 0 {
-				rows, err := p.materializeSide(p.scan0, false)
+				rows, err := p.materializeSide(r.shared, p.scan0, false)
 				if err != nil {
 					buildErrs[0] = err
 					return
@@ -104,7 +104,7 @@ func (r *runner) runParallel(workers int, driving scanPlan) error {
 				r.leftHash = buildHash(rows, p.joins[0].leftSlot-p.scan0.offset)
 				return
 			}
-			rows, err := p.materializeSide(p.joins[i].src, false)
+			rows, err := p.materializeSide(r.shared, p.joins[i].src, false)
 			if err != nil {
 				buildErrs[i] = err
 				return
@@ -170,8 +170,8 @@ func (r *runner) runParallel(workers int, driving scanPlan) error {
 // out immutable retained rows (sqldb.StableRowScanner — the in-memory
 // heap tables) are kept by reference; anything else is deep-copied into
 // an arena, since the callback rows may be reused buffers.
-func (p *SelectPlan) materializeSide(sp scanPlan, raw bool) ([][]sqlval.Value, error) {
-	tmp := &runner{p: p, row: make([]sqlval.Value, p.width)}
+func (p *SelectPlan) materializeSide(sh *runShared, sp scanPlan, raw bool) ([][]sqlval.Value, error) {
+	tmp := &runner{p: p, row: make([]sqlval.Value, p.width), shared: sh}
 	_, stable := sp.rel.(sqldb.StableRowScanner)
 	var arena *sqlval.RowArena
 	if !stable {
@@ -196,12 +196,7 @@ func (p *SelectPlan) materializeSide(sp scanPlan, raw bool) ([][]sqlval.Value, e
 		}
 		return true
 	}
-	var err error
-	if sp.eqCol != "" {
-		err = sp.rel.(sqldb.FilteredRelation).ScanEq(sp.eqCol, sp.eqVal, h)
-	} else {
-		err = sp.rel.Scan(h)
-	}
+	err := sh.scanRelation(sp, h)
 	if err == nil {
 		err = tmp.err
 	}
@@ -248,6 +243,7 @@ func newParWorker(r *runner, pool *sched.Pool, res []parMorsel) *parWorker {
 	wr := &runner{
 		p:        p,
 		row:      make([]sqlval.Value, p.width),
+		shared:   r.shared,
 		rights:   r.rights,
 		hashes:   r.hashes,
 		swapped:  r.swapped,

@@ -11,7 +11,11 @@ package sqlexec
 // sorting everything.
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sort"
+	"sync"
 
 	"crosse/internal/sqldb"
 	"crosse/internal/sqlval"
@@ -19,15 +23,25 @@ import (
 
 // Run executes the plan and materialises the result.
 func (p *SelectPlan) Run() (*Result, error) {
+	return p.RunContext(nil)
+}
+
+// RunContext executes the plan bounded by ctx and materialises the result.
+// Scans over context-aware relations (remote sources) honour the context's
+// deadline and cancellation; local in-memory scans ignore it. Under
+// Options.PartialResults the result's SkippedSources names any unavailable
+// sources that were skipped. A nil ctx behaves like Run.
+func (p *SelectPlan) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{Columns: append([]string(nil), p.headers...)}
 	arena := sqlval.NewRowArena(len(p.headers))
-	err := p.Stream(func(row []sqlval.Value) bool {
+	skipped, err := p.StreamContext(ctx, func(row []sqlval.Value) bool {
 		res.Rows = append(res.Rows, arena.Copy(row))
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
+	res.SkippedSources = skipped
 	return res, nil
 }
 
@@ -35,14 +49,77 @@ func (p *SelectPlan) Run() (*Result, error) {
 // false stops execution early. The row slice is reused between calls —
 // callers that retain rows must copy them.
 func (p *SelectPlan) Stream(fn func(row []sqlval.Value) bool) error {
-	r := &runner{p: p, yield: fn}
-	return r.run()
+	_, err := p.StreamContext(nil, fn)
+	return err
+}
+
+// StreamContext is Stream bounded by ctx (see RunContext); it additionally
+// returns the names of sources skipped under Options.PartialResults.
+func (p *SelectPlan) StreamContext(ctx context.Context, fn func(row []sqlval.Value) bool) ([]string, error) {
+	sh := &runShared{ctx: ctx, partial: p.opts.PartialResults}
+	r := &runner{p: p, yield: fn, shared: sh}
+	err := r.run()
+	return sh.skipped, err
+}
+
+// runShared is the per-execution state shared by the coordinator runner,
+// the parallel workers and the concurrent side builds: the bounding
+// context plus the partial-results skip list (mutex-guarded — side builds
+// run concurrently).
+type runShared struct {
+	ctx     context.Context
+	partial bool
+
+	mu      sync.Mutex
+	skipped []string
+}
+
+func (sh *runShared) recordSkip(name string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, s := range sh.skipped {
+		if s == name {
+			return
+		}
+	}
+	sh.skipped = append(sh.skipped, name)
+}
+
+// scanRelation dispatches one source scan: context-aware when the relation
+// supports it and a context is set, plain otherwise. A source that is down
+// before producing any row (sqldb.ErrSourceDown) is skipped — recorded,
+// scan yields zero rows — under PartialResults; every other error fails
+// the query, annotated with the relation name.
+func (sh *runShared) scanRelation(sp scanPlan, h func([]sqlval.Value) bool) error {
+	var err error
+	if sp.eqCol != "" {
+		if cfr, ok := sp.rel.(sqldb.ContextFilteredRelation); ok && sh.ctx != nil {
+			err = cfr.ScanEqContext(sh.ctx, sp.eqCol, sp.eqVal, h)
+		} else {
+			err = sp.rel.(sqldb.FilteredRelation).ScanEq(sp.eqCol, sp.eqVal, h)
+		}
+	} else {
+		if cr, ok := sp.rel.(sqldb.ContextRelation); ok && sh.ctx != nil {
+			err = cr.ScanContext(sh.ctx, h)
+		} else {
+			err = sp.rel.Scan(h)
+		}
+	}
+	if err == nil {
+		return nil
+	}
+	if sh.partial && errors.Is(err, sqldb.ErrSourceDown) {
+		sh.recordSkip(sqldb.SourceOf(err, sp.rel.Name()))
+		return nil
+	}
+	return fmt.Errorf("scan %s: %w", sp.rel.Name(), err)
 }
 
 // runner holds all per-execution state of one plan run.
 type runner struct {
-	p     *SelectPlan
-	yield func([]sqlval.Value) bool
+	p      *SelectPlan
+	yield  func([]sqlval.Value) bool
+	shared *runShared
 
 	row []sqlval.Value // the joined-row buffer, width p.width
 
@@ -207,13 +284,7 @@ func (r *runner) scan(sp scanPlan, next func() bool) {
 		}
 		return next()
 	}
-	var err error
-	if sp.eqCol != "" {
-		err = sp.rel.(sqldb.FilteredRelation).ScanEq(sp.eqCol, sp.eqVal, h)
-	} else {
-		err = sp.rel.Scan(h)
-	}
-	if err != nil && r.err == nil {
+	if err := r.shared.scanRelation(sp, h); err != nil && r.err == nil {
 		r.err = err
 	}
 }
