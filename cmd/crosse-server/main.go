@@ -15,6 +15,15 @@
 //	crosse-server -snapshot platform.img -snapshot-interval 5m
 //	crosse-server -wal state/            # write-ahead-logged platform
 //	crosse-server -wal state/ -wal-sync always -compact-interval 10m
+//	crosse-server -max-inflight 32 -inflight-queue 64  # admission control
+//	crosse-server -cache-entries 0       # disable the enriched-result cache
+//
+// The public API is versioned under /api/v1/...; unversioned /api/...
+// paths are deprecated aliases kept for one release. The serving tier in
+// front of the handlers — an epoch-keyed enriched-result cache, per-
+// endpoint request metrics (GET /api/v1/metrics) and admission control on
+// the query endpoints — is configured by the -cache-* and -*inflight*
+// flags above. See docs/API.md.
 //
 // With -snapshot, boot restores the platform image when the file exists
 // (bulk ID-level load — no re-import of the corpus) and falls back to
@@ -49,6 +58,7 @@ import (
 	"crosse/internal/fdw"
 	"crosse/internal/kb"
 	"crosse/internal/rest"
+	"crosse/internal/serve"
 	"crosse/internal/wal"
 )
 
@@ -67,6 +77,10 @@ func main() {
 		partial       = flag.Bool("partial-results", false, "degrade gracefully when a remote source is down: skip it (reported in query stats) instead of failing the query")
 		sourceTimeout = flag.Duration("source-timeout", 30*time.Second, "per-request deadline for remote FDW sources")
 		healthEvery   = flag.Duration("health-interval", 2*time.Second, "remote-source health poll cadence (0 disables polling)")
+		cacheEntries  = flag.Int("cache-entries", 4096, "enriched-result cache entry bound (0 disables result caching)")
+		cacheBytes    = flag.Int64("cache-bytes", 64<<20, "enriched-result cache byte budget")
+		maxInflight   = flag.Int("max-inflight", 0, "maximum concurrently executing queries (0 = unlimited)")
+		inflightQueue = flag.Int("inflight-queue", 32, "queries allowed to wait for an execution slot before a 429 (requires -max-inflight)")
 	)
 	flag.Parse()
 
@@ -232,6 +246,13 @@ func main() {
 	}
 
 	srv := rest.NewServer(enricher)
+	if *cacheEntries > 0 {
+		srv.SetResultCache(serve.NewCache(*cacheEntries, *cacheBytes))
+	}
+	if *maxInflight > 0 {
+		srv.SetAdmission(serve.NewLimiter(*maxInflight, *inflightQueue))
+		log.Printf("admission control: %d in flight, %d queued", *maxInflight, *inflightQueue)
+	}
 	srv.SetSnapshotPath(*snapshot)
 	if journal != nil {
 		srv.SetJournal(journal)

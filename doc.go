@@ -243,5 +243,54 @@
 // the circuit open over the REST API, verifies the degraded partial
 // response, and verifies the half-open probe readmits the restarted node.
 //
+// # Serving tier
+//
+// The REST surface (internal/rest) is versioned: the public API lives
+// under /api/v1/..., legacy unversioned /api/... paths answer as
+// deprecated thin aliases for one release (Deprecation + Link
+// successor-version headers, once-per-path log notice), and every error
+// response is a uniform {"error": {code, message, details}} envelope with
+// a typed error→status mapping (kb.ErrUnknownUser/ErrNoStatement → 404,
+// kb.DupError → 409, serve.ErrOverloaded → 429, fdw.ErrSourceDown and
+// core.ErrWedged → 503, parse/validation → 400). Collection endpoints
+// paginate with limit/offset plus a pre-pagination total (default 100,
+// max 1000). Execution options are unified in core.ExecOptions — one
+// struct projected into sqlexec.Options and sparql.Options — instead of
+// per-package plumbing. docs/API.md is the contract; the CI api-contract
+// job boots the real binary and fails on envelope drift.
+//
+// In front of the handlers sits internal/serve, the heavy-traffic tier:
+//
+//   - An enriched-result cache (serve.Cache, LRU bounded by entries and
+//     bytes) keyed on (user, query text, language, options, view epoch,
+//     schema epoch). kb.Platform maintains the view epoch: every
+//     mutation that can change what a user's enrichment sees —
+//     Insert, Import, Retract (an owner retract bumps every believer),
+//     personal stored-query registration; shared stored queries bump a
+//     global component — advances it, so invalidation is free: stale
+//     entries become unreachable and age out rather than being hunted
+//     down. The epoch is read before evaluation, so a mutation landing
+//     mid-query strands that entry under the old epoch instead of
+//     serving pre-mutation rows under the new one. Degraded federated
+//     results are never cached (circuit state is not covered by epochs).
+//     Every query response reports stats.cache_hit and stats.elapsed_us.
+//   - Per-endpoint request metrics (serve.Metrics): request counts,
+//     in-flight gauges, status classes and fixed-bucket latency
+//     histograms (p50/p95/p99), exposed at GET /api/v1/metrics together
+//     with cache, admission, plan-cache, circuit and WAL state. Legacy
+//     aliases fold into the v1 endpoint label.
+//   - Admission control (serve.Limiter) on the query-execution
+//     endpoints: at most -max-inflight requests execute, at most
+//     -inflight-queue wait, the rest shed immediately as typed 429s —
+//     saturation degrades into fast rejections instead of a goroutine
+//     pile-up.
+//
+// BenchmarkServeLoad (serve_bench_test.go) drives the real HTTP handler
+// with simulated users under cached-repeat, uncached and mixed
+// query/mutate workloads; its QPS lands in BENCH.json next to the ns/op
+// trajectory. On the CI-class dev box the cached-repeat workload serves
+// ~10x the uncached QPS, and a -race suite hammers cached queries
+// against journaled mutations asserting read-your-writes.
+//
 // See README.md for a tour and DESIGN.md for the reproduction inventory.
 package crosse

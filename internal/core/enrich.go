@@ -33,15 +33,9 @@ type Enricher struct {
 	// disables caching (every call re-parses); New installs one by default.
 	cache *QueryCache
 
-	// par caps intra-query parallelism for both executors: 0 (the
-	// default) means GOMAXPROCS, 1 forces serial evaluation. See
-	// SetParallelism.
-	par int
-
-	// partial enables graceful degradation: queries touching a remote
-	// source whose circuit is open skip it (reported in
-	// Stats.SkippedSources) instead of failing. See SetPartialResults.
-	partial bool
+	// opts configures both executors for every evaluation; see
+	// ExecOptions. The zero value is the production configuration.
+	opts ExecOptions
 }
 
 // New wires an Enricher. A nil mapping gets the default SmartGround one.
@@ -58,20 +52,28 @@ func New(db *engine.DB, platform *kb.Platform, mapping *Mapping) *Enricher {
 // disables compiled-query reuse (useful for benchmarking the parse path).
 func (e *Enricher) SetQueryCache(c *QueryCache) { e.cache = c }
 
+// SetExecOptions replaces the enricher's execution options wholesale. Not
+// safe to call concurrently with Query.
+func (e *Enricher) SetExecOptions(o ExecOptions) { e.opts = o }
+
+// ExecOptions returns the enricher's current execution options.
+func (e *Enricher) ExecOptions() ExecOptions { return e.opts }
+
 // SetParallelism caps intra-query parallelism for the enrichment
 // pipeline's SQL and SPARQL evaluation: 0 (the default) means GOMAXPROCS,
 // 1 forces the serial executors. Large scans, joins and BGP probes then
 // fan out across a bounded worker pool; output is identical at every
-// setting. Not safe to call concurrently with Query.
-func (e *Enricher) SetParallelism(n int) { e.par = n }
+// setting. Shorthand for mutating ExecOptions.Parallelism; not safe to
+// call concurrently with Query.
+func (e *Enricher) SetParallelism(n int) { e.opts.Parallelism = n }
 
 // SetPartialResults toggles graceful degradation for unavailable remote
 // sources: when on, a scan over a source that is down before producing any
 // row (an open FDW circuit) contributes zero rows and the source is named
 // in Stats.SkippedSources; when off (the default) such queries fail fast
-// with an error matching fdw.ErrSourceDown. Not safe to call concurrently
-// with Query.
-func (e *Enricher) SetPartialResults(on bool) { e.partial = on }
+// with an error matching fdw.ErrSourceDown. Shorthand for mutating
+// ExecOptions.PartialResults; not safe to call concurrently with Query.
+func (e *Enricher) SetPartialResults(on bool) { e.opts.PartialResults = on }
 
 // QueryCacheStats reports the cache's cumulative hits and misses; zeros when
 // caching is disabled.
@@ -97,7 +99,7 @@ func (e *Enricher) parseSESQL(text string) (*sesql.Query, error) {
 // resolution and join planning on every repeat query.
 func (e *Enricher) planSQL(text string, sel *sqlparser.Select) (*sqlexec.SelectPlan, error) {
 	db := e.DB.Catalog()
-	opts := sqlexec.Options{Parallelism: e.par, PartialResults: e.partial}
+	opts := e.opts.SQL()
 	if e.cache == nil {
 		return sqlexec.CompileOpts(db, sel, opts)
 	}
@@ -784,7 +786,7 @@ func (e *Enricher) streamSPARQL(view rdf.Graph, text string, st *Stats, minVars 
 	if p.NumVars() < minVars {
 		return fmt.Errorf("core: %s", minVarsErr)
 	}
-	if err := p.StreamOpts(view, sparql.Options{Parallelism: e.par}, fn); err != nil {
+	if err := p.StreamOpts(view, e.opts.SPARQL(), fn); err != nil {
 		return fmt.Errorf("core: SPARQL: %w", err)
 	}
 	return nil

@@ -51,6 +51,12 @@ type Mutator interface {
 var _ Mutator = (*kb.Platform)(nil)
 var _ Mutator = (*Journal)(nil)
 
+// ErrWedged marks a journal that applied a mutation it could not log: the
+// in-memory state is ahead of the durable log, so further mutations are
+// refused until the operator compacts or restarts. The serving tier maps
+// it to 503.
+var ErrWedged = errors.New("core: journal wedged (state applied but not logged)")
+
 // JournalOptions configure OpenJournal.
 type JournalOptions struct {
 	// FS is the filesystem (nil = the real one). The crash property suite
@@ -192,7 +198,7 @@ func (j *Journal) logged(apply func() error, record func() []byte) error {
 	}
 	lsn, err := j.log.Append(payload)
 	if err != nil {
-		j.wedged = fmt.Errorf("core: journal wedged (state applied but not logged): %w", err)
+		j.wedged = fmt.Errorf("%w: %v", ErrWedged, err)
 		j.mu.Unlock()
 		return j.wedged
 	}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"crosse/internal/sparql"
+	"crosse/internal/sqlexec"
+)
+
+// ExecOptions is the single knob set for one enriched evaluation: it
+// unifies the previously parallel sqlexec.Options / sparql.Options
+// plumbing, so callers configure the pipeline once and the enricher
+// projects the relevant subset onto each executor. The zero value is the
+// production configuration (parallel GOMAXPROCS execution, all
+// optimisations on, fail fast on down sources).
+type ExecOptions struct {
+	// Parallelism caps intra-query parallelism for both the SQL and the
+	// SPARQL executor: 0 (the default) means GOMAXPROCS, 1 forces the
+	// serial paths, larger values bound each query's worker fan-out.
+	Parallelism int
+
+	// PartialResults degrades instead of failing when a remote source is
+	// down before producing any row (an open FDW circuit): the source is
+	// skipped and named in Stats.SkippedSources / Result.SkippedSources.
+	PartialResults bool
+
+	// DisableHashJoin, DisableIndexSeek and DisableTopK are the SQL
+	// executor's ablation knobs (see sqlexec.Options); DisableReorder is
+	// the SPARQL planner's. Benchmarks only; not for production use.
+	DisableHashJoin  bool
+	DisableIndexSeek bool
+	DisableTopK      bool
+	DisableReorder   bool
+}
+
+// SQL projects the options onto the relational executor.
+func (o ExecOptions) SQL() sqlexec.Options {
+	return sqlexec.Options{
+		DisableHashJoin:  o.DisableHashJoin,
+		DisableIndexSeek: o.DisableIndexSeek,
+		DisableTopK:      o.DisableTopK,
+		Parallelism:      o.Parallelism,
+		PartialResults:   o.PartialResults,
+	}
+}
+
+// SPARQL projects the options onto the ontology executor.
+func (o ExecOptions) SPARQL() sparql.Options {
+	return sparql.Options{
+		DisableReorder: o.DisableReorder,
+		Parallelism:    o.Parallelism,
+	}
+}
+
+// FromSQLOptions lifts legacy sqlexec options into the unified set —
+// compatibility constructor for callers still configured in executor
+// terms.
+func FromSQLOptions(s sqlexec.Options) ExecOptions {
+	return ExecOptions{
+		DisableHashJoin:  s.DisableHashJoin,
+		DisableIndexSeek: s.DisableIndexSeek,
+		DisableTopK:      s.DisableTopK,
+		Parallelism:      s.Parallelism,
+		PartialResults:   s.PartialResults,
+	}
+}
+
+// FromSPARQLOptions lifts legacy sparql options into the unified set.
+func FromSPARQLOptions(s sparql.Options) ExecOptions {
+	return ExecOptions{
+		DisableReorder: s.DisableReorder,
+		Parallelism:    s.Parallelism,
+	}
+}

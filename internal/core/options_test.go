@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"crosse/internal/sparql"
+	"crosse/internal/sqlexec"
+)
+
+func TestExecOptionsRoundTrip(t *testing.T) {
+	o := ExecOptions{
+		Parallelism:      3,
+		PartialResults:   true,
+		DisableHashJoin:  true,
+		DisableIndexSeek: true,
+		DisableTopK:      true,
+		DisableReorder:   true,
+	}
+	wantSQL := sqlexec.Options{
+		DisableHashJoin:  true,
+		DisableIndexSeek: true,
+		DisableTopK:      true,
+		Parallelism:      3,
+		PartialResults:   true,
+	}
+	if got := o.SQL(); got != wantSQL {
+		t.Errorf("SQL() = %+v, want %+v", got, wantSQL)
+	}
+	wantSPARQL := sparql.Options{DisableReorder: true, Parallelism: 3}
+	if got := o.SPARQL(); got != wantSPARQL {
+		t.Errorf("SPARQL() = %+v, want %+v", got, wantSPARQL)
+	}
+
+	// The compatibility constructors must survive a round trip for every
+	// field the target executor understands.
+	if got := FromSQLOptions(o.SQL()).SQL(); got != wantSQL {
+		t.Errorf("FromSQLOptions round trip = %+v, want %+v", got, wantSQL)
+	}
+	if got := FromSPARQLOptions(o.SPARQL()).SPARQL(); got != wantSPARQL {
+		t.Errorf("FromSPARQLOptions round trip = %+v, want %+v", got, wantSPARQL)
+	}
+}
+
+func TestEnricherExecOptionsSetters(t *testing.T) {
+	e := &Enricher{}
+	e.SetParallelism(4)
+	e.SetPartialResults(true)
+	want := ExecOptions{Parallelism: 4, PartialResults: true}
+	if got := e.ExecOptions(); got != want {
+		t.Errorf("ExecOptions() = %+v, want %+v", got, want)
+	}
+	e.SetExecOptions(ExecOptions{DisableTopK: true})
+	if got := e.ExecOptions(); got != (ExecOptions{DisableTopK: true}) {
+		t.Errorf("SetExecOptions not applied: %+v", got)
+	}
+}

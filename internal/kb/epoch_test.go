@@ -1,0 +1,183 @@
+package kb
+
+import (
+	"errors"
+	"testing"
+)
+
+// The serving tier keys its enriched-result cache on ViewEpoch, so the
+// contract under test is: every mutation that can change a user's query
+// results moves that user's epoch, and only theirs (except shared-query
+// registration, which moves everyone's).
+
+func TestViewEpochBumpsOnInsert(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	a0, b0 := p.ViewEpoch("alice"), p.ViewEpoch("bob")
+	if _, err := p.Insert("alice", tr("s", "p", "o")); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ViewEpoch("alice"); got <= a0 {
+		t.Errorf("alice epoch %d, want > %d after Insert", got, a0)
+	}
+	if got := p.ViewEpoch("bob"); got != b0 {
+		t.Errorf("bob epoch moved to %d on alice's Insert (was %d)", got, b0)
+	}
+}
+
+func TestViewEpochBumpsOnImportAndRetract(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	id, err := p.Insert("alice", tr("s", "p", "o"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b0 := p.ViewEpoch("bob")
+	if err := p.Import("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	b1 := p.ViewEpoch("bob")
+	if b1 <= b0 {
+		t.Fatalf("bob epoch %d, want > %d after Import", b1, b0)
+	}
+	// Importing a statement already held is a no-op and must not
+	// invalidate cached results.
+	if err := p.Import("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ViewEpoch("bob"); got != b1 {
+		t.Errorf("bob epoch %d after no-op re-import, want %d", got, b1)
+	}
+
+	// Bob retracts his belief: only bob moves.
+	a1 := p.ViewEpoch("alice")
+	if err := p.Retract("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ViewEpoch("bob"); got <= b1 {
+		t.Errorf("bob epoch %d, want > %d after Retract", got, b1)
+	}
+	if got := p.ViewEpoch("alice"); got != a1 {
+		t.Errorf("alice epoch moved to %d on bob's Retract (was %d)", got, a1)
+	}
+}
+
+func TestViewEpochOwnerRetractBumpsAllBelievers(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob", "carol")
+	id, err := p.Insert("alice", tr("s", "p", "o"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Import("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	a0, b0, c0 := p.ViewEpoch("alice"), p.ViewEpoch("bob"), p.ViewEpoch("carol")
+	// Owner retraction removes the statement from every believer's KB.
+	if err := p.Retract("alice", id); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ViewEpoch("alice"); got <= a0 {
+		t.Errorf("alice epoch %d, want > %d after owner Retract", got, a0)
+	}
+	if got := p.ViewEpoch("bob"); got <= b0 {
+		t.Errorf("believer bob epoch %d, want > %d after owner Retract", got, b0)
+	}
+	if got := p.ViewEpoch("carol"); got != c0 {
+		t.Errorf("bystander carol epoch moved to %d (was %d)", got, c0)
+	}
+}
+
+func TestViewEpochImportFromBatch(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	for _, s := range []string{"s1", "s2", "s3"} {
+		if _, err := p.Insert("alice", tr(s, "p", "o")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b0 := p.ViewEpoch("bob")
+	n, err := p.ImportFrom("bob", "alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("imported %d, want 3", n)
+	}
+	b1 := p.ViewEpoch("bob")
+	if b1 <= b0 {
+		t.Fatalf("bob epoch %d, want > %d after batch import", b1, b0)
+	}
+	// Second import matches nothing: no bump.
+	if _, err := p.ImportFrom("bob", "alice", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ViewEpoch("bob"); got != b1 {
+		t.Errorf("bob epoch %d after empty batch import, want %d", got, b1)
+	}
+}
+
+func TestViewEpochStoredQueries(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice", "bob")
+	const q = "SELECT ?s WHERE { ?s ?p ?o }"
+
+	a0, b0 := p.ViewEpoch("alice"), p.ViewEpoch("bob")
+	if err := p.RegisterQuery("alice", "mine", q); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ViewEpoch("alice"); got <= a0 {
+		t.Errorf("alice epoch %d, want > %d after personal query", got, a0)
+	}
+	if got := p.ViewEpoch("bob"); got != b0 {
+		t.Errorf("bob epoch moved to %d on alice's personal query (was %d)", got, b0)
+	}
+
+	// Shared queries are visible to every user's LookupQuery fallback.
+	a1, b1 := p.ViewEpoch("alice"), p.ViewEpoch("bob")
+	if err := p.RegisterQuery("", "shared", q); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ViewEpoch("alice"); got <= a1 {
+		t.Errorf("alice epoch %d, want > %d after shared query", got, a1)
+	}
+	if got := p.ViewEpoch("bob"); got <= b1 {
+		t.Errorf("bob epoch %d, want > %d after shared query", got, b1)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	p := newPlatformWithUsers(t, "alice")
+
+	if _, err := p.Insert("ghost", tr("s", "p", "o")); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("Insert ghost user: err = %v, want ErrUnknownUser", err)
+	}
+	if _, err := p.View("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("View ghost user: err = %v, want ErrUnknownUser", err)
+	}
+	if err := p.Import("alice", "nope"); !errors.Is(err, ErrNoStatement) {
+		t.Errorf("Import missing id: err = %v, want ErrNoStatement", err)
+	}
+	if err := p.Retract("alice", "nope"); !errors.Is(err, ErrNoStatement) {
+		t.Errorf("Retract missing id: err = %v, want ErrNoStatement", err)
+	}
+	if _, err := p.Statement("nope"); !errors.Is(err, ErrNoStatement) {
+		t.Errorf("Statement missing id: err = %v, want ErrNoStatement", err)
+	}
+
+	var dup *DupError
+	if err := p.RegisterUser("alice"); !errors.As(err, &dup) {
+		t.Errorf("duplicate user: err = %T %v, want *DupError", err, err)
+	}
+	const q = "SELECT ?s WHERE { ?s ?p ?o }"
+	if err := p.RegisterQuery("alice", "q", q); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterQuery("alice", "q", q); !errors.As(err, &dup) {
+		t.Errorf("duplicate query: err = %T %v, want *DupError", err, err)
+	}
+
+	// The wrapped messages must read exactly as before the sentinels.
+	if _, err := p.View("ghost"); err.Error() != `kb: unknown user "ghost"` {
+		t.Errorf("View error text = %q", err.Error())
+	}
+	if _, err := p.Statement("nope"); err.Error() != `kb: no statement "nope"` {
+		t.Errorf("Statement error text = %q", err.Error())
+	}
+}

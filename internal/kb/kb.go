@@ -31,6 +31,7 @@
 package kb
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,6 +40,23 @@ import (
 	"crosse/internal/rdf"
 	"crosse/internal/sparql"
 )
+
+// Sentinel errors for conditions callers dispatch on (the REST layer maps
+// them to HTTP statuses). They carry the message prefix, so wrapping them
+// with the offending name via %w keeps the historical error texts.
+var (
+	// ErrUnknownUser marks operations naming a user that is not registered.
+	ErrUnknownUser = errors.New("kb: unknown user")
+	// ErrNoStatement marks operations naming a statement id that does not
+	// exist (or no longer exists).
+	ErrNoStatement = errors.New("kb: no statement")
+)
+
+// DupError marks rejected duplicate registrations (an existing user or
+// stored-query name). The REST layer maps it to 409 Conflict.
+type DupError struct{ msg string }
+
+func (e *DupError) Error() string { return e.msg }
 
 // SMG is the base IRI of the SmartGround ontology namespace.
 const SMG = "http://smartground.eu/onto#"
@@ -188,6 +206,17 @@ type Platform struct {
 	decls      map[string]*Declaration               // key: kind + "\x00" + iri
 	checker    ConceptChecker
 	nextID     int
+
+	// epochs counts, per user, the mutations that can change what that
+	// user's enriched queries answer: inserts, imports, retractions and
+	// owned stored-query registrations. globalEpoch counts mutations that
+	// affect every user at once (shared stored-query registrations).
+	// ViewEpoch folds the two into one monotonic number per user; the
+	// serving tier keys its enriched-result cache on it, so a belief
+	// mutation invalidates exactly the affected users' cache entries while
+	// everyone else keeps serving hits.
+	epochs      map[string]uint64
+	globalEpoch uint64
 }
 
 // NewPlatform returns an empty platform.
@@ -200,6 +229,28 @@ func NewPlatform() *Platform {
 		byTriple:   map[rdf.TripleKey]map[string]struct{}{},
 		queries:    map[string]*StoredQuery{},
 	}
+}
+
+// ViewEpoch returns a monotonic counter that advances whenever a mutation
+// may change the results of the user's enriched queries: her own inserts,
+// imports and retractions, an owner retraction of a statement she believed,
+// a stored-query registration in her namespace, and shared (ownerless)
+// stored-query registrations. Epochs of an unknown user are 0. Read the
+// epoch BEFORE evaluating a query that will be cached under it: a
+// concurrent mutation then moves the epoch and the entry becomes
+// unreachable, never stale.
+func (p *Platform) ViewEpoch(user string) uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.globalEpoch + p.epochs[user]
+}
+
+// bumpView advances one user's view epoch. Caller holds the write lock.
+func (p *Platform) bumpView(user string) {
+	if p.epochs == nil {
+		p.epochs = map[string]uint64{}
+	}
+	p.epochs[user]++
 }
 
 // SetConceptChecker installs the integrated-annotation validator.
@@ -218,7 +269,7 @@ func (p *Platform) RegisterUser(name string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if _, ok := p.users[name]; ok {
-		return fmt.Errorf("kb: user %q already registered", name)
+		return &DupError{msg: fmt.Sprintf("kb: user %q already registered", name)}
 	}
 	p.users[name] = struct{}{}
 	p.views[name] = p.shared.NewView()
@@ -239,7 +290,7 @@ func (p *Platform) Users() []string {
 
 func (p *Platform) requireUser(name string) error {
 	if _, ok := p.users[name]; !ok {
-		return fmt.Errorf("kb: unknown user %q", name)
+		return fmt.Errorf("%w %q", ErrUnknownUser, name)
 	}
 	return nil
 }
@@ -338,6 +389,7 @@ func (p *Platform) Insert(user string, t rdf.Triple, opts ...InsertOption) (stri
 	}
 	ids[id] = struct{}{}
 	p.views[user].Add(key)
+	p.bumpView(user)
 	return id, nil
 }
 
@@ -354,7 +406,7 @@ func (p *Platform) Retract(user, id string) error {
 	}
 	st, ok := p.statements[id]
 	if !ok {
-		return fmt.Errorf("kb: no statement %q", id)
+		return fmt.Errorf("%w %q", ErrNoStatement, id)
 	}
 	if _, believes := st.believers[user]; !believes {
 		return fmt.Errorf("kb: user %q does not hold statement %q", user, id)
@@ -370,10 +422,14 @@ func (p *Platform) Retract(user, id string) error {
 			}
 		}
 		p.unlinkTriple(id, st.key)
+		// An owner retraction changes every believer's KB, so every
+		// believer's view epoch moves (their cached enriched results may
+		// now be stale), not just the retracting owner's.
 		for u := range st.believers {
 			if !p.believesElsewhere(u, st.key) {
 				p.views[u].Remove(st.key)
 			}
+			p.bumpView(u)
 		}
 		p.shared.Release(st.key)
 		return nil
@@ -382,6 +438,7 @@ func (p *Platform) Retract(user, id string) error {
 	if !p.believesElsewhere(user, st.key) {
 		p.views[user].Remove(st.key)
 	}
+	p.bumpView(user)
 	return nil
 }
 
@@ -416,13 +473,14 @@ func (p *Platform) Import(user, id string) error {
 	}
 	st, ok := p.statements[id]
 	if !ok {
-		return fmt.Errorf("kb: no statement %q", id)
+		return fmt.Errorf("%w %q", ErrNoStatement, id)
 	}
 	if _, already := st.believers[user]; already {
 		return nil
 	}
 	st.addBeliever(user)
 	p.views[user].Add(st.key)
+	p.bumpView(user)
 	return nil
 }
 
@@ -468,6 +526,7 @@ func (p *Platform) ImportFromIDs(user, fromUser string, filter func(*Statement) 
 	}
 	if len(keys) > 0 {
 		p.views[user].AddBatch(keys)
+		p.bumpView(user)
 	}
 	return ids, nil
 }
@@ -480,7 +539,7 @@ func (p *Platform) Statement(id string) (*Statement, error) {
 	defer p.mu.RUnlock()
 	st, ok := p.statements[id]
 	if !ok {
-		return nil, fmt.Errorf("kb: no statement %q", id)
+		return nil, fmt.Errorf("%w %q", ErrNoStatement, id)
 	}
 	return st.snapshot(), nil
 }
@@ -511,7 +570,7 @@ func (p *Platform) View(user string) (rdf.Graph, error) {
 	defer p.mu.RUnlock()
 	v, ok := p.views[user]
 	if !ok {
-		return nil, fmt.Errorf("kb: unknown user %q", user)
+		return nil, fmt.Errorf("%w %q", ErrUnknownUser, user)
 	}
 	return v, nil
 }
@@ -563,9 +622,17 @@ func (p *Platform) RegisterQuery(owner, name, text string) error {
 	}
 	key := queryKey(owner, name)
 	if _, dup := p.queries[key]; dup {
-		return fmt.Errorf("kb: query %q already registered", name)
+		return &DupError{msg: fmt.Sprintf("kb: query %q already registered", name)}
 	}
 	p.queries[key] = &StoredQuery{Name: name, Owner: owner, Text: text}
+	// A personal query changes only its owner's enrichment surface; a
+	// shared query is visible to every user's LookupQuery fallback, so it
+	// moves the global epoch.
+	if owner != "" {
+		p.bumpView(owner)
+	} else {
+		p.globalEpoch++
+	}
 	return nil
 }
 

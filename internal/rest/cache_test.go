@@ -1,0 +1,247 @@
+package rest
+
+// Enriched-result cache behaviour through the HTTP surface: epoch-based
+// invalidation (a mutation makes that user's cached entries unreachable
+// while other users keep hitting), and freshness under concurrent cached
+// reads vs journaled mutations (run with -race).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"crosse/internal/core"
+	"crosse/internal/engine"
+	"crosse/internal/kb"
+	"crosse/internal/serve"
+)
+
+const enrichQuery = `SELECT elem_name FROM elem_contained WHERE landfill_name = 'a'
+ENRICH SCHEMAEXTENSION(elem_name, dangerLevel)`
+
+// queryOut runs the enrichment query for user and returns its rows plus
+// whether the result cache answered.
+func queryOut(t *testing.T, ts *httptest.Server, user string) (rows [][]string, cacheHit bool) {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/api/v1/query",
+		fmt.Sprintf(`{"user":%q,"sesql":%q}`, user, enrichQuery))
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query for %s: %d", user, resp.StatusCode)
+	}
+	var out struct {
+		Rows  [][]string `json:"rows"`
+		Stats struct {
+			CacheHit bool `json:"cache_hit"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Rows, out.Stats.CacheHit
+}
+
+func hasCell(rows [][]string, value string) bool {
+	for _, row := range rows {
+		for _, cell := range row {
+			if cell == value {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestResultCacheInvalidationPerUser(t *testing.T) {
+	ts, _ := newV1Server(t, 0, 0)
+	for _, u := range []string{"alice", "bob"} {
+		resp := postJSON(t, ts.URL+"/api/v1/users", fmt.Sprintf(`{"name":%q}`, u))
+		resp.Body.Close()
+	}
+	annotate := func(user, subject, object string) string {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/api/v1/statements", fmt.Sprintf(
+			`{"user":%q,"subject":%q,"property":"dangerLevel","object":%q,"object_literal":true}`,
+			user, subject, object))
+		defer resp.Body.Close()
+		if resp.StatusCode != 201 {
+			t.Fatalf("annotate: %d", resp.StatusCode)
+		}
+		var out map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out["id"]
+	}
+	annotate("alice", "Mercury", "high")
+	annotate("bob", "Mercury", "low")
+
+	// First evaluation misses, the repeat hits, and each user sees their
+	// own enrichment.
+	rows, hit := queryOut(t, ts, "alice")
+	if hit || !hasCell(rows, "high") {
+		t.Fatalf("alice first query: hit=%v rows=%v", hit, rows)
+	}
+	if _, hit = queryOut(t, ts, "alice"); !hit {
+		t.Error("alice repeat query must hit the cache")
+	}
+	if rows, hit = queryOut(t, ts, "bob"); hit || !hasCell(rows, "low") {
+		t.Fatalf("bob first query: hit=%v rows=%v", hit, rows)
+	}
+	if _, hit = queryOut(t, ts, "bob"); !hit {
+		t.Error("bob repeat query must hit the cache")
+	}
+
+	// A mutation by alice bumps her view epoch: her next query re-evaluates
+	// and sees the new statement; bob's cached entry is untouched.
+	zincID := annotate("alice", "Zinc", "medium")
+	rows, hit = queryOut(t, ts, "alice")
+	if hit {
+		t.Error("alice query after her mutation must miss (stale entry unreachable)")
+	}
+	if !hasCell(rows, "medium") {
+		t.Errorf("alice post-mutation rows lack new annotation: %v", rows)
+	}
+	if _, hit = queryOut(t, ts, "bob"); !hit {
+		t.Error("bob's cached entry must survive alice's mutation")
+	}
+
+	// Retraction invalidates too: the annotation disappears from the next
+	// evaluation.
+	req, err := http.NewRequest("DELETE", ts.URL+"/api/v1/statements/"+zincID+"?user=alice", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("retract: %d", resp.StatusCode)
+	}
+	rows, hit = queryOut(t, ts, "alice")
+	if hit {
+		t.Error("alice query after retraction must miss")
+	}
+	if hasCell(rows, "medium") {
+		t.Errorf("retracted annotation still visible: %v", rows)
+	}
+
+	// The cache recorded real traffic.
+	st := mustCacheStats(t, ts)
+	if st.Hits < 3 || st.Misses < 4 {
+		t.Errorf("cache stats = %+v", st)
+	}
+}
+
+// TestCachedReadsVsJournaledMutations hammers cached queries concurrently
+// with journaled mutations and asserts read-your-writes: once an insert is
+// acknowledged, the same user's next query must reflect it — the cache may
+// never serve a pre-mutation result. Run with -race.
+func TestCachedReadsVsJournaledMutations(t *testing.T) {
+	db := engine.Open()
+	if _, err := db.ExecScript(`
+		CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT);
+		INSERT INTO elem_contained VALUES ('Mercury', 'a'), ('Zinc', 'a');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	p := kb.NewPlatform()
+	e := core.New(db, p, nil)
+	p.SetConceptChecker(core.NewConceptChecker(db, e.Mapping))
+	j, _, err := core.OpenJournal(t.TempDir(), core.JournalOptions{}, func() (*engine.DB, *kb.Platform, error) {
+		return db, p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	s := NewServer(e)
+	s.SetLogf(nil)
+	s.SetJournal(j)
+	s.SetResultCache(serve.NewCache(256, 4<<20))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const users, writes = 4, 8
+	for i := 0; i < users; i++ {
+		resp := postJSON(t, ts.URL+"/api/v1/users", fmt.Sprintf(`{"name":"u%d"}`, i))
+		resp.Body.Close()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, users*2)
+	for i := 0; i < users; i++ {
+		user := fmt.Sprintf("u%d", i)
+
+		// Writer: journaled insert, then immediately read back through the
+		// cached query path. The marker must be visible.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < writes; n++ {
+				marker := fmt.Sprintf("%s-v%d", user, n)
+				resp := postJSON(t, ts.URL+"/api/v1/statements", fmt.Sprintf(
+					`{"user":%q,"subject":"Mercury","property":"dangerLevel","object":%q,"object_literal":true}`,
+					user, marker))
+				resp.Body.Close()
+				if resp.StatusCode != 201 {
+					errs <- fmt.Errorf("%s: insert %d: status %d", user, n, resp.StatusCode)
+					return
+				}
+				rows, _ := queryOut(t, ts, user)
+				if !hasCell(rows, marker) {
+					errs <- fmt.Errorf("%s: stale read: %s acknowledged but absent from next query", user, marker)
+					return
+				}
+			}
+		}()
+
+		// Reader: hammer the cached path for the same user; results may be
+		// cached or fresh, but must never predate this user's own writes
+		// beyond the last acknowledged one (checked by the writer above).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < writes*4; n++ {
+				queryOut(t, ts, user)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Quiescent check: every user's final query reflects every write.
+	for i := 0; i < users; i++ {
+		user := fmt.Sprintf("u%d", i)
+		rows, _ := queryOut(t, ts, user)
+		for n := 0; n < writes; n++ {
+			if marker := fmt.Sprintf("%s-v%d", user, n); !hasCell(rows, marker) {
+				t.Errorf("%s: marker %s missing after quiescence", user, marker)
+			}
+		}
+	}
+}
+
+func mustCacheStats(t *testing.T, ts *httptest.Server) serve.CacheStats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ResultCache serve.CacheStats `json:"result_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.ResultCache
+}

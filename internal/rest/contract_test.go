@@ -1,0 +1,376 @@
+package rest
+
+// Contract tests for the v1 surface: the uniform error envelope, typed
+// status mapping, pagination fields, legacy-alias deprecation headers,
+// and the serving-tier metrics endpoint. These are the assertions the CI
+// api-contract job re-checks against a real server binary.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crosse/internal/core"
+	"crosse/internal/engine"
+	"crosse/internal/kb"
+	"crosse/internal/serve"
+)
+
+// newV1Server builds a test server with the full serving tier installed:
+// result cache and admission limiter, returning the Server for white-box
+// poking (e.g. saturating the limiter).
+func newV1Server(t *testing.T, maxInflight, queueDepth int) (*httptest.Server, *Server) {
+	t.Helper()
+	db := engine.Open()
+	if _, err := db.ExecScript(`
+		CREATE TABLE landfill (name TEXT PRIMARY KEY, city TEXT);
+		CREATE TABLE elem_contained (elem_name TEXT, landfill_name TEXT);
+		INSERT INTO landfill VALUES ('a', 'Torino'), ('b', 'Milano');
+		INSERT INTO elem_contained VALUES ('Mercury', 'a'), ('Zinc', 'a'), ('Gold', 'b');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	p := kb.NewPlatform()
+	e := core.New(db, p, nil)
+	p.SetConceptChecker(core.NewConceptChecker(db, e.Mapping))
+	s := NewServer(e)
+	s.SetLogf(t.Logf)
+	s.SetResultCache(serve.NewCache(128, 1<<20))
+	s.SetAdmission(serve.NewLimiter(maxInflight, queueDepth))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// envelope fetches and decodes an expected-error response, asserting the
+// uniform {"error": {code, message}} shape.
+func envelope(t *testing.T, resp *http.Response) apiError {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error response Content-Type = %q, want application/json", ct)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error body is not the uniform envelope: %v", err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code/message: %+v", env.Error)
+	}
+	return env.Error
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestV1ErrorEnvelopeContract(t *testing.T) {
+	ts, s := newV1Server(t, 1, 0)
+	mustPost := func(path, body string) {
+		t.Helper()
+		resp := postJSON(t, ts.URL+path, body)
+		resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+	mustPost("/api/v1/users", `{"name":"alice"}`)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"malformed JSON", "POST", "/api/v1/users", `{`, http.StatusBadRequest, codeBadRequest},
+		{"unknown field", "POST", "/api/v1/users", `{"nmae":"x"}`, http.StatusBadRequest, codeBadRequest},
+		{"duplicate user", "POST", "/api/v1/users", `{"name":"alice"}`, http.StatusConflict, codeConflict},
+		{"unknown user query", "POST", "/api/v1/query", `{"user":"ghost","sesql":"SELECT 1"}`, http.StatusNotFound, codeNotFound},
+		{"bad SESQL", "POST", "/api/v1/query", `{"user":"alice","sesql":"SELEC"}`, http.StatusBadRequest, codeBadRequest},
+		{"unknown user sparql", "POST", "/api/v1/sparql", `{"user":"ghost","query":"SELECT ?s WHERE { ?s ?p ?o }"}`, http.StatusNotFound, codeNotFound},
+		{"missing statement import", "POST", "/api/v1/statements/stmt-99/import", `{"user":"alice"}`, http.StatusNotFound, codeNotFound},
+		{"missing statement retract", "DELETE", "/api/v1/statements/stmt-99?user=alice", "", http.StatusNotFound, codeNotFound},
+		{"wal not configured", "GET", "/api/v1/admin/wal", "", http.StatusConflict, codeConflict},
+		{"sources not configured", "GET", "/api/v1/admin/sources", "", http.StatusConflict, codeConflict},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if e := envelope(t, resp); e.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", e.Code, tc.wantCode)
+			}
+		})
+	}
+
+	// 429 under saturation: hold the only execution slot, then query.
+	if err := s.limiter.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/api/v1/query", `{"user":"alice","sesql":"SELECT 1"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("saturated query status = %d, want 429", resp.StatusCode)
+	}
+	if e := envelope(t, resp); e.Code != codeOverloaded {
+		t.Errorf("saturated code = %q, want %q", e.Code, codeOverloaded)
+	}
+	s.limiter.Release()
+	// The slot is free again: the same query succeeds.
+	resp = postJSON(t, ts.URL+"/api/v1/query", `{"user":"alice","sesql":"SELECT 1"}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-release query status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestV1SuccessStatsContract(t *testing.T) {
+	ts, _ := newV1Server(t, 0, 0)
+	resp := postJSON(t, ts.URL+"/api/v1/users", `{"name":"alice"}`)
+	resp.Body.Close()
+
+	// Success responses carry stats (elapsed, cache hit) even without
+	// stats:true — the serving-tier portion is unconditional.
+	type queryResp struct {
+		Rows  [][]string `json:"rows"`
+		Stats *struct {
+			ElapsedUS int64 `json:"elapsed_us"`
+			CacheHit  bool  `json:"cache_hit"`
+			ParseUS   int64 `json:"parse_us"`
+		} `json:"stats"`
+	}
+	var out queryResp
+	get := func() {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/api/v1/query", `{"user":"alice","sesql":"SELECT COUNT(*) FROM landfill"}`)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query: %d", resp.StatusCode)
+		}
+		out = queryResp{}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get()
+	if out.Stats == nil {
+		t.Fatal("success response missing stats")
+	}
+	if out.Stats.CacheHit {
+		t.Error("first query must be a cache miss")
+	}
+	get()
+	if !out.Stats.CacheHit {
+		t.Error("repeat query must be a cache hit")
+	}
+	if len(out.Rows) != 1 || out.Rows[0][0] != "2" {
+		t.Errorf("rows = %v", out.Rows)
+	}
+
+	// SPARQL responses carry the same serving stats.
+	resp = postJSON(t, ts.URL+"/api/v1/sparql", `{"user":"alice","query":"SELECT ?s WHERE { ?s ?p ?o }"}`)
+	defer resp.Body.Close()
+	var sp struct {
+		Stats *struct {
+			CacheHit bool `json:"cache_hit"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stats == nil {
+		t.Error("sparql response missing stats")
+	}
+}
+
+func TestV1PaginationContract(t *testing.T) {
+	ts, _ := newV1Server(t, 0, 0)
+	for i := 0; i < 5; i++ {
+		resp := postJSON(t, ts.URL+"/api/v1/users", fmt.Sprintf(`{"name":"u%d"}`, i))
+		resp.Body.Close()
+		resp = postJSON(t, ts.URL+"/api/v1/statements",
+			fmt.Sprintf(`{"user":"u%d","subject":"S%d","property":"p","object":"O"}`, i, i))
+		resp.Body.Close()
+	}
+
+	page := func(path, key string, wantLen, wantTotal, wantLimit, wantOffset int) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		items, ok := out[key].([]any)
+		if !ok {
+			t.Fatalf("%s: %q missing: %v", path, key, out)
+		}
+		if len(items) != wantLen {
+			t.Errorf("%s: %d items, want %d", path, len(items), wantLen)
+		}
+		if got := int(out["total"].(float64)); got != wantTotal {
+			t.Errorf("%s: total = %d, want %d", path, got, wantTotal)
+		}
+		if got := int(out["limit"].(float64)); got != wantLimit {
+			t.Errorf("%s: limit = %d, want %d", path, got, wantLimit)
+		}
+		if got := int(out["offset"].(float64)); got != wantOffset {
+			t.Errorf("%s: offset = %d, want %d", path, got, wantOffset)
+		}
+	}
+
+	page("/api/v1/users", "users", 5, 5, defaultPageLimit, 0)
+	page("/api/v1/users?limit=2", "users", 2, 5, 2, 0)
+	page("/api/v1/users?limit=2&offset=4", "users", 1, 5, 2, 4)
+	page("/api/v1/users?offset=99", "users", 0, 5, defaultPageLimit, 99)
+	page("/api/v1/statements?limit=3", "statements", 3, 5, 3, 0)
+	page("/api/v1/statements?owner=u1", "statements", 1, 1, defaultPageLimit, 0)
+	page("/api/v1/queries", "queries", 0, 0, defaultPageLimit, 0)
+
+	// Recommendations: other users' statements are recommended to u1; the
+	// exact count belongs to the recommender, so only check the window
+	// arithmetic — limit=1 returns one item out of the same total.
+	resp, err := http.Get(ts.URL + "/api/v1/recommendations?user=u1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs struct {
+		Recommendations []any `json:"recommendations"`
+		Total           int   `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if recs.Total != len(recs.Recommendations) {
+		t.Errorf("recommendations: total = %d, items = %d", recs.Total, len(recs.Recommendations))
+	}
+	if recs.Total > 0 {
+		page("/api/v1/recommendations?user=u1&limit=1", "recommendations", 1, recs.Total, 1, 0)
+	}
+
+	// Invalid limit/offset fall back to the defaults instead of erroring.
+	page("/api/v1/users?limit=bogus&offset=-3", "users", 5, 5, defaultPageLimit, 0)
+}
+
+func TestLegacyAliasDeprecation(t *testing.T) {
+	ts, _ := newV1Server(t, 0, 0)
+	resp, err := http.Get(ts.URL + "/api/users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy alias: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "true" {
+		t.Error("legacy alias missing Deprecation header")
+	}
+	if link := resp.Header.Get("Link"); !strings.Contains(link, "/api/v1/users") {
+		t.Errorf("legacy alias Link = %q, want successor /api/v1/users", link)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Deprecation") != "" {
+		t.Error("v1 path must not carry a Deprecation header")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newV1Server(t, 4, 2)
+	// Generate traffic on both the v1 path and the legacy alias: both must
+	// be attributed to the one v1 endpoint label.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/api/v1/users")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/api/users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/api/v1/users", `{"name":"alice"}`)
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/api/v1/query", `{"user":"alice","sesql":"SELECT 1"}`)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/api/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var out struct {
+		Endpoints map[string]struct {
+			Requests uint64            `json:"requests"`
+			InFlight int64             `json:"in_flight"`
+			Status   map[string]uint64 `json:"status"`
+			Latency  struct {
+				Count uint64 `json:"count"`
+				P50US int64  `json:"p50_us"`
+				P95US int64  `json:"p95_us"`
+				P99US int64  `json:"p99_us"`
+			} `json:"latency"`
+		} `json:"endpoints"`
+		ResultCache *serve.CacheStats   `json:"result_cache"`
+		Admission   *serve.LimiterStats `json:"admission"`
+		PlanCache   map[string]int      `json:"plan_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	list := out.Endpoints["GET /api/v1/users"]
+	if list.Requests != 3 {
+		t.Errorf("GET /api/v1/users requests = %d, want 3 (v1 + legacy alias)", list.Requests)
+	}
+	if list.Status["2xx"] != 3 || list.Latency.Count != 3 {
+		t.Errorf("endpoint stats = %+v", list)
+	}
+	if _, ok := out.Endpoints["GET /api/users"]; ok {
+		t.Error("legacy alias must not appear as its own endpoint label")
+	}
+	q := out.Endpoints["POST /api/v1/query"]
+	if q.Requests != 1 || q.Latency.P50US <= 0 {
+		t.Errorf("query endpoint stats = %+v", q)
+	}
+	if out.ResultCache == nil || out.ResultCache.Misses == 0 {
+		t.Errorf("result_cache = %+v", out.ResultCache)
+	}
+	if out.Admission == nil || out.Admission.MaxInflight != 4 || out.Admission.Admitted == 0 {
+		t.Errorf("admission = %+v", out.Admission)
+	}
+	if out.PlanCache == nil {
+		t.Error("plan_cache missing")
+	}
+}

@@ -3,16 +3,24 @@
 // "by means of RESTful APIs" (Sec. I-A); this package is that surface:
 // user management, semantic tagging (the three annotation scenarios),
 // knowledge exploration and import, stored queries, and SESQL execution.
+//
+// The public surface is versioned under /api/v1/... and wrapped by the
+// serving tier (internal/serve): per-endpoint request metrics, an
+// epoch-keyed enriched-result cache, and admission control on the query
+// endpoints. Legacy unversioned /api/... paths remain as deprecated thin
+// aliases for one release; see docs/API.md for the contract.
 package rest
 
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"crosse/internal/core"
 	"crosse/internal/fdw"
@@ -20,6 +28,7 @@ import (
 	"crosse/internal/preview"
 	"crosse/internal/rdf"
 	"crosse/internal/recommend"
+	"crosse/internal/serve"
 	"crosse/internal/sparql"
 	"crosse/internal/sqlexec"
 )
@@ -32,21 +41,36 @@ type Server struct {
 	// through here so a journal-backed server write-ahead-logs each
 	// mutation before acknowledging it.
 	mutator core.Mutator
-	// journal, when set, backs /api/admin/wal and /api/admin/compact.
+	// journal, when set, backs /api/v1/admin/wal and /api/v1/admin/compact.
 	journal *core.Journal
-	// snapshotPath, when set, is where POST /api/admin/snapshot persists
+	// snapshotPath, when set, is where POST /api/v1/admin/snapshot persists
 	// the platform image (see SetSnapshotPath).
 	snapshotPath string
-	// health, when set, backs GET /api/admin/sources and the per-source
-	// circuit summary in GET /healthz.
+	// health, when set, backs GET /api/v1/admin/sources and the per-source
+	// circuit summary in GET /healthz and /api/v1/metrics.
 	health *fdw.Health
+
+	// metrics records per-endpoint request counts, latency histograms and
+	// in-flight gauges; always on (the overhead is a few atomics).
+	metrics *serve.Metrics
+	// cache, when set, memoises enriched results keyed on (user, query,
+	// options, view epoch, schema epoch). Nil disables result caching.
+	cache *serve.Cache
+	// limiter, when set, admission-controls the query-execution endpoints.
+	// Nil admits everything.
+	limiter *serve.Limiter
+
+	// deprecatedOnce dedups the once-per-path deprecation log line.
+	deprecatedOnce sync.Map
+	// logf receives operational notices; log.Printf unless SetLogf.
+	logf func(format string, args ...any)
 }
 
 // NewServer wraps an Enricher (which carries the databank, the semantic
 // platform and the resource mapping). Mutations apply directly to the
 // platform until SetJournal routes them through a write-ahead log.
 func NewServer(e *core.Enricher) *Server {
-	return &Server{enricher: e, mutator: e.Platform}
+	return &Server{enricher: e, mutator: e.Platform, metrics: serve.NewMetrics(), logf: log.Printf}
 }
 
 // SetJournal routes every platform mutation through the journal's logged
@@ -56,52 +80,117 @@ func (s *Server) SetJournal(j *core.Journal) {
 	s.mutator = j
 }
 
-// SetSnapshotPath configures the file POST /api/admin/snapshot saves the
-// platform image to. An empty path (the default) disables the save
+// SetSnapshotPath configures the file POST /api/v1/admin/snapshot saves
+// the platform image to. An empty path (the default) disables the save
 // endpoint; GET (download) always works.
 func (s *Server) SetSnapshotPath(path string) { s.snapshotPath = path }
 
 // SetHealth exposes the remote-source health registry via
-// GET /api/admin/sources and folds its circuit summary into GET /healthz.
+// GET /api/v1/admin/sources and folds its circuit summary into
+// GET /healthz and GET /api/v1/metrics.
 func (s *Server) SetHealth(h *fdw.Health) { s.health = h }
 
-// Handler returns the API routes.
+// SetResultCache installs the enriched-result cache. Nil (the default)
+// disables result caching; plan caching inside the enricher is separate.
+func (s *Server) SetResultCache(c *serve.Cache) { s.cache = c }
+
+// SetAdmission installs the admission controller guarding the
+// query-execution endpoints. Nil (the default) admits everything.
+func (s *Server) SetAdmission(l *serve.Limiter) { s.limiter = l }
+
+// SetLogf redirects the server's operational notices (deprecation
+// warnings). nil silences them.
+func (s *Server) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
+
+// Handler returns the API routes: the v1 surface plus legacy /api/...
+// aliases (deprecated, kept for one release).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/users", s.listUsers)
-	mux.HandleFunc("POST /api/users", s.createUser)
-	mux.HandleFunc("GET /api/statements", s.listStatements)
-	mux.HandleFunc("POST /api/statements", s.createStatement)
-	mux.HandleFunc("POST /api/statements/{id}/import", s.importStatement)
-	mux.HandleFunc("DELETE /api/statements/{id}", s.retractStatement)
-	mux.HandleFunc("GET /api/queries", s.listQueries)
-	mux.HandleFunc("POST /api/queries", s.registerQuery)
-	mux.HandleFunc("POST /api/query", s.sesqlQuery)
-	mux.HandleFunc("POST /api/sparql", s.sparqlQuery)
-	mux.HandleFunc("GET /api/tables", s.listTables)
-	mux.HandleFunc("GET /api/peers", s.listPeers)
-	mux.HandleFunc("GET /api/recommendations", s.listRecommendations)
-	mux.HandleFunc("GET /api/snippet", s.snippet)
-	mux.HandleFunc("GET /api/vocabulary", s.vocabulary)
-	mux.HandleFunc("POST /api/vocabulary", s.declare)
-	mux.HandleFunc("GET /api/kb.dot", s.kbDOT)
-	mux.HandleFunc("GET /api/admin/snapshot", s.downloadSnapshot)
-	mux.HandleFunc("POST /api/admin/snapshot", s.saveSnapshot)
-	mux.HandleFunc("GET /api/admin/wal", s.walStatus)
-	mux.HandleFunc("POST /api/admin/compact", s.compact)
-	mux.HandleFunc("GET /api/admin/sources", s.listSources)
-	mux.HandleFunc("GET /healthz", s.healthz)
+	// route mounts a handler at its v1 path and at the legacy unversioned
+	// alias. Both share one metrics label (the v1 pattern) so traffic is
+	// attributed to the endpoint, not to which alias the client used.
+	route := func(method, v1Path string, h http.HandlerFunc) {
+		name := method + " " + v1Path
+		mux.HandleFunc(name, s.instrument(name, "", h))
+		legacy := "/api/" + strings.TrimPrefix(v1Path, "/api/v1/")
+		mux.HandleFunc(method+" "+legacy, s.instrument(name, v1Path, h))
+	}
+
+	route("GET", "/api/v1/users", s.listUsers)
+	route("POST", "/api/v1/users", s.createUser)
+	route("GET", "/api/v1/statements", s.listStatements)
+	route("POST", "/api/v1/statements", s.createStatement)
+	route("POST", "/api/v1/statements/{id}/import", s.importStatement)
+	route("DELETE", "/api/v1/statements/{id}", s.retractStatement)
+	route("GET", "/api/v1/queries", s.listQueries)
+	route("POST", "/api/v1/queries", s.registerQuery)
+	route("POST", "/api/v1/query", s.admit(s.sesqlQuery))
+	route("POST", "/api/v1/sparql", s.admit(s.sparqlQuery))
+	route("GET", "/api/v1/tables", s.listTables)
+	route("GET", "/api/v1/peers", s.listPeers)
+	route("GET", "/api/v1/recommendations", s.listRecommendations)
+	route("GET", "/api/v1/snippet", s.snippet)
+	route("GET", "/api/v1/vocabulary", s.vocabulary)
+	route("POST", "/api/v1/vocabulary", s.declare)
+	route("GET", "/api/v1/kb.dot", s.kbDOT)
+	route("GET", "/api/v1/admin/snapshot", s.downloadSnapshot)
+	route("POST", "/api/v1/admin/snapshot", s.saveSnapshot)
+	route("GET", "/api/v1/admin/wal", s.walStatus)
+	route("POST", "/api/v1/admin/compact", s.compact)
+	route("GET", "/api/v1/admin/sources", s.listSources)
+
+	// v1-only: the serving-tier metrics snapshot.
+	mux.HandleFunc("GET /api/v1/metrics", s.instrument("GET /api/v1/metrics", "", s.metricsSnapshot))
+	// The liveness probe predates the versioned surface and stays put.
+	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", "", s.healthz))
 	return mux
+}
+
+// instrument wraps a handler with request metrics. successor, when
+// non-empty, marks the mount as a deprecated legacy alias of that v1
+// path: responses carry a Deprecation header and the first hit per path
+// logs a migration notice.
+func (s *Server) instrument(name, successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if successor != "" {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
+			if _, logged := s.deprecatedOnce.LoadOrStore(r.URL.Path, true); !logged {
+				s.logf("rest: deprecated path %s served (migrate to %s)", r.URL.Path, successor)
+			}
+		}
+		done := s.metrics.Begin(name)
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() { done(sw.status) }()
+		h(sw, r)
+	}
+}
+
+// admit guards a handler behind the admission controller: saturation
+// yields a typed 429 (or 503 if the client's context dies while queued)
+// instead of unbounded concurrency.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter != nil {
+			if err := s.limiter.Acquire(r.Context()); err != nil {
+				writeError(w, err)
+				return
+			}
+			defer s.limiter.Release()
+		}
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 func readJSON(r *http.Request, v any) error {
@@ -113,7 +202,9 @@ func readJSON(r *http.Request, v any) error {
 // --- users ---
 
 func (s *Server) listUsers(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"users": s.enricher.Platform.Users()})
+	p := parsePage(r)
+	users, total := slicePage(s.enricher.Platform.Users(), p)
+	writeJSON(w, http.StatusOK, listEnvelope("users", users, p, total))
 }
 
 func (s *Server) createUser(w http.ResponseWriter, r *http.Request) {
@@ -121,11 +212,11 @@ func (s *Server) createUser(w http.ResponseWriter, r *http.Request) {
 		Name string `json:"name"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	if err := s.mutator.RegisterUser(req.Name); err != nil {
-		writeErr(w, http.StatusConflict, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
@@ -180,11 +271,13 @@ func (s *Server) listStatements(w http.ResponseWriter, r *http.Request) {
 		}
 		return true
 	})
-	out := make([]statementJSON, len(sts))
-	for i, st := range sts {
+	p := parsePage(r)
+	paged, total := slicePage(sts, p)
+	out := make([]statementJSON, len(paged))
+	for i, st := range paged {
 		out[i] = toStatementJSON(st)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"statements": out})
+	writeJSON(w, http.StatusOK, listEnvelope("statements", out, p, total))
 }
 
 func (s *Server) createStatement(w http.ResponseWriter, r *http.Request) {
@@ -198,11 +291,11 @@ func (s *Server) createStatement(w http.ResponseWriter, r *http.Request) {
 		Ref        *referenceJSON `json:"ref"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	if req.Subject == "" || req.Property == "" || req.Object == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: subject, property and object are required"))
+		writeError(w, fmt.Errorf("rest: subject, property and object are required"))
 		return
 	}
 	m := s.enricher.Mapping
@@ -224,7 +317,7 @@ func (s *Server) createStatement(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.mutator.Insert(req.User, t, opts...)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
@@ -235,11 +328,11 @@ func (s *Server) importStatement(w http.ResponseWriter, r *http.Request) {
 		User string `json:"user"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	if err := s.mutator.Import(req.User, r.PathValue("id")); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "imported"})
@@ -248,11 +341,11 @@ func (s *Server) importStatement(w http.ResponseWriter, r *http.Request) {
 func (s *Server) retractStatement(w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	if user == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user query parameter required"))
+		writeError(w, fmt.Errorf("rest: user query parameter required"))
 		return
 	}
 	if err := s.mutator.Retract(user, r.PathValue("id")); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "retracted"})
@@ -263,16 +356,18 @@ func (s *Server) retractStatement(w http.ResponseWriter, r *http.Request) {
 func (s *Server) listQueries(w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	qs := s.enricher.Platform.Queries(user)
+	p := parsePage(r)
+	paged, total := slicePage(qs, p)
 	type qj struct {
 		Name  string `json:"name"`
 		Owner string `json:"owner,omitempty"`
 		Text  string `json:"text"`
 	}
-	out := make([]qj, len(qs))
-	for i, q := range qs {
+	out := make([]qj, len(paged))
+	for i, q := range paged {
 		out[i] = qj{Name: q.Name, Owner: q.Owner, Text: q.Text}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"queries": out})
+	writeJSON(w, http.StatusOK, listEnvelope("queries", out, p, total))
 }
 
 func (s *Server) registerQuery(w http.ResponseWriter, r *http.Request) {
@@ -282,11 +377,11 @@ func (s *Server) registerQuery(w http.ResponseWriter, r *http.Request) {
 		Text  string `json:"text"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	if err := s.mutator.RegisterQuery(req.Owner, req.Name, req.Text); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
@@ -307,6 +402,14 @@ type resultJSON struct {
 }
 
 type statsJSON struct {
+	// ElapsedMicros and CacheHit are per-request serving stats, attached
+	// to every success response: end-to-end handler latency and whether
+	// the enriched-result cache answered.
+	ElapsedMicros int64 `json:"elapsed_us"`
+	CacheHit      bool  `json:"cache_hit"`
+
+	// The per-stage pipeline breakdown (Fig. 6), present when the request
+	// asked for stats.
 	ParseMicros    int64    `json:"parse_us"`
 	BaseSQLMicros  int64    `json:"base_sql_us"`
 	SPARQLMicros   int64    `json:"sparql_us"`
@@ -346,6 +449,46 @@ func toResultJSON(res *sqlexec.Result, stats *core.Stats) resultJSON {
 	return out
 }
 
+// resultSize approximates an enriched result's heap footprint for the
+// cache's byte budget: string bytes plus per-cell and per-row overhead.
+func resultSize(out resultJSON) int64 {
+	size := int64(64)
+	for _, c := range out.Columns {
+		size += int64(len(c)) + 16
+	}
+	for _, row := range out.Rows {
+		size += 24
+		for _, cell := range row {
+			size += int64(len(cell)) + 16
+		}
+	}
+	size += int64(8 * len(out.Scores))
+	return size
+}
+
+// cacheKey builds the enriched-result cache key for a request. The view
+// epoch is read BEFORE evaluation: if a mutation lands during the query,
+// the entry stays keyed to the pre-mutation epoch and is simply never hit
+// again, rather than serving a pre-mutation result under the post-mutation
+// epoch forever.
+func (s *Server) cacheKey(user, query, lang, opts string) serve.Key {
+	return serve.Key{
+		User:        user,
+		Query:       query,
+		Lang:        lang,
+		Opts:        fmt.Sprintf("%s&exec=%+v", opts, s.enricher.ExecOptions()),
+		ViewEpoch:   s.enricher.Platform.ViewEpoch(user),
+		SchemaEpoch: s.enricher.DB.Catalog().SchemaEpoch(),
+	}
+}
+
+// cachedResult is the cache entry: the rendered result without its Stats
+// (per-request) plus the pipeline stats of the original run.
+type cachedResult struct {
+	out   resultJSON // Stats nil; Columns/Rows shared read-only
+	stats statsJSON  // original run's breakdown; per-request fields unset
+}
+
 func (s *Server) sesqlQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		User  string `json:"user"`
@@ -356,16 +499,29 @@ func (s *Server) sesqlQuery(w http.ResponseWriter, r *http.Request) {
 		Rank bool `json:"rank"`
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
+	start := time.Now()
+
+	var key serve.Key
+	if s.cache != nil {
+		key = s.cacheKey(req.User, req.SESQL, "sesql", fmt.Sprintf("stats=%t&rank=%t", req.Stats, req.Rank))
+		if v, ok := s.cache.Get(key); ok {
+			ent := v.(cachedResult)
+			out := ent.out
+			st := ent.stats
+			st.CacheHit = true
+			st.ElapsedMicros = time.Since(start).Microseconds()
+			out.Stats = &st
+			writeJSON(w, http.StatusOK, out)
+			return
+		}
+	}
+
 	res, stats, err := s.enricher.QueryStatsContext(r.Context(), req.User, req.SESQL)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, fdw.ErrSourceDown) {
-			status = http.StatusServiceUnavailable
-		}
-		writeErr(w, status, err)
+		writeError(w, err)
 		return
 	}
 	if !req.Stats {
@@ -375,14 +531,95 @@ func (s *Server) sesqlQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Rank {
 		view, err := s.enricher.Platform.View(req.User)
 		if err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			writeError(w, err)
 			return
 		}
 		ranked := preview.Rank(res, view, s.enricher.Mapping)
 		out = toResultJSON(ranked.Result, stats)
 		out.Scores = ranked.Scores
 	}
+	s.finishQuery(w, out, key, start)
+}
+
+// finishQuery attaches serving stats to a fresh (uncached) query result,
+// stores it in the result cache when eligible, and writes it. Degraded
+// results are never cached: the skipped source may come back at any
+// moment, and epochs do not cover circuit state.
+func (s *Server) finishQuery(w http.ResponseWriter, out resultJSON, key serve.Key, start time.Time) {
+	var st statsJSON
+	if out.Stats != nil {
+		st = *out.Stats
+	}
+	if s.cache != nil && len(out.DegradedSources) == 0 {
+		ent := cachedResult{out: out, stats: st}
+		ent.out.Stats = nil
+		s.cache.Put(key, ent, resultSize(out))
+	}
+	st.ElapsedMicros = time.Since(start).Microseconds()
+	out.Stats = &st
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) sparqlQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		User  string `json:"user"`
+		Query string `json:"query"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	start := time.Now()
+
+	var key serve.Key
+	if s.cache != nil {
+		key = s.cacheKey(req.User, req.Query, "sparql", "")
+		if v, ok := s.cache.Get(key); ok {
+			ent := v.(sparqlResultJSON)
+			st := *ent.Stats
+			st.CacheHit = true
+			st.ElapsedMicros = time.Since(start).Microseconds()
+			ent.Stats = &st
+			writeJSON(w, http.StatusOK, ent)
+			return
+		}
+	}
+
+	view, err := s.enricher.Platform.View(req.User)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := sparql.Eval(view, req.Query)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	out := sparqlResultJSON{Vars: res.Vars, Bool: res.Bool, Bindings: make([]map[string]string, len(res.Bindings))}
+	size := int64(64)
+	for i, b := range res.Bindings {
+		row := map[string]string{}
+		for v, t := range b {
+			row[v] = t.Value
+			size += int64(len(v)+len(t.Value)) + 32
+		}
+		out.Bindings[i] = row
+	}
+	if s.cache != nil {
+		ent := out
+		ent.Stats = &statsJSON{}
+		s.cache.Put(key, ent, size)
+	}
+	out.Stats = &statsJSON{ElapsedMicros: time.Since(start).Microseconds()}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// sparqlResultJSON is the wire form of a direct SPARQL evaluation.
+type sparqlResultJSON struct {
+	Vars     []string            `json:"vars"`
+	Bindings []map[string]string `json:"bindings"`
+	Bool     bool                `json:"bool"`
+	Stats    *statsJSON          `json:"stats,omitempty"`
 }
 
 // --- peer networking and previews (the Sec. I-B vision services) ---
@@ -390,7 +627,7 @@ func (s *Server) sesqlQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) listPeers(w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	if user == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user query parameter required"))
+		writeError(w, fmt.Errorf("rest: user query parameter required"))
 		return
 	}
 	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
@@ -417,34 +654,36 @@ func (s *Server) listPeers(w http.ResponseWriter, r *http.Request) {
 func (s *Server) listRecommendations(w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	if user == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user query parameter required"))
+		writeError(w, fmt.Errorf("rest: user query parameter required"))
 		return
 	}
 	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
 	recs := recommend.RecommendStatements(s.enricher.Platform, user, k)
+	p := parsePage(r)
+	paged, total := slicePage(recs, p)
 	type rj struct {
 		Statement statementJSON `json:"statement"`
 		Score     float64       `json:"score"`
 		Via       []string      `json:"via"`
 	}
-	out := make([]rj, len(recs))
-	for i, rec := range recs {
+	out := make([]rj, len(paged))
+	for i, rec := range paged {
 		out[i] = rj{Statement: toStatementJSON(rec.Statement), Score: rec.Score, Via: rec.Via}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"recommendations": out})
+	writeJSON(w, http.StatusOK, listEnvelope("recommendations", out, p, total))
 }
 
 func (s *Server) snippet(w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	concept := r.URL.Query().Get("concept")
 	if user == "" || concept == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user and concept query parameters required"))
+		writeError(w, fmt.Errorf("rest: user and concept query parameters required"))
 		return
 	}
 	max, _ := strconv.Atoi(r.URL.Query().Get("max"))
 	view, err := s.enricher.Platform.View(user)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeError(w, err)
 		return
 	}
 	facts := preview.Snippet(view, s.enricher.Mapping, concept, max)
@@ -458,40 +697,6 @@ func (s *Server) snippet(w http.ResponseWriter, r *http.Request) {
 		out[i] = fj{Property: f.Property, Value: f.Value, Outgoing: f.Outgoing}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"concept": concept, "facts": out})
-}
-
-func (s *Server) sparqlQuery(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		User  string `json:"user"`
-		Query string `json:"query"`
-	}
-	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	view, err := s.enricher.Platform.View(req.User)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
-	}
-	res, err := sparql.Eval(view, req.Query)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	bindings := make([]map[string]string, len(res.Bindings))
-	for i, b := range res.Bindings {
-		row := map[string]string{}
-		for v, t := range b {
-			row[v] = t.Value
-		}
-		bindings[i] = row
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"vars":     res.Vars,
-		"bindings": bindings,
-		"bool":     res.Bool,
-	})
 }
 
 // vocabulary lists suggested annotation properties and declared terms —
@@ -525,7 +730,7 @@ func (s *Server) declare(w http.ResponseWriter, r *http.Request) {
 		Kind string `json:"kind"` // "resource" | "property"
 	}
 	if err := readJSON(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	name := req.Name
@@ -542,7 +747,7 @@ func (s *Server) declare(w http.ResponseWriter, r *http.Request) {
 		err = fmt.Errorf("rest: kind must be resource or property")
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"name": name})
@@ -553,12 +758,12 @@ func (s *Server) declare(w http.ResponseWriter, r *http.Request) {
 func (s *Server) kbDOT(w http.ResponseWriter, r *http.Request) {
 	user := r.URL.Query().Get("user")
 	if user == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("rest: user query parameter required"))
+		writeError(w, fmt.Errorf("rest: user query parameter required"))
 		return
 	}
 	view, err := s.enricher.Platform.View(user)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/vnd.graphviz")
@@ -566,6 +771,33 @@ func (s *Server) kbDOT(w http.ResponseWriter, r *http.Request) {
 		// Headers already sent; nothing more to do.
 		return
 	}
+}
+
+// --- serving-tier metrics ---
+
+// metricsSnapshot reports the serving tier's observable state: per-endpoint
+// request counts and latency quantiles, result-cache and plan-cache
+// counters, admission-control state, remote-source circuits, and the WAL
+// position.
+func (s *Server) metricsSnapshot(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.enricher.QueryCacheStats()
+	out := map[string]any{
+		"endpoints":  s.metrics.Snapshot(),
+		"plan_cache": map[string]int{"hits": hits, "misses": misses},
+	}
+	if s.cache != nil {
+		out["result_cache"] = s.cache.Stats()
+	}
+	if s.limiter != nil {
+		out["admission"] = s.limiter.Stats()
+	}
+	if s.health != nil {
+		out["sources"] = s.health.Snapshot()
+	}
+	if s.journal != nil {
+		out["wal"] = s.journal.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // --- durability (platform image snapshots) ---
@@ -579,7 +811,7 @@ func (s *Server) kbDOT(w http.ResponseWriter, r *http.Request) {
 func (s *Server) downloadSnapshot(w http.ResponseWriter, r *http.Request) {
 	var img bytes.Buffer
 	if err := core.WriteImage(&img, s.enricher.DB, s.enricher.Platform); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErrorCode(w, http.StatusInternalServerError, codeInternal, err, nil)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -593,12 +825,13 @@ func (s *Server) downloadSnapshot(w http.ResponseWriter, r *http.Request) {
 // force a durable point-in-time save without restarting.
 func (s *Server) saveSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.snapshotPath == "" {
-		writeErr(w, http.StatusConflict, fmt.Errorf("rest: no snapshot path configured (start the server with -snapshot)"))
+		writeErrorCode(w, http.StatusConflict, codeConflict,
+			fmt.Errorf("rest: no snapshot path configured (start the server with -snapshot)"), nil)
 		return
 	}
 	size, err := core.SaveImageFile(s.snapshotPath, s.enricher.DB, s.enricher.Platform)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErrorCode(w, http.StatusInternalServerError, codeInternal, err, nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"path": s.snapshotPath, "bytes": size})
@@ -608,7 +841,8 @@ func (s *Server) saveSnapshot(w http.ResponseWriter, r *http.Request) {
 // last appended and last fsync-covered LSNs, size and sync counters.
 func (s *Server) walStatus(w http.ResponseWriter, r *http.Request) {
 	if s.journal == nil {
-		writeErr(w, http.StatusConflict, fmt.Errorf("rest: no write-ahead log configured (start the server with -wal)"))
+		writeErrorCode(w, http.StatusConflict, codeConflict,
+			fmt.Errorf("rest: no write-ahead log configured (start the server with -wal)"), nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.journal.Status())
@@ -619,12 +853,13 @@ func (s *Server) walStatus(w http.ResponseWriter, r *http.Request) {
 // image now contains.
 func (s *Server) compact(w http.ResponseWriter, r *http.Request) {
 	if s.journal == nil {
-		writeErr(w, http.StatusConflict, fmt.Errorf("rest: no write-ahead log configured (start the server with -wal)"))
+		writeErrorCode(w, http.StatusConflict, codeConflict,
+			fmt.Errorf("rest: no write-ahead log configured (start the server with -wal)"), nil)
 		return
 	}
 	st, err := s.journal.Compact()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErrorCode(w, http.StatusInternalServerError, codeInternal, err, nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -676,7 +911,8 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 // counters.
 func (s *Server) listSources(w http.ResponseWriter, r *http.Request) {
 	if s.health == nil {
-		writeErr(w, http.StatusConflict, fmt.Errorf("rest: no remote sources configured (start the server with -attach)"))
+		writeErrorCode(w, http.StatusConflict, codeConflict,
+			fmt.Errorf("rest: no remote sources configured (start the server with -attach)"), nil)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"sources": s.health.Snapshot()})

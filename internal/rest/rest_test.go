@@ -245,9 +245,9 @@ func TestTablesEndpoint(t *testing.T) {
 
 func TestErrorPaths(t *testing.T) {
 	ts := newTestServer(t)
-	// Unknown user query.
+	// Unknown user query: typed kb.ErrUnknownUser → 404.
 	code, _ := doJSON(t, "POST", ts.URL+"/api/query", map[string]string{"user": "ghost", "sesql": "SELECT 1"})
-	if code != http.StatusBadRequest {
+	if code != http.StatusNotFound {
 		t.Errorf("ghost query: %d", code)
 	}
 	// Malformed JSON body.
@@ -269,10 +269,10 @@ func TestErrorPaths(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Errorf("incomplete statement: %d", code)
 	}
-	// Import into missing statement.
+	// Import into missing statement: typed kb.ErrNoStatement → 404.
 	doJSON(t, "POST", ts.URL+"/api/users", map[string]string{"name": "u"})
 	code, _ = doJSON(t, "POST", ts.URL+"/api/statements/stmt-99/import", map[string]string{"user": "u"})
-	if code != http.StatusBadRequest {
+	if code != http.StatusNotFound {
 		t.Errorf("import missing: %d", code)
 	}
 	// Retract without user.

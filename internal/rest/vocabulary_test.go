@@ -53,10 +53,10 @@ func TestVocabularyEndpoints(t *testing.T) {
 	if code != http.StatusBadRequest {
 		t.Errorf("bad kind: %d", code)
 	}
-	// Unknown user rejected.
+	// Unknown user: typed kb.ErrUnknownUser → 404.
 	code, _ = doJSON(t, "POST", ts.URL+"/api/vocabulary", map[string]string{
 		"user": "ghost", "name": "x", "kind": "resource"})
-	if code != http.StatusBadRequest {
+	if code != http.StatusNotFound {
 		t.Errorf("ghost declare: %d", code)
 	}
 }

@@ -1,0 +1,163 @@
+// Package serve is the heavy-traffic serving tier in front of the
+// enrichment pipeline: an epoch-keyed enriched-result cache, per-endpoint
+// request metrics, and admission control. The REST layer composes these
+// around its handlers; none of them know about HTTP routing, so they are
+// independently testable and reusable by other fronts (e.g. a future gRPC
+// surface).
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one cached enriched result. Epochs make invalidation
+// free: a mutation bumps the owning epoch, so stale entries become
+// unreachable (and age out of the LRU) rather than being hunted down.
+//
+//   - ViewEpoch moves when the user's KB changes (kb.Platform.ViewEpoch:
+//     Insert/Import/Retract, stored-query registration).
+//   - SchemaEpoch moves on databank DDL (sqldb.Database.SchemaEpoch).
+//   - Opts captures anything else that changes the answer for the same
+//     text: execution options, stats/rank request flags.
+type Key struct {
+	User        string
+	Query       string
+	Lang        string // "sesql" | "sparql"
+	Opts        string // canonical encoding of result-affecting options
+	ViewEpoch   uint64
+	SchemaEpoch uint64
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
+	MaxEntrs  int    `json:"max_entries"`
+}
+
+// Cache is a bounded LRU over enriched results, keyed by Key. It bounds
+// both entry count and total byte budget (callers report each entry's
+// size); inserting past either bound evicts from the cold end. All methods
+// are safe for concurrent use.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu    sync.Mutex
+	ll    *list.List // front = hottest
+	items map[Key]*list.Element
+	bytes int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key   Key
+	value any
+	size  int64
+}
+
+// NewCache builds a cache bounded by maxEntries and maxBytes. Zero (or
+// negative) maxEntries defaults to 4096 entries; zero maxBytes defaults to
+// 64 MiB. To disable caching, don't construct one — the REST layer treats
+// a nil cache as cache-off.
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, promoting it to hottest.
+func (c *Cache) Get(key Key) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	v := el.Value.(*cacheEntry).value
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts value under key, charging size bytes against the budget. An
+// entry larger than the whole byte budget is refused (caching it would
+// empty the cache for no reuse benefit).
+func (c *Cache) Put(key Key, value any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	if size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.bytes += size - ent.size
+		ent.value, ent.size = value, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, value: value, size: size})
+		c.bytes += size
+	}
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		c.evictOldest()
+	}
+}
+
+// evictOldest removes the cold end. Caller holds c.mu.
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	ent := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= ent.size
+	c.evictions.Add(1)
+}
+
+// Len returns the live entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries, bytes := c.ll.Len(), c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+		MaxBytes:  c.maxBytes,
+		MaxEntrs:  c.maxEntries,
+	}
+}

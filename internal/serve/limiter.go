@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded reports that the serving tier refused admission: every
+// execution slot is busy and the wait queue is full (or the caller's
+// context expired while queued). The REST layer maps it to 429.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// Limiter is the admission controller: at most maxInflight requests
+// execute concurrently, at most queueDepth more wait for a slot, and
+// everything beyond that is rejected immediately. Saturation therefore
+// degrades into fast, typed 429s instead of an unbounded goroutine
+// pile-up collapsing the process.
+type Limiter struct {
+	slots chan struct{} // execution slots
+	queue chan struct{} // wait tickets (bounds blocked Acquires)
+
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+	queued   atomic.Int64
+}
+
+// LimiterStats is a JSON-ready admission snapshot.
+type LimiterStats struct {
+	MaxInflight int    `json:"max_inflight"`
+	QueueDepth  int    `json:"queue_depth"`
+	InFlight    int    `json:"in_flight"`
+	Queued      int64  `json:"queued"`
+	Admitted    uint64 `json:"admitted"`
+	Rejected    uint64 `json:"rejected"`
+}
+
+// NewLimiter builds an admission controller. maxInflight <= 0 disables
+// limiting (every Acquire succeeds immediately); queueDepth < 0 is
+// treated as 0 (no waiting — reject the moment slots are full).
+func NewLimiter(maxInflight, queueDepth int) *Limiter {
+	if maxInflight <= 0 {
+		return &Limiter{}
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Limiter{
+		slots: make(chan struct{}, maxInflight),
+		queue: make(chan struct{}, queueDepth),
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue when all
+// slots are busy. It fails fast with ErrOverloaded when the queue is also
+// full, and returns the context's error if it expires while waiting.
+// Every successful Acquire must be paired with exactly one Release.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	if l.slots == nil {
+		l.admitted.Add(1)
+		return nil
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return nil
+	default:
+	}
+	// Slots are busy: wait only if the queue has room. With queue depth 0
+	// this select can never proceed on a cap-0 channel, so saturation
+	// rejects immediately.
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		l.rejected.Add(1)
+		return ErrOverloaded
+	}
+	l.queued.Add(1)
+	defer func() {
+		l.queued.Add(-1)
+		<-l.queue
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		l.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release returns an execution slot claimed by Acquire.
+func (l *Limiter) Release() {
+	if l.slots == nil {
+		return
+	}
+	<-l.slots
+}
+
+// Stats snapshots the limiter counters.
+func (l *Limiter) Stats() LimiterStats {
+	s := LimiterStats{
+		Admitted: l.admitted.Load(),
+		Rejected: l.rejected.Load(),
+		Queued:   l.queued.Load(),
+	}
+	if l.slots != nil {
+		s.MaxInflight = cap(l.slots)
+		s.QueueDepth = cap(l.queue)
+		s.InFlight = len(l.slots)
+	}
+	return s
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets are the histogram's upper bounds in microseconds: geometric
+// ×2 from 50µs to ~26s, covering everything from a cache hit to a stalled
+// federated scan. The last bucket is unbounded.
+const numLatBuckets = 20
+
+var latBuckets = func() [numLatBuckets]int64 {
+	var b [numLatBuckets]int64
+	v := int64(50)
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram with lock-free recording.
+type Histogram struct {
+	counts [numLatBuckets + 1]atomic.Uint64
+	sumUS  atomic.Int64
+	n      atomic.Uint64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	i := sort.Search(len(latBuckets), func(i int) bool { return us <= latBuckets[i] })
+	h.counts[i].Add(1)
+	h.sumUS.Add(us)
+	h.n.Add(1)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in microseconds from the
+// bucket counts: the upper bound of the bucket containing the q-th sample.
+// Zero when nothing was recorded.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			if i < len(latBuckets) {
+				return latBuckets[i]
+			}
+			return 2 * latBuckets[len(latBuckets)-1] // overflow bucket
+		}
+	}
+	return 0
+}
+
+// HistStats is a JSON-ready histogram snapshot.
+type HistStats struct {
+	Count  uint64 `json:"count"`
+	MeanUS int64  `json:"mean_us"`
+	P50US  int64  `json:"p50_us"`
+	P95US  int64  `json:"p95_us"`
+	P99US  int64  `json:"p99_us"`
+}
+
+func (h *Histogram) stats() HistStats {
+	n := h.n.Load()
+	s := HistStats{
+		Count: n,
+		P50US: h.Quantile(0.50),
+		P95US: h.Quantile(0.95),
+		P99US: h.Quantile(0.99),
+	}
+	if n > 0 {
+		s.MeanUS = h.sumUS.Load() / int64(n)
+	}
+	return s
+}
+
+// EndpointStats is one endpoint's JSON-ready metric snapshot.
+type EndpointStats struct {
+	Requests uint64            `json:"requests"`
+	InFlight int64             `json:"in_flight"`
+	Status   map[string]uint64 `json:"status,omitempty"` // "2xx" → count
+	Latency  HistStats         `json:"latency"`
+}
+
+// endpoint holds one route's live counters.
+type endpoint struct {
+	requests atomic.Uint64
+	inFlight atomic.Int64
+	status   [6]atomic.Uint64 // index = status/100 (0 unused)
+	hist     Histogram
+}
+
+// Metrics is the per-endpoint request metric registry. Endpoints register
+// lazily on first use; snapshotting never blocks recording.
+type Metrics struct {
+	mu        sync.RWMutex
+	endpoints map[string]*endpoint
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpoint)}
+}
+
+func (m *Metrics) endpoint(name string) *endpoint {
+	m.mu.RLock()
+	e, ok := m.endpoints[name]
+	m.mu.RUnlock()
+	if ok {
+		return e
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok = m.endpoints[name]; ok {
+		return e
+	}
+	e = &endpoint{}
+	m.endpoints[name] = e
+	return e
+}
+
+// Begin marks a request as in flight on the endpoint and returns the
+// completion callback. Call done with the final HTTP status once the
+// response is written.
+func (m *Metrics) Begin(name string) (done func(status int)) {
+	e := m.endpoint(name)
+	e.inFlight.Add(1)
+	start := time.Now()
+	return func(status int) {
+		e.inFlight.Add(-1)
+		e.requests.Add(1)
+		if c := status / 100; c >= 1 && c <= 5 {
+			e.status[c].Add(1)
+		}
+		e.hist.Observe(time.Since(start))
+	}
+}
+
+// Snapshot returns every endpoint's stats keyed by endpoint name.
+func (m *Metrics) Snapshot() map[string]EndpointStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]EndpointStats, len(m.endpoints))
+	for name, e := range m.endpoints {
+		st := EndpointStats{
+			Requests: e.requests.Load(),
+			InFlight: e.inFlight.Load(),
+			Latency:  e.hist.stats(),
+		}
+		for c := 1; c <= 5; c++ {
+			if n := e.status[c].Load(); n > 0 {
+				if st.Status == nil {
+					st.Status = make(map[string]uint64)
+				}
+				st.Status[statusClass(c)] = n
+			}
+		}
+		out[name] = st
+	}
+	return out
+}
+
+func statusClass(c int) string {
+	return string(rune('0'+c)) + "xx"
+}

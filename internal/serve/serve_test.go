@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	c := NewCache(2, 1<<20)
+	k1 := Key{User: "alice", Query: "q1", Lang: "sesql", ViewEpoch: 1}
+	k2 := Key{User: "alice", Query: "q2", Lang: "sesql", ViewEpoch: 1}
+	k3 := Key{User: "bob", Query: "q1", Lang: "sesql", ViewEpoch: 1}
+
+	if _, ok := c.Get(k1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k1, "r1", 10)
+	c.Put(k2, "r2", 10)
+	if v, ok := c.Get(k1); !ok || v != "r1" {
+		t.Fatalf("Get(k1) = %v, %v", v, ok)
+	}
+	// k1 is now hottest; inserting k3 evicts k2.
+	c.Put(k3, "r3", 10)
+	if _, ok := c.Get(k2); ok {
+		t.Error("k2 should have been evicted (LRU)")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Error("k1 should survive")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 1 eviction", st)
+	}
+}
+
+func TestCacheEpochChangesKey(t *testing.T) {
+	c := NewCache(10, 1<<20)
+	k := Key{User: "alice", Query: "q", Lang: "sesql", ViewEpoch: 1}
+	c.Put(k, "old", 1)
+	k.ViewEpoch = 2
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry under old epoch must not answer the new epoch")
+	}
+	c.Put(k, "new", 1)
+	if v, _ := c.Get(k); v != "new" {
+		t.Fatalf("got %v", v)
+	}
+	k.ViewEpoch = 1
+	if v, _ := c.Get(k); v != "old" {
+		t.Fatalf("old-epoch entry should still be readable, got %v", v)
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	c := NewCache(100, 100)
+	c.Put(Key{Query: "a"}, "a", 60)
+	c.Put(Key{Query: "b"}, "b", 60) // 120 > 100: evicts "a"
+	if _, ok := c.Get(Key{Query: "a"}); ok {
+		t.Error("byte budget should have evicted a")
+	}
+	if _, ok := c.Get(Key{Query: "b"}); !ok {
+		t.Error("b should be cached")
+	}
+	// An entry larger than the whole budget is refused outright.
+	c.Put(Key{Query: "huge"}, "huge", 1000)
+	if _, ok := c.Get(Key{Query: "huge"}); ok {
+		t.Error("oversized entry must not be cached")
+	}
+	if st := c.Stats(); st.Bytes > 100 {
+		t.Errorf("bytes = %d, want <= 100", st.Bytes)
+	}
+}
+
+func TestCacheUpdateSameKey(t *testing.T) {
+	c := NewCache(10, 100)
+	k := Key{Query: "q"}
+	c.Put(k, "v1", 40)
+	c.Put(k, "v2", 70)
+	if v, _ := c.Get(k); v != "v2" {
+		t.Fatalf("got %v", v)
+	}
+	if st := c.Stats(); st.Bytes != 70 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 70 bytes / 1 entry", st)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := Key{User: "u", Query: string(rune('a' + (g+i)%16)), ViewEpoch: uint64(i % 4)}
+				c.Put(k, i, 8)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 64 {
+		t.Errorf("len = %d, want <= 64", n)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	h.Observe(2 * time.Second)
+	st := h.stats()
+	if st.Count != 100 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	// 100µs lands in the 100µs bucket, so p50/p95 report its bound.
+	if st.P50US != 100 || st.P95US != 100 {
+		t.Errorf("p50 = %d, p95 = %d, want 100", st.P50US, st.P95US)
+	}
+	if st.P99US < 1_000_000 {
+		t.Errorf("p99 = %dµs, want >= 1s for the outlier", st.P99US)
+	}
+}
+
+func TestMetricsBeginSnapshot(t *testing.T) {
+	m := NewMetrics()
+	done := m.Begin("GET /api/v1/users")
+	snap := m.Snapshot()["GET /api/v1/users"]
+	if snap.InFlight != 1 || snap.Requests != 0 {
+		t.Fatalf("mid-flight snapshot = %+v", snap)
+	}
+	done(200)
+	m.Begin("GET /api/v1/users")(404)
+	snap = m.Snapshot()["GET /api/v1/users"]
+	if snap.InFlight != 0 || snap.Requests != 2 {
+		t.Fatalf("final snapshot = %+v", snap)
+	}
+	if snap.Status["2xx"] != 1 || snap.Status["4xx"] != 1 {
+		t.Errorf("status classes = %v", snap.Status)
+	}
+	if snap.Latency.Count != 2 {
+		t.Errorf("latency count = %d", snap.Latency.Count)
+	}
+}
+
+func TestLimiterRejectsWhenSaturated(t *testing.T) {
+	l := NewLimiter(1, 0)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	l.Release()
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	l.Release()
+	st := l.Stats()
+	if st.Admitted != 2 || st.Rejected != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLimiterQueueAdmitsAfterRelease(t *testing.T) {
+	l := NewLimiter(1, 1)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- l.Acquire(context.Background()) }()
+	// Wait until the second caller is queued, then a third is rejected.
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second Acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third Acquire err = %v, want ErrOverloaded", err)
+	}
+	l.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued Acquire err = %v", err)
+	}
+	l.Release()
+}
+
+func TestLimiterContextCancelWhileQueued(t *testing.T) {
+	l := NewLimiter(1, 4)
+	if err := l.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- l.Acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Acquire never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	l.Release()
+	// The cancelled waiter must have released its queue ticket.
+	if st := l.Stats(); st.Queued != 0 {
+		t.Errorf("queued = %d after cancel, want 0", st.Queued)
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l := NewLimiter(0, 0)
+	for i := 0; i < 100; i++ {
+		if err := l.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Release() // must not panic or block
+	if st := l.Stats(); st.Admitted != 100 || st.MaxInflight != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

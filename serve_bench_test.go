@@ -1,0 +1,122 @@
+// Serving-tier load benchmark: simulated users driving traffic over the
+// real HTTP handler (routing, middleware, JSON rendering included), so the
+// measured QPS is what a deployment would see. Three workloads:
+//
+//   - CachedRepeat: a small hot query set with the enriched-result cache
+//     on — the repeated-query ceiling.
+//   - Uncached: the same traffic with the cache disabled — every request
+//     pays the full enrichment pipeline.
+//   - Mixed: cache on, with one mutation per 16 requests — each mutation
+//     bumps the issuing user's view epoch, so the cache keeps being
+//     invalidated and repopulated the way live traffic would.
+package crosse
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"crosse/internal/rest"
+	"crosse/internal/serve"
+)
+
+const serveLoadUsers = 8
+
+// serveLoadQuery is the hot query: the stored dangerQuery runs a SPARQL
+// evaluation against the user's view on every miss, while the result stays
+// small — the shape where result caching pays the most.
+const serveLoadQuery = `SELECT landfill_name FROM elem_contained
+WHERE ${elem_name = HazardousWaste:c1}
+ENRICH REPLACECONSTANT(c1, HazardousWaste, dangerQuery)`
+
+func serveLoadFixture(b *testing.B, withCache bool) (*httptest.Server, *http.Client) {
+	b.Helper()
+	enr := benchFixture(b, 100, 0)
+	srv := rest.NewServer(enr)
+	srv.SetLogf(nil)
+	if withCache {
+		srv.SetResultCache(serve.NewCache(4096, 64<<20))
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	for i := 0; i < serveLoadUsers; i++ {
+		servePost(b, client, ts, "/api/v1/users", fmt.Sprintf(`{"name":"u%d"}`, i))
+		servePost(b, client, ts, "/api/v1/statements", fmt.Sprintf(
+			`{"user":"u%d","subject":"element_%03d","property":"dangerLevel","object":"high","object_literal":true}`, i, i))
+	}
+	return ts, client
+}
+
+func servePost(b *testing.B, client *http.Client, ts *httptest.Server, path, body string) {
+	b.Helper()
+	resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		b.Fatalf("POST %s: %d", path, resp.StatusCode)
+	}
+}
+
+// serveLoadRun drives b.N requests through op (called with a per-request
+// sequence number) from parallel workers and reports throughput.
+func serveLoadRun(b *testing.B, op func(n uint64)) {
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			op(seq.Add(1))
+		}
+	})
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "qps")
+	}
+}
+
+func BenchmarkServeLoad(b *testing.B) {
+	query := func(client *http.Client, ts *httptest.Server, n uint64) {
+		body := fmt.Sprintf(`{"user":"u%d","sesql":%q}`, n%serveLoadUsers, serveLoadQuery)
+		resp, err := client.Post(ts.URL+"/api/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Errorf("query: %d", resp.StatusCode)
+		}
+	}
+
+	b.Run("CachedRepeat", func(b *testing.B) {
+		ts, client := serveLoadFixture(b, true)
+		serveLoadRun(b, func(n uint64) { query(client, ts, n) })
+	})
+
+	b.Run("Uncached", func(b *testing.B) {
+		ts, client := serveLoadFixture(b, false)
+		serveLoadRun(b, func(n uint64) { query(client, ts, n) })
+	})
+
+	b.Run("Mixed", func(b *testing.B) {
+		ts, client := serveLoadFixture(b, true)
+		serveLoadRun(b, func(n uint64) {
+			if n%16 == 0 {
+				servePost(b, client, ts, "/api/v1/statements", fmt.Sprintf(
+					`{"user":"u%d","subject":"element_%03d","property":"dangerLevel","object":"v%d","object_literal":true}`,
+					n%serveLoadUsers, n%serveLoadUsers, n))
+				return
+			}
+			query(client, ts, n)
+		})
+	})
+}
