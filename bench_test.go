@@ -584,6 +584,56 @@ func BenchmarkSQLOrderTopK(b *testing.B) {
 	})
 }
 
+// The four families below track the stages parallelised after the initial
+// morsel engine landed (see internal/sqlexec/parallel.go and
+// internal/sparql/parallel.go): partitioned hash-join builds, deterministic
+// SUM/AVG merges, the full final sort (ORDER BY without LIMIT), and SPARQL
+// property-path head fan-out. All clear the engines' parallel thresholds;
+// compare -cpu 1,4,8 — CI guards that 8-core ns/op never regresses past
+// 1-core (cmd/benchjson -guard).
+
+// BenchmarkSQLJoinBuildHeavy drives a small scan into a 100k-row build
+// side, so the partitioned parallel hash build dominates the query.
+func BenchmarkSQLJoinBuildHeavy(b *testing.B) {
+	db := sqlBenchDB(b, 100000)
+	const q = `SELECT COUNT(*) FROM dims d JOIN points p ON d.id = p.id`
+	b.Run("Build100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSQLGroupBySum exercises the morsel-structured compensated
+// SUM/AVG merge (bit-identical to serial; see aggState.sumFloat).
+func BenchmarkSQLGroupBySum(b *testing.B) {
+	db := sqlBenchDB(b, 100000)
+	const q = `SELECT k, SUM(v), AVG(v) FROM points GROUP BY k`
+	b.Run("Sum100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSQLOrderFullSort is ORDER BY without LIMIT: per-worker sorted
+// runs merged by a loser tree instead of one serial 100k-row sort.
+func BenchmarkSQLOrderFullSort(b *testing.B) {
+	db := sqlBenchDB(b, 100000)
+	const q = `SELECT id, v FROM points ORDER BY v DESC`
+	b.Run("Sort100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSQLCompiledPlan isolates what the plan cache buys: a cache hit
 // (epoch check + map lookup + streaming execution) vs parse+compile+run
 // per call, plus the bare parse+compile cost of a multi-join query. The
@@ -713,6 +763,39 @@ func BenchmarkSPARQL(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := sparql.Eval(big, sparqlBenchBGPJoin); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSPARQLPathHead is the property-path fan-out family: the driving
+// step is a path whose 10k-pair frontier is materialised once and split
+// into morsels, and each worker runs the downstream probe + FILTER
+// pipeline over its pairs. DisableReorder pins the path step as the head —
+// the cost model would otherwise drive from the plain pattern, and the
+// point here is the path-head fan-out. Compare -cpu 1,4,8.
+func BenchmarkSPARQLPathHead(b *testing.B) {
+	const ns = core.DefaultIRIPrefix
+	big := sparqlBenchStoreN(100000)
+	q := `SELECT ?x ?c ?l WHERE { ?x <` + ns + `isA>/<` + ns + `sub>* ?c . ?x <` + ns + `level> ?l . FILTER REGEX(STR(?x), "[2468]0$") }`
+	parsed, err := sparql.Parse(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sparql.Compile(parsed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := sparql.Options{DisableReorder: true}
+	b.Run("Closure100k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := plan.EvalOpts(big, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Bindings) == 0 {
+				b.Fatal("no solutions")
 			}
 		}
 	})

@@ -1,13 +1,21 @@
 // Command benchjson converts `go test -bench` output into a machine-readable
-// JSON artifact mapping benchmark name → per-CPU entries, each holding the
-// GOMAXPROCS setting (the "-8" suffix go test appends to the name) and the
-// metrics measured there (ns/op, B/op, allocs/op and any custom ReportMetric
-// units), so CI can track both the performance trajectory across PRs and the
-// parallel-scaling curve of a `-cpu 1,4,8` sweep without scraping text logs.
+// JSON artifact — a versioned list of (benchmark name, GOMAXPROCS, metrics)
+// entries sorted by name then CPU — holding the GOMAXPROCS setting (the
+// "-8" suffix go test appends to the name) and the metrics measured there
+// (ns/op, B/op, allocs/op and any custom ReportMetric units), so CI can
+// track both the performance trajectory across PRs and the parallel-scaling
+// curve of a `-cpu 1,4,8` sweep without scraping text logs.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' . | go run ./cmd/benchjson -out BENCH.json
+//
+// With -guard, benchjson also enforces the parallel-scaling floor and
+// exits nonzero when any matched family's highest-CPU ns/op exceeds its
+// single-core ns/op by more than -guard-ratio:
+//
+//	go run ./cmd/benchjson -in bench.txt -out BENCH.json \
+//	  -guard 'BenchmarkSQLJoinBuildHeavy|BenchmarkSPARQLPathHead'
 package main
 
 import (
@@ -16,11 +24,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 )
 
 func main() {
 	in := flag.String("in", "", "benchmark output file (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
+	guard := flag.String("guard", "", "regexp of benchmark families whose highest-CPU ns/op must stay within -guard-ratio of their cpu=1 ns/op; exit nonzero on violation")
+	guardRatio := flag.Float64("guard-ratio", 1.10, "max allowed highest-CPU/single-core ns/op ratio under -guard")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -47,10 +58,18 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
+	}
+	if *guard != "" {
+		pat, err := regexp.Compile(*guard)
+		if err != nil {
+			fatal(err)
+		}
+		if err := Guard(report, pat, *guardRatio); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: scaling guard passed for %q (ratio limit %.2f)\n", *guard, *guardRatio)
 	}
 }
 

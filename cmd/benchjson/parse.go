@@ -1,10 +1,18 @@
 package main
 
 import (
+	"fmt"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// SchemaVersion identifies the artifact layout so downstream tooling can
+// diff BENCH.json files across PRs without sniffing their shape. Version 1
+// was the unversioned benchmark-name → entry-list map; version 2 flattened
+// the report into a sorted entry list under a top-level schema_version.
+const SchemaVersion = 2
 
 // Metrics is one benchmark's measurements: unit → value. Units come
 // straight from the benchmark line ("ns/op", "B/op", "allocs/op", plus any
@@ -13,20 +21,24 @@ type Metrics map[string]float64
 
 // Entry is one benchmark's measurements at one GOMAXPROCS setting. The
 // processor count go test appends to the name ("-8") lands in CPU instead
-// of the key, so a `-cpu 1,4,8` scaling sweep yields one entry per setting
-// rather than a meaningless mean across them.
+// of the name, so a `-cpu 1,4,8` scaling sweep yields one entry per
+// setting rather than a meaningless mean across them.
 type Entry struct {
+	Name    string  `json:"name"`
 	CPU     int     `json:"cpu"`
 	Metrics Metrics `json:"metrics"`
 }
 
-// Report maps benchmark name (GOMAXPROCS suffix split off into each
-// entry's CPU field, so keys are stable across machines) to its per-CPU
-// results, ordered by rising CPU. When the same (name, cpu) pair appears
-// more than once (e.g. -count>1), each metric is the mean over the
-// repeated runs, so the artifact reflects all measurements instead of
-// whichever run happened to come last.
-type Report map[string][]Entry
+// Report is the artifact: the schema version plus every (name, cpu)
+// bucket, sorted by name then rising CPU, so byte-identical inputs always
+// produce byte-identical artifacts and scaling curves read straight off
+// adjacent entries. When the same (name, cpu) pair appears more than once
+// (e.g. -count>1), each metric is the mean over the repeated runs, so the
+// artifact reflects all measurements instead of whichever run came last.
+type Report struct {
+	SchemaVersion int     `json:"schema_version"`
+	Benchmarks    []Entry `json:"benchmarks"`
+}
 
 // benchKey identifies one aggregation bucket: repeated runs of a name at
 // the same GOMAXPROCS average together, runs at different settings don't.
@@ -74,19 +86,77 @@ func Parse(out string) (Report, error) {
 			counts[key][unit]++
 		}
 	}
-	report := Report{}
+	report := Report{SchemaVersion: SchemaVersion}
 	for key, acc := range sums {
 		m := Metrics{}
 		for unit, sum := range acc {
 			m[unit] = sum / float64(counts[key][unit])
 		}
-		report[key.name] = append(report[key.name], Entry{CPU: key.cpu, Metrics: m})
+		report.Benchmarks = append(report.Benchmarks, Entry{Name: key.name, CPU: key.cpu, Metrics: m})
 	}
-	for name := range report {
-		es := report[name]
-		sort.Slice(es, func(i, j int) bool { return es[i].CPU < es[j].CPU })
-	}
+	sort.Slice(report.Benchmarks, func(i, j int) bool {
+		a, b := report.Benchmarks[i], report.Benchmarks[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.CPU < b.CPU
+	})
 	return report, nil
+}
+
+// Guard enforces the parallel-scaling floor on a -cpu sweep: for every
+// benchmark whose name matches pattern, ns/op at the highest GOMAXPROCS
+// setting must not exceed maxRatio × ns/op at GOMAXPROCS=1 — a parallel
+// stage may fail to speed a workload up, but it must never make it slower
+// than the serial path beyond measurement jitter. A pattern that matches
+// nothing, or a matched benchmark missing its single-core baseline or a
+// multi-core setting, is an error too: a mis-wired sweep must fail loud,
+// not pass vacuously.
+func Guard(r Report, pattern *regexp.Regexp, maxRatio float64) error {
+	byName := map[string][]Entry{}
+	var names []string
+	for _, e := range r.Benchmarks {
+		if !pattern.MatchString(e.Name) {
+			continue
+		}
+		if byName[e.Name] == nil {
+			names = append(names, e.Name)
+		}
+		byName[e.Name] = append(byName[e.Name], e)
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("guard pattern %q matched no benchmarks", pattern)
+	}
+	var bad []string
+	for _, n := range names {
+		es := byName[n] // report order: rising CPU
+		base, top := es[0], es[len(es)-1]
+		if base.CPU != 1 || top.CPU == 1 {
+			bad = append(bad, fmt.Sprintf("%s: need a cpu=1 baseline and a multi-core run, got cpu settings %v", n, cpus(es)))
+			continue
+		}
+		b, t := base.Metrics["ns/op"], top.Metrics["ns/op"]
+		if b <= 0 || t <= 0 {
+			bad = append(bad, fmt.Sprintf("%s: missing ns/op (cpu=1: %v, cpu=%d: %v)", n, b, top.CPU, t))
+			continue
+		}
+		if t > maxRatio*b {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op at cpu=%d vs %.0f ns/op at cpu=1 (%.2fx, limit %.2fx)",
+				n, t, top.CPU, b, t/b, maxRatio))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("parallel-scaling guard failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+func cpus(es []Entry) []int {
+	out := make([]int, len(es))
+	for i, e := range es {
+		out[i] = e.CPU
+	}
+	return out
 }
 
 // splitProcs separates the trailing -GOMAXPROCS suffix go test appends to

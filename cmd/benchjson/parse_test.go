@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
 
 const sample = `goos: linux
 goarch: amd64
@@ -18,13 +23,24 @@ ok  	crosse	1.234s
 // at returns the entry for one GOMAXPROCS setting of one benchmark.
 func at(t *testing.T, r Report, name string, cpu int) Metrics {
 	t.Helper()
-	for _, e := range r[name] {
-		if e.CPU == cpu {
+	for _, e := range r.Benchmarks {
+		if e.Name == name && e.CPU == cpu {
 			return e.Metrics
 		}
 	}
-	t.Fatalf("%s has no cpu=%d entry: %v", name, cpu, r[name])
+	t.Fatalf("no entry for %s cpu=%d: %v", name, cpu, r.Benchmarks)
 	return nil
+}
+
+// entries returns all of one benchmark's entries, in report order.
+func entries(r Report, name string) []Entry {
+	var es []Entry
+	for _, e := range r.Benchmarks {
+		if e.Name == name {
+			es = append(es, e)
+		}
+	}
+	return es
 }
 
 func TestParse(t *testing.T) {
@@ -32,8 +48,11 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r) != 4 {
-		t.Fatalf("parsed %d entries, want 4: %v", len(r), r)
+	if r.SchemaVersion != SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", r.SchemaVersion, SchemaVersion)
+	}
+	if len(r.Benchmarks) != 4 {
+		t.Fatalf("parsed %d entries, want 4: %v", len(r.Benchmarks), r.Benchmarks)
 	}
 
 	m := at(t, r, "BenchmarkBeliefImport/statements1000", 8)
@@ -51,8 +70,55 @@ func TestParse(t *testing.T) {
 	if m := at(t, r, "BenchmarkCustomMetric", 2); m["widgets/op"] != 42.5 {
 		t.Errorf("custom metric = %v", m)
 	}
-	if _, ok := r["BenchmarkBroken"]; ok {
-		t.Error("failed benchmark line should be skipped")
+	for _, e := range r.Benchmarks {
+		if e.Name == "BenchmarkBroken" {
+			t.Error("failed benchmark line should be skipped")
+		}
+	}
+}
+
+// The artifact must be deterministic: entries sorted by name, then rising
+// CPU, no matter what order the runs appeared in the input.
+func TestParseDeterministicOrder(t *testing.T) {
+	const scrambled = `goos: linux
+BenchmarkZeta-8    	      10	    100 ns/op
+BenchmarkAlpha/x-4 	      10	    100 ns/op
+BenchmarkAlpha/x-8 	      10	    100 ns/op
+BenchmarkAlpha/x   	      10	    100 ns/op
+BenchmarkMid-2     	      10	    100 ns/op
+PASS
+`
+	r, err := Parse(scrambled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]benchKey, len(r.Benchmarks))
+	for i, e := range r.Benchmarks {
+		got[i] = benchKey{e.Name, e.CPU}
+	}
+	want := []benchKey{
+		{"BenchmarkAlpha/x", 1},
+		{"BenchmarkAlpha/x", 4},
+		{"BenchmarkAlpha/x", 8},
+		{"BenchmarkMid", 2},
+		{"BenchmarkZeta", 8},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !sort.SliceIsSorted(r.Benchmarks, func(i, j int) bool {
+		a, b := r.Benchmarks[i], r.Benchmarks[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.CPU < b.CPU
+	}) {
+		t.Errorf("report not sorted by (name, cpu): %v", got)
 	}
 }
 
@@ -70,7 +136,7 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	es := r["BenchmarkSQLJoin/Hash100k"]
+	es := entries(r, "BenchmarkSQLJoin/Hash100k")
 	if len(es) != 3 {
 		t.Fatalf("sweep produced %d entries, want 3: %v", len(es), es)
 	}
@@ -100,8 +166,8 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r) != 2 {
-		t.Fatalf("parsed %d entries, want 2: %v", len(r), r)
+	if len(r.Benchmarks) != 2 {
+		t.Fatalf("parsed %d entries, want 2: %v", len(r.Benchmarks), r.Benchmarks)
 	}
 	m := at(t, r, "BenchmarkFoo", 8)
 	if m["ns/op"] != 2200 {
@@ -117,7 +183,7 @@ PASS
 		t.Errorf("iterations = %v, want mean 200", m["iterations"])
 	}
 	if at(t, r, "BenchmarkBar", 8)["ns/op"] != 500 {
-		t.Errorf("single-run benchmark affected by aggregation: %v", r["BenchmarkBar"])
+		t.Errorf("single-run benchmark affected by aggregation: %v", entries(r, "BenchmarkBar"))
 	}
 }
 
@@ -137,5 +203,60 @@ func TestSplitProcs(t *testing.T) {
 		if name, cpu := splitProcs(in); name != want.name || cpu != want.cpu {
 			t.Errorf("splitProcs(%q) = %q, %d; want %q, %d", in, name, cpu, want.name, want.cpu)
 		}
+	}
+}
+
+// The scaling guard: multi-core ns/op must stay within the ratio of the
+// single-core baseline, and degenerate sweeps (nothing matched, no
+// baseline, no multi-core run) fail rather than pass vacuously.
+func TestGuard(t *testing.T) {
+	const sweep = `goos: linux
+BenchmarkScalesWell/N100k    	      10	  12000000 ns/op
+BenchmarkScalesWell/N100k-4  	      30	   3500000 ns/op
+BenchmarkScalesWell/N100k-8  	      50	   2000000 ns/op
+BenchmarkRegresses/N100k     	      10	  10000000 ns/op
+BenchmarkRegresses/N100k-8   	       8	  13000000 ns/op
+BenchmarkFlat/N100k          	      10	  10000000 ns/op
+BenchmarkFlat/N100k-8        	      10	  10500000 ns/op
+BenchmarkNoBaseline-8        	      10	   1000 ns/op
+PASS
+`
+	r, err := Parse(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		pattern string
+		wantErr string // substring; "" = pass
+	}{
+		{"speedup passes", "BenchmarkScalesWell", ""},
+		{"within tolerance passes", "BenchmarkFlat", ""},
+		{"regression fails", "BenchmarkRegresses", "parallel-scaling guard failed"},
+		{"regression named in error", "BenchmarkScalesWell|BenchmarkRegresses", "BenchmarkRegresses/N100k"},
+		{"no match fails", "BenchmarkGhost", "matched no benchmarks"},
+		{"missing baseline fails", "BenchmarkNoBaseline", "need a cpu=1 baseline"},
+	}
+	for _, tc := range cases {
+		err := Guard(r, regexp.MustCompile(tc.pattern), 1.10)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// The ratio knob is honoured: 1.3 tolerates the 1.3x regression's
+	// sibling at 1.05x but a strict 1.0 rejects even BenchmarkFlat.
+	if err := Guard(r, regexp.MustCompile("BenchmarkFlat"), 1.0); err == nil {
+		t.Error("ratio 1.0 should reject a 1.05x entry")
+	}
+	if err := Guard(r, regexp.MustCompile("BenchmarkRegresses"), 1.5); err != nil {
+		t.Errorf("ratio 1.5 should tolerate a 1.3x entry: %v", err)
 	}
 }

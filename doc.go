@@ -101,15 +101,34 @@
 // zero-copy. Output is buffered per morsel (or stamped with its
 // (morsel, sequence) arrival position) and merged in morsel order, which
 // makes the parallel result byte-identical to the serial one: same rows,
-// same order, same ties, same first error. Aggregations merge per-worker
-// maps through commutative partials (COUNT sums, MIN/MAX compare with
-// arrival stamps breaking ties); ORDER BY unions per-worker bounded
-// top-K heaps; a contiguous completed-morsel prefix can prove a LIMIT
-// satisfied and cancel the remaining morsels. Shapes that cannot merge
-// exactly fall back to serial: grouped plans with order-sensitive
-// accumulators (float SUM/AVG, DISTINCT aggregates), ASK,
-// property-path heads, foreign-table scans, and inputs below the morsel
-// threshold, where fan-out costs more than it wins. The knob is
+// same order, same ties, same first error.
+//
+// Every parallel reduction follows one rule: workers may compute their
+// partials in any interleaving, but partials FOLD in morsel order, and
+// float folds are Neumaier-compensated — so the reduction is not merely
+// order-insensitive "close enough" arithmetic but reproduces the serial
+// accumulation bit for bit. Under that rule every standard aggregate
+// merges (COUNT/SUM as sums, MIN/MAX with arrival stamps breaking ties,
+// float SUM/AVG as per-morsel compensated partials, DISTINCT aggregates
+// as first-occurrence maps keeping the earliest stamp); hash-join builds
+// partition the build side and merge per-worker bucket maps in morsel
+// order on a two-phase barrier pool (exec.PhasedPool); ORDER BY with
+// LIMIT unions per-worker bounded top-K heaps, and ORDER BY without
+// LIMIT sorts per-worker runs concurrently and merges them with a loser
+// tree (exec.LoserTree, ties to the earlier morsel — exactly the serial
+// stable sort); SPARQL property-path heads materialise the path frontier
+// once and fan the pairs out like any posting list; a contiguous
+// completed-morsel prefix can prove a LIMIT satisfied and cancel the
+// remaining morsels. Shapes that still cannot merge exactly fall back to
+// serial — ASK (first match wins), non-mergeable aggregate functions,
+// foreign-table scans, graph readers without rdf.ConcurrentReader, and
+// inputs below the morsel threshold where fan-out costs more than it
+// wins — and every fallback names its reason:
+// sqlexec/sparql Result.ParallelFallback (and the streaming StreamInfo)
+// carry it per query, core.Stats.ParallelFallback aggregates the stages
+// ("base-sql: ...", "sparql: ...", "final-sql: ..."), and the REST stats
+// object surfaces it as parallel_fallback, so "why didn't this query
+// parallelise" is an API field, not a profiling session. The knob is
 // sqlexec.Options.Parallelism / sparql.Options.Parallelism /
 // core.Enricher.SetParallelism (0 = GOMAXPROCS, 1 = serial); parity
 // suites run every test at 1, 2 and 4 workers, and a determinism suite

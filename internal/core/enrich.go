@@ -140,6 +140,32 @@ type Stats struct {
 	// SkippedSources names remote sources that were down and skipped
 	// under partial-results degradation (empty on complete results).
 	SkippedSources []string
+
+	// ParallelFallback records why query stages fell back to the serial
+	// pipeline instead of morsel-driven parallel execution — stage-prefixed
+	// reasons ("base-sql: driving scan below parallel threshold";
+	// "sparql: parallelism=1") joined by "; ", deduplicated. Empty when
+	// every executed stage ran parallel.
+	ParallelFallback string
+}
+
+// addParallelFallback records one stage's serial-fallback reason,
+// deduplicating repeats (a single SESQL evaluation can run many SPARQL
+// queries that all decline for the same reason).
+func (s *Stats) addParallelFallback(stage, reason string) {
+	if reason == "" {
+		return
+	}
+	entry := stage + ": " + reason
+	for _, have := range strings.Split(s.ParallelFallback, "; ") {
+		if have == entry {
+			return
+		}
+	}
+	if s.ParallelFallback != "" {
+		s.ParallelFallback += "; "
+	}
+	s.ParallelFallback += entry
 }
 
 // Total returns the end-to-end latency.
@@ -211,6 +237,7 @@ func (e *Enricher) QueryStatsContext(ctx context.Context, user, text string) (*s
 		if res != nil {
 			st.BaseRows, st.FinalRows = len(res.Rows), len(res.Rows)
 			st.SkippedSources = res.SkippedSources
+			st.addParallelFallback("base-sql", res.ParallelFallback)
 		}
 		return res, st, err
 	}
@@ -244,7 +271,7 @@ func (e *Enricher) QueryStatsContext(ctx context.Context, user, text string) (*s
 	}
 	work := &workset{headers: plan.Columns()}
 	arena := sqlval.NewRowArena(len(work.headers))
-	skipped, err := plan.StreamContext(ctx, func(row []sqlval.Value) bool {
+	info, err := plan.StreamInfoContext(ctx, func(row []sqlval.Value) bool {
 		work.rows = append(work.rows, arena.Copy(row))
 		return true
 	})
@@ -252,7 +279,9 @@ func (e *Enricher) QueryStatsContext(ctx context.Context, user, text string) (*s
 	if err != nil {
 		return nil, st, fmt.Errorf("core: base query: %w", err)
 	}
+	skipped := info.SkippedSources
 	st.SkippedSources = skipped
+	st.addParallelFallback("base-sql", info.ParallelFallback)
 	st.BaseRows = len(work.rows)
 	visible := len(work.headers) - len(hidden.order)
 
@@ -320,6 +349,7 @@ func (e *Enricher) QueryStatsContext(ctx context.Context, user, text string) (*s
 	finalRes.Columns = append([]string(nil), work.headers[:len(work.headers)-len(hidden.order)]...)
 	st.FinalRows = len(finalRes.Rows)
 	finalRes.SkippedSources = skipped
+	st.addParallelFallback("final-sql", finalRes.ParallelFallback)
 	return finalRes, st, nil
 }
 
@@ -786,9 +816,11 @@ func (e *Enricher) streamSPARQL(view rdf.Graph, text string, st *Stats, minVars 
 	if p.NumVars() < minVars {
 		return fmt.Errorf("core: %s", minVarsErr)
 	}
-	if err := p.StreamOpts(view, e.opts.SPARQL(), fn); err != nil {
+	info, err := p.StreamInfoOpts(view, e.opts.SPARQL(), fn)
+	if err != nil {
 		return fmt.Errorf("core: SPARQL: %w", err)
 	}
+	st.addParallelFallback("sparql", info.ParallelFallback)
 	return nil
 }
 

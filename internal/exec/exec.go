@@ -16,6 +16,7 @@
 package exec
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -159,4 +160,225 @@ func (l *Limiter) Done(m, rows int) (cut int, ok bool) {
 		}
 	}
 	return 0, false
+}
+
+// --- phased (barrier) execution ---
+
+// ErrCancelled is returned by PhasedPool.Run when the pool was cancelled
+// before the phases completed.
+var ErrCancelled = errors.New("exec: phased run cancelled")
+
+// Phase is one stage of a phased parallel computation: Morsels work items
+// executed by Fn. Consecutive phases of a PhasedPool run are separated by a
+// full barrier, which is what the executors' two-phase stages (hash-join
+// build→probe, sort run→merge) need: the later phase reads state the
+// earlier phase froze.
+type Phase struct {
+	Morsels int
+	Fn      func(worker, morsel int) error
+}
+
+// PhasedPool runs a sequence of phases over a bounded worker set with a
+// barrier between consecutive phases.
+type PhasedPool struct {
+	workers   int
+	cancelled atomic.Bool
+}
+
+// NewPhasedPool sizes a phased pool; workers < 1 is clamped to 1.
+func NewPhasedPool(workers int) *PhasedPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &PhasedPool{workers: workers}
+}
+
+// Cancel asks the pool to stop: no new morsel starts after the flag is
+// observed, in-flight morsels finish, and Run returns ErrCancelled (unless
+// a morsel error takes precedence).
+func (p *PhasedPool) Cancel() { p.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel was called.
+func (p *PhasedPool) Cancelled() bool { return p.cancelled.Load() }
+
+// Run executes the phases in order: no morsel of phase i+1 starts until
+// every morsel of phase i has finished. The error returned is the one the
+// equivalent serial nested loop would hit first — the smallest (phase,
+// morsel) that failed — and once a phase fails, later phases never start.
+// With one worker (or a single-morsel phase) the morsels run inline on the
+// calling goroutine: no goroutines are spawned, so Parallelism=1 truly
+// degenerates to the serial path.
+func (p *PhasedPool) Run(phases ...Phase) error {
+	for _, ph := range phases {
+		if p.cancelled.Load() {
+			return ErrCancelled
+		}
+		if err := p.runPhase(ph); err != nil {
+			return err
+		}
+	}
+	if p.cancelled.Load() {
+		return ErrCancelled
+	}
+	return nil
+}
+
+func (p *PhasedPool) runPhase(ph Phase) error {
+	if ph.Morsels <= 0 {
+		return nil
+	}
+	workers := p.workers
+	if workers > ph.Morsels {
+		workers = ph.Morsels
+	}
+	if workers <= 1 {
+		for m := 0; m < ph.Morsels; m++ {
+			if p.cancelled.Load() {
+				return ErrCancelled
+			}
+			if err := ph.Fn(0, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		cut  atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errM = -1
+		err  error
+	)
+	cut.Store(int64(ph.Morsels))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1) - 1)
+				if m >= ph.Morsels || int64(m) >= cut.Load() || p.cancelled.Load() {
+					return
+				}
+				if e := ph.Fn(w, m); e != nil {
+					mu.Lock()
+					if errM < 0 || m < errM {
+						errM, err = m, e
+					}
+					mu.Unlock()
+					// Morsels past the error are unneeded; earlier in-flight
+					// morsels still finish and may claim first-error status.
+					for {
+						c := cut.Load()
+						if int64(m) >= c || cut.CompareAndSwap(c, int64(m)) {
+							break
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if errM >= 0 {
+		return err
+	}
+	if p.cancelled.Load() {
+		return ErrCancelled
+	}
+	return nil
+}
+
+// --- loser-tree k-way merge ---
+
+// LoserTree merges k sorted runs into one globally sorted stream without
+// re-sorting: each Next is O(log k) comparisons. Runs are addressed by
+// index; items within a run by position. The comparator must be a strict
+// ordering of items; when neither item orders before the other, the run
+// with the smaller index wins, so the merge is stable across runs.
+type LoserTree struct {
+	k    int
+	node []int32 // node[0] overall winner; node[1..k-1] losers
+	pos  []int   // next unconsumed position per run
+	lens []int
+	less func(runA, idxA, runB, idxB int) bool
+}
+
+// NewLoserTree builds a merger over runs with the given lengths. Empty runs
+// are allowed; an empty lens slice yields an immediately exhausted tree.
+func NewLoserTree(lens []int, less func(runA, idxA, runB, idxB int) bool) *LoserTree {
+	t := &LoserTree{k: len(lens), pos: make([]int, len(lens)), lens: lens, less: less}
+	if t.k > 1 {
+		t.node = make([]int32, t.k)
+		t.node[0] = t.build(1)
+	}
+	return t
+}
+
+// build computes the winner of the subtree rooted at an internal node
+// (children 2i and 2i+1, leaves at k..2k-1), storing the loser at the node.
+func (t *LoserTree) build(node int) int32 {
+	if node >= t.k {
+		return int32(node - t.k)
+	}
+	a := t.build(2 * node)
+	b := t.build(2*node + 1)
+	if t.beats(a, b) {
+		t.node[node] = b
+		return a
+	}
+	t.node[node] = a
+	return b
+}
+
+// beats reports whether run a's head item comes before run b's head item in
+// the merged output. Exhausted runs lose to everything; ties resolve to the
+// smaller run index.
+func (t *LoserTree) beats(a, b int32) bool {
+	if t.pos[a] >= t.lens[a] {
+		return false
+	}
+	if t.pos[b] >= t.lens[b] {
+		return true
+	}
+	if t.less(int(a), t.pos[a], int(b), t.pos[b]) {
+		return true
+	}
+	if t.less(int(b), t.pos[b], int(a), t.pos[a]) {
+		return false
+	}
+	return a < b
+}
+
+// adjust replays run r (whose head just changed) up its leaf-to-root path.
+func (t *LoserTree) adjust(r int) {
+	winner := int32(r)
+	for i := (r + t.k) / 2; i > 0; i /= 2 {
+		if t.beats(t.node[i], winner) {
+			winner, t.node[i] = t.node[i], winner
+		}
+	}
+	t.node[0] = winner
+}
+
+// Next returns the (run, position) of the globally next item and advances
+// past it, or (-1, -1) once every run is exhausted.
+func (t *LoserTree) Next() (run, idx int) {
+	switch t.k {
+	case 0:
+		return -1, -1
+	case 1:
+		if t.pos[0] >= t.lens[0] {
+			return -1, -1
+		}
+		t.pos[0]++
+		return 0, t.pos[0] - 1
+	}
+	w := t.node[0]
+	if t.pos[w] >= t.lens[w] {
+		return -1, -1
+	}
+	idx = t.pos[w]
+	t.pos[w]++
+	t.adjust(int(w))
+	return int(w), idx
 }

@@ -1,6 +1,12 @@
 package exec
 
 import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -105,5 +111,215 @@ func TestLimiterNeverMet(t *testing.T) {
 		if _, ok := l.Done(m, 1); ok {
 			t.Fatalf("limiter met at morsel %d with 3 total rows", m)
 		}
+	}
+}
+
+// --- PhasedPool ---
+
+// TestPhasedBarrier proves the barrier: every morsel of phase 1 finishes
+// before any morsel of phase 2 starts.
+func TestPhasedBarrier(t *testing.T) {
+	const morsels = 64
+	var phase1 atomic.Int64
+	var violations atomic.Int64
+	p := NewPhasedPool(8)
+	err := p.Run(
+		Phase{Morsels: morsels, Fn: func(_, m int) error {
+			phase1.Add(1)
+			return nil
+		}},
+		Phase{Morsels: morsels, Fn: func(_, m int) error {
+			if phase1.Load() != morsels {
+				violations.Add(1)
+			}
+			return nil
+		}},
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d phase-2 morsels started before phase 1 completed", v)
+	}
+}
+
+// TestPhasedFirstErrorWins proves build-phase error propagation: the error
+// reported is the smallest failing morsel's (what the serial loop would hit
+// first), and the probe phase never starts.
+func TestPhasedFirstErrorWins(t *testing.T) {
+	const morsels = 200
+	var probeRan atomic.Int64
+	errAt := func(m int) error { return fmt.Errorf("morsel %d failed", m) }
+	p := NewPhasedPool(8)
+	err := p.Run(
+		Phase{Morsels: morsels, Fn: func(_, m int) error {
+			if m%3 == 1 { // morsels 1, 4, 7, … fail
+				return errAt(m)
+			}
+			return nil
+		}},
+		Phase{Morsels: morsels, Fn: func(_, m int) error {
+			probeRan.Add(1)
+			return nil
+		}},
+	)
+	if err == nil || err.Error() != "morsel 1 failed" {
+		t.Fatalf("err = %v, want the smallest failing morsel (1)", err)
+	}
+	if n := probeRan.Load(); n != 0 {
+		t.Fatalf("probe phase ran %d morsels after a build-phase error", n)
+	}
+}
+
+// TestPhasedCancelMidMerge proves cancellation during a later phase: once
+// Cancel is observed no new morsel starts, Run reports ErrCancelled, and
+// the phases after the cancelled one never run.
+func TestPhasedCancelMidMerge(t *testing.T) {
+	p := NewPhasedPool(1) // inline: deterministic morsel order
+	var ran []int
+	err := p.Run(
+		Phase{Morsels: 2, Fn: func(_, m int) error { return nil }},
+		Phase{Morsels: 10, Fn: func(_, m int) error {
+			ran = append(ran, m)
+			if m == 3 {
+				p.Cancel()
+			}
+			return nil
+		}},
+		Phase{Morsels: 5, Fn: func(_, m int) error {
+			t.Errorf("phase after cancellation ran morsel %d", m)
+			return nil
+		}},
+	)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("merge phase ran morsels %v after Cancel at morsel 3", ran)
+	}
+}
+
+// TestPhasedSerialInline proves one worker degenerates to the serial path:
+// every morsel runs on the calling goroutine (zero spawns) in order.
+func TestPhasedSerialInline(t *testing.T) {
+	gid := func() string {
+		buf := make([]byte, 64)
+		buf = buf[:runtime.Stack(buf, false)]
+		// "goroutine N [...": take the first two fields.
+		if i := bytes.IndexByte(buf, '['); i > 0 {
+			return string(buf[:i])
+		}
+		return string(buf)
+	}
+	caller := gid()
+	var order []int
+	p := NewPhasedPool(1)
+	err := p.Run(Phase{Morsels: 20, Fn: func(w, m int) error {
+		if g := gid(); g != caller {
+			t.Errorf("morsel %d ran on %q, want calling goroutine %q", m, g, caller)
+		}
+		if w != 0 {
+			t.Errorf("morsel %d ran on worker %d", m, w)
+		}
+		order = append(order, m)
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for m := range order {
+		if order[m] != m {
+			t.Fatalf("inline morsel order %v not serial", order)
+		}
+	}
+}
+
+// TestPhasedCoverage proves every morsel of every phase runs exactly once
+// on the error-free path.
+func TestPhasedCoverage(t *testing.T) {
+	counts := [2][131]atomic.Int32{}
+	p := NewPhasedPool(4)
+	err := p.Run(
+		Phase{Morsels: 131, Fn: func(_, m int) error { counts[0][m].Add(1); return nil }},
+		Phase{Morsels: 131, Fn: func(_, m int) error { counts[1][m].Add(1); return nil }},
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for ph := range counts {
+		for m := range counts[ph] {
+			if c := counts[ph][m].Load(); c != 1 {
+				t.Fatalf("phase %d morsel %d ran %d times", ph, m, c)
+			}
+		}
+	}
+}
+
+// --- LoserTree ---
+
+// TestLoserTreeMerge merges randomly sized sorted runs and checks the
+// output is the globally sorted sequence with ties in run-index order.
+func TestLoserTreeMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(9)
+		runs := make([][]int, k)
+		type tagged struct{ v, run int }
+		var all []tagged
+		for r := range runs {
+			n := rng.Intn(40)
+			runs[r] = make([]int, n)
+			for i := range runs[r] {
+				runs[r][i] = rng.Intn(25) // dense: many cross-run ties
+			}
+			sort.Ints(runs[r])
+			for _, v := range runs[r] {
+				all = append(all, tagged{v, r})
+			}
+		}
+		// The expected order: by value, ties by run index (runs are
+		// internally sorted, so within (value, run) order is positional).
+		sort.SliceStable(all, func(i, j int) bool {
+			if all[i].v != all[j].v {
+				return all[i].v < all[j].v
+			}
+			return all[i].run < all[j].run
+		})
+		lens := make([]int, k)
+		for r := range runs {
+			lens[r] = len(runs[r])
+		}
+		lt := NewLoserTree(lens, func(ra, ia, rb, ib int) bool {
+			return runs[ra][ia] < runs[rb][ib]
+		})
+		for n := 0; ; n++ {
+			r, i := lt.Next()
+			if r < 0 {
+				if n != len(all) {
+					t.Fatalf("trial %d: merged %d of %d items", trial, n, len(all))
+				}
+				break
+			}
+			if n >= len(all) || runs[r][i] != all[n].v || r != all[n].run {
+				t.Fatalf("trial %d item %d: got (run %d, val %d), want (run %d, val %d)",
+					trial, n, r, runs[r][i], all[n].run, all[n].v)
+			}
+		}
+		// Exhausted trees stay exhausted.
+		if r, i := lt.Next(); r != -1 || i != -1 {
+			t.Fatalf("trial %d: Next after exhaustion = (%d,%d)", trial, r, i)
+		}
+	}
+}
+
+// TestLoserTreeEmpty covers zero runs and all-empty runs.
+func TestLoserTreeEmpty(t *testing.T) {
+	lt := NewLoserTree(nil, func(_, _, _, _ int) bool { return false })
+	if r, _ := lt.Next(); r != -1 {
+		t.Fatalf("empty tree yielded run %d", r)
+	}
+	lt = NewLoserTree([]int{0, 0, 0}, func(_, _, _, _ int) bool { return false })
+	if r, _ := lt.Next(); r != -1 {
+		t.Fatalf("all-empty tree yielded run %d", r)
 	}
 }

@@ -420,6 +420,10 @@ type statsJSON struct {
 	SPARQLQueries  []string `json:"sparql_queries,omitempty"`
 	FinalSQL       string   `json:"final_sql,omitempty"`
 	SkippedSources []string `json:"skipped_sources,omitempty"`
+	// ParallelFallback names why query stages ran serial instead of on the
+	// morsel-driven parallel path (stage-prefixed, "; "-joined). Omitted
+	// when every executed stage parallelised.
+	ParallelFallback string `json:"parallel_fallback,omitempty"`
 }
 
 func toResultJSON(res *sqlexec.Result, stats *core.Stats) resultJSON {
@@ -434,16 +438,17 @@ func toResultJSON(res *sqlexec.Result, stats *core.Stats) resultJSON {
 	out.DegradedSources = res.SkippedSources
 	if stats != nil {
 		out.Stats = &statsJSON{
-			ParseMicros:    stats.Parse.Microseconds(),
-			BaseSQLMicros:  stats.BaseSQL.Microseconds(),
-			SPARQLMicros:   stats.SPARQL.Microseconds(),
-			JoinMicros:     stats.Join.Microseconds(),
-			FinalSQLMicros: stats.FinalSQL.Microseconds(),
-			BaseRows:       stats.BaseRows,
-			FinalRows:      stats.FinalRows,
-			SPARQLQueries:  stats.SPARQLQueries,
-			FinalSQL:       stats.FinalSQLText,
-			SkippedSources: stats.SkippedSources,
+			ParseMicros:      stats.Parse.Microseconds(),
+			BaseSQLMicros:    stats.BaseSQL.Microseconds(),
+			SPARQLMicros:     stats.SPARQL.Microseconds(),
+			JoinMicros:       stats.Join.Microseconds(),
+			FinalSQLMicros:   stats.FinalSQL.Microseconds(),
+			BaseRows:         stats.BaseRows,
+			FinalRows:        stats.FinalRows,
+			SPARQLQueries:    stats.SPARQLQueries,
+			FinalSQL:         stats.FinalSQLText,
+			SkippedSources:   stats.SkippedSources,
+			ParallelFallback: stats.ParallelFallback,
 		}
 	}
 	return out

@@ -33,6 +33,11 @@ type Result struct {
 	Bindings []Binding
 	// Bool is the ASK outcome.
 	Bool bool
+	// ParallelFallback is empty when evaluation ran on the morsel-driven
+	// parallel path (parallel.go) and otherwise names why it fell back to
+	// the serial pipeline — "parallelism=1", "ask query", "driving pattern
+	// below parallel threshold", and so on.
+	ParallelFallback string
 }
 
 // collectVars gathers the variables a SELECT * projects: every variable

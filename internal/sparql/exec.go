@@ -110,15 +110,32 @@ func (p *Plan) Stream(g rdf.Graph, fn func(Solution) bool) error {
 
 // StreamOpts is Stream with evaluation options.
 func (p *Plan) StreamOpts(g rdf.Graph, o Options, fn func(Solution) bool) error {
+	_, err := p.StreamInfoOpts(g, o, fn)
+	return err
+}
+
+// StreamInfo reports per-evaluation facts of a streaming run that are not
+// part of the solution stream itself.
+type StreamInfo struct {
+	// ParallelFallback is empty when the query ran on the morsel-driven
+	// parallel path and otherwise names why evaluation fell back to the
+	// serial pipeline (see Result.ParallelFallback).
+	ParallelFallback string
+}
+
+// StreamInfoOpts is StreamOpts returning evaluation metadata alongside the
+// stream.
+func (p *Plan) StreamInfoOpts(g rdf.Graph, o Options, fn func(Solution) bool) (StreamInfo, error) {
 	if p.q.Form == Ask {
-		return fmt.Errorf("sparql: Stream requires a SELECT query")
+		return StreamInfo{}, fmt.Errorf("sparql: Stream requires a SELECT query")
 	}
+	var res *Result
 	if ig, ok := g.(rdf.IDGraph); ok {
-		ig.ReadIDs(func(r rdf.IDReader) { p.run(r, o, fn) })
-		return nil
+		ig.ReadIDs(func(r rdf.IDReader) { res = p.run(r, o, fn) })
+	} else {
+		res = p.run(newGraphAdapter(g), o, fn)
 	}
-	p.run(newGraphAdapter(g), o, fn)
-	return nil
+	return StreamInfo{ParallelFallback: res.ParallelFallback}, nil
 }
 
 // --- executor state ---
@@ -156,6 +173,7 @@ type exec struct {
 	out      []Binding
 	found    bool
 	arena    []rdf.TermID // materialised rows for the ORDER BY path
+	fallback string       // why the parallel path declined (see tryParallel)
 }
 
 type groupState struct {
@@ -212,7 +230,9 @@ func (p *Plan) run(r rdf.IDReader, o Options, streamFn func(Solution) bool) *Res
 	if p.q.Form == Ask {
 		e.sinkFn = e.collectAsk
 		e.runGroup(p.root, e.sinkFn)
-		return &Result{Bool: e.found}
+		// ASK stays serial by design: the first match wins, so there is
+		// nothing to fan out.
+		return &Result{Bool: e.found, ParallelFallback: "ask query"}
 	}
 
 	e.distinct = p.q.Distinct
@@ -223,7 +243,7 @@ func (p *Plan) run(r rdf.IDReader, o Options, streamFn func(Solution) bool) *Res
 	e.limit = p.q.Limit
 	e.streamFn = streamFn
 	if p.q.Limit == 0 {
-		return &Result{Vars: p.vars}
+		return &Result{Vars: p.vars, ParallelFallback: "limit 0"}
 	}
 
 	// Large head-pattern posting lists take the morsel-driven parallel
@@ -240,7 +260,7 @@ func (p *Plan) run(r rdf.IDReader, o Options, streamFn func(Solution) bool) *Res
 		e.runGroup(p.root, e.sinkFn)
 		e.emitSorted()
 	}
-	return &Result{Vars: p.vars, Bindings: e.out}
+	return &Result{Vars: p.vars, Bindings: e.out, ParallelFallback: e.fallback}
 }
 
 // resolveConsts translates the plan's constant table to the target graph's
@@ -669,37 +689,40 @@ func (e *exec) emitSorted() {
 	for i := range idx {
 		idx[i] = i
 	}
-	keys := e.p.order
 	sort.SliceStable(idx, func(a, b int) bool {
-		ra := e.arena[idx[a]*ns : (idx[a]+1)*ns]
-		rb := e.arena[idx[b]*ns : (idx[b]+1)*ns]
-		for _, k := range keys {
-			ta, _ := e.termOfZero(ra[k.slot])
-			tb, _ := e.termOfZero(rb[k.slot])
-			c := compareTerms(ta, tb)
-			if c != 0 {
-				if k.desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		// Full-row ID comparison as the final tiebreak: the sort becomes
-		// a total order, so ORDER BY output — and any OFFSET/LIMIT window
-		// over it — is deterministic, independent of index map iteration
-		// order and identical between the serial and parallel paths.
-		for i := range ra {
-			if ra[i] != rb[i] {
-				return ra[i] < rb[i]
-			}
-		}
-		return false
+		return e.rowLess(e.arena[idx[a]*ns:(idx[a]+1)*ns], e.arena[idx[b]*ns:(idx[b]+1)*ns])
 	})
 	for _, i := range idx {
 		if !e.emitFinal(e.arena[i*ns : (i+1)*ns]) {
 			return
 		}
 	}
+}
+
+// rowLess is the ORDER BY comparator shared by the serial sort and the
+// parallel run merge: the plan's order keys (unbound-first, numeric-aware)
+// followed by a full-row ID comparison as the final tiebreak. The tiebreak
+// makes the sort a total order, so ORDER BY output — and any OFFSET/LIMIT
+// window over it — is deterministic, independent of index map iteration
+// order and identical between the serial and parallel paths.
+func (e *exec) rowLess(ra, rb []rdf.TermID) bool {
+	for _, k := range e.p.order {
+		ta, _ := e.termOfZero(ra[k.slot])
+		tb, _ := e.termOfZero(rb[k.slot])
+		c := compareTerms(ta, tb)
+		if c != 0 {
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return ra[i] < rb[i]
+		}
+	}
+	return false
 }
 
 // termOfZero decodes an ID, mapping the unbound marker to the zero term

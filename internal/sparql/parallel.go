@@ -13,12 +13,23 @@ package sparql
 // result is exactly what the serial executor would produce given the same
 // head enumeration.
 //
+// Property-path heads fan out too: the path step's (subject, object)
+// frontier is materialised once on the coordinator — exactly the pair list
+// the serial step would walk — and the pairs are distributed as (s, 0, o)
+// matches through the same worker pipeline. Under ORDER BY the per-morsel
+// buffers become sorted runs (sorted in parallel with the serial
+// comparator) merged by a loser tree, with ties resolving to the earlier
+// morsel, so the merged sequence is exactly the serial stable sort.
+//
 // The path requires an rdf.ConcurrentReader — a reader whose methods are
 // pure reads under the transaction lock. Graphs that fall back to the
 // interning adapter, ASK queries (first match wins; nothing to fan out),
-// property-path heads, and small posting lists all stay serial.
+// and small posting lists stay serial; every decline records its reason in
+// exec.fallback, surfaced as Result.ParallelFallback / StreamInfo.
 
 import (
+	"sort"
+
 	sched "crosse/internal/exec"
 	"crosse/internal/rdf"
 )
@@ -39,10 +50,20 @@ var (
 func (e *exec) tryParallel() (*Result, bool) {
 	p := e.p
 	workers := sched.Workers(e.opts.Parallelism)
-	if workers <= 1 || len(e.row) == 0 || len(p.root.patterns) == 0 {
+	if workers <= 1 {
+		e.fallback = "parallelism=1"
+		return nil, false
+	}
+	if len(e.row) == 0 {
+		e.fallback = "query binds no variables"
+		return nil, false
+	}
+	if len(p.root.patterns) == 0 {
+		e.fallback = "no triple patterns"
 		return nil, false
 	}
 	if _, ok := e.r.(rdf.ConcurrentReader); !ok {
+		e.fallback = "graph reader is not concurrency-safe"
 		return nil, false
 	}
 
@@ -59,21 +80,40 @@ func (e *exec) tryParallel() (*Result, bool) {
 		}
 	}
 	head := gs.head
-	if head == nil || head.pp.path != nil {
-		return nil, false
-	}
-	pat := headPattern(e, head.pp)
-	if e.r.CountIDs(pat) < parMinMatches {
+	if head == nil {
+		e.fallback = "no driving pattern"
 		return nil, false
 	}
 
-	// Materialise the head pattern's matches. This fixes the enumeration
+	// Materialise the head step's matches. This fixes the enumeration
 	// order the morsel merge then reproduces.
 	var matches []rdf.TermID
-	e.r.ForEachIDs(pat, func(s, pr, o rdf.TermID) bool {
-		matches = append(matches, s, pr, o)
-		return true
-	})
+	if pp := head.pp; pp.path != nil {
+		// Property-path head: materialise the path step's frontier — the
+		// exact (subject, object) pair list the serial step walks — and fan
+		// the pairs out as (s, 0, o) matches, mirroring the serial
+		// sc.match(pr[0], 0, pr[1]) calls.
+		pat := headPattern(e, pp)
+		pairs := e.pathPairs(pp.path, pat.S, pat.S != 0, pat.O, pat.O != 0)
+		if len(pairs) < parMinMatches {
+			e.fallback = "driving path frontier below parallel threshold"
+			return nil, false
+		}
+		matches = make([]rdf.TermID, 0, 3*len(pairs))
+		for _, pr := range pairs {
+			matches = append(matches, pr[0], 0, pr[1])
+		}
+	} else {
+		pat := headPattern(e, pp)
+		if e.r.CountIDs(pat) < parMinMatches {
+			e.fallback = "driving pattern below parallel threshold"
+			return nil, false
+		}
+		e.r.ForEachIDs(pat, func(s, pr, o rdf.TermID) bool {
+			matches = append(matches, s, pr, o)
+			return true
+		})
+	}
 	n := len(matches) / 3
 
 	nm := sched.Morsels(n, parMorselMatches)
@@ -98,10 +138,7 @@ func (e *exec) tryParallel() (*Result, bool) {
 
 	// Merge in morsel order through the serial tail.
 	if len(p.order) > 0 {
-		for _, rows := range res {
-			e.arena = append(e.arena, rows...)
-		}
-		e.emitSorted()
+		e.mergeSortedRuns(res, workers)
 		return &Result{Vars: p.vars, Bindings: e.out}, true
 	}
 	ns := len(e.row)
@@ -204,6 +241,57 @@ func (w *parExec) runMorsel(m int, matches []rdf.TermID, res [][]rdf.TermID, lim
 	if limiter != nil {
 		if cut, ok := limiter.Done(m, len(w.buf)/len(w.e.row)); ok {
 			w.pool.Cut(cut)
+		}
+	}
+}
+
+// mergeSortedRuns is the parallel ORDER BY tail: each non-empty morsel
+// buffer becomes a run, the runs are index-sorted concurrently with the
+// serial comparator (rowLess), and a loser-tree k-way merge replays the
+// globally ordered sequence through the unchanged DISTINCT / OFFSET /
+// LIMIT tail. rowLess is a total order up to byte-identical rows, each
+// run's sort is stable, and merge ties resolve to the lower run index
+// (= earlier morsel), so the merged sequence is exactly the stable sort
+// over the morsel-order concatenation that emitSorted would produce.
+func (e *exec) mergeSortedRuns(res [][]rdf.TermID, workers int) {
+	ns := len(e.row)
+	var runs [][]rdf.TermID
+	for _, rows := range res {
+		if len(rows) > 0 {
+			runs = append(runs, rows)
+		}
+	}
+	idx := make([][]int, len(runs))
+	lens := make([]int, len(runs))
+	for r, rows := range runs {
+		n := len(rows) / ns
+		ix := make([]int, n)
+		for i := range ix {
+			ix[i] = i
+		}
+		idx[r], lens[r] = ix, n
+	}
+	rowAt := func(r, i int) []rdf.TermID {
+		off := idx[r][i] * ns
+		return runs[r][off : off+ns]
+	}
+	pp := sched.NewPhasedPool(workers)
+	// Sorting cannot fail and the comparator only reads frozen state, so
+	// the single phase always completes.
+	_ = pp.Run(sched.Phase{Morsels: len(runs), Fn: func(_, r int) error {
+		ix, rows := idx[r], runs[r]
+		sort.SliceStable(ix, func(a, b int) bool {
+			return e.rowLess(rows[ix[a]*ns:(ix[a]+1)*ns], rows[ix[b]*ns:(ix[b]+1)*ns])
+		})
+		return nil
+	}})
+	lt := sched.NewLoserTree(lens, func(ra, ia, rb, ib int) bool {
+		return e.rowLess(rowAt(ra, ia), rowAt(rb, ib))
+	})
+	for {
+		r, i := lt.Next()
+		if r < 0 || !e.emitFinal(rowAt(r, i)) {
+			return
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -90,6 +91,160 @@ func TestParallelOrderedDeterminism(t *testing.T) {
 					text, par, want, g)
 			}
 		}
+	}
+}
+
+// TestParallelPathHeadDeterminism pins the property-path head fan-out.
+// Path closure enumeration is map-order nondeterministic even serially, so
+// unordered queries compare as multisets; under ORDER BY the total-order
+// sort (full-row tiebreak) makes the output byte-identical at every
+// Parallelism setting and the comparison is exact. Each parallel run must
+// actually take the parallel path (empty ParallelFallback) rather than
+// silently running serial.
+func TestParallelPathHeadDeterminism(t *testing.T) {
+	forceParallel(t)
+	const ns = "http://x/"
+	p := func(name string) rdf.Term { return rdf.NewIRI(ns + name) }
+	st := rdf.NewStore()
+	// A category tree (cat0..cat9, subClassOf chains of length i%4) under
+	// 240 members: the memberOf/subClassOf* frontier is large and
+	// duplicate-heavy, so morsel boundaries cut through repeated pairs.
+	for c := 0; c < 10; c++ {
+		for d := 0; d < c%4; d++ {
+			st.Add(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("%scat%d_%d", ns, c, d)),
+				P: p("subClassOf"),
+				O: rdf.NewIRI(fmt.Sprintf("%scat%d_%d", ns, c, d+1)),
+			})
+		}
+	}
+	for i := 0; i < 240; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("%se%03d", ns, i))
+		st.Add(rdf.Triple{S: s, P: p("memberOf"), O: rdf.NewIRI(fmt.Sprintf("%scat%d_0", ns, i%10))})
+		st.Add(rdf.Triple{S: s, P: p("rank"), O: rdf.NewTypedLiteral(fmt.Sprint(i%5), rdf.XSDInteger)})
+	}
+	for _, tc := range []struct {
+		text    string
+		ordered bool // exact sequence compare; else sorted multiset
+		count   int  // when > 0, compare size only (LIMIT over unordered)
+	}{
+		{text: fmt.Sprintf("SELECT ?x ?c WHERE { ?x <%smemberOf>/<%ssubClassOf>* ?c }", ns, ns)},
+		{text: fmt.Sprintf("SELECT DISTINCT ?c WHERE { ?x <%smemberOf>/<%ssubClassOf>+ ?c }", ns, ns)},
+		{text: fmt.Sprintf("SELECT ?x ?c ?r WHERE { ?x <%smemberOf>/<%ssubClassOf>* ?c . ?x <%srank> ?r } ORDER BY ?r ?c", ns, ns, ns), ordered: true},
+		{text: fmt.Sprintf("SELECT ?x ?c WHERE { ?x <%smemberOf>/<%ssubClassOf>* ?c } LIMIT 40", ns, ns), count: 40},
+	} {
+		qu, err := Parse(tc.text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := EvalQueryOpts(st, qu, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%q serial: %v", tc.text, err)
+		}
+		if base.ParallelFallback != "parallelism=1" {
+			t.Fatalf("%q serial fallback = %q", tc.text, base.ParallelFallback)
+		}
+		if len(base.Bindings) == 0 {
+			t.Fatalf("%q: empty fixture result", tc.text)
+		}
+		want := renderSeq(base.Bindings, base.Vars)
+		if !tc.ordered {
+			sort.Strings(want)
+		}
+		for _, par := range []int{2, 4} {
+			got, err := EvalQueryOpts(st, qu, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%q parallelism %d: %v", tc.text, par, err)
+			}
+			if got.ParallelFallback != "" {
+				t.Fatalf("%q parallelism %d fell back: %q", tc.text, par, got.ParallelFallback)
+			}
+			if tc.count > 0 {
+				if len(got.Bindings) != tc.count {
+					t.Fatalf("%q parallelism %d: %d solutions, want %d", tc.text, par, len(got.Bindings), tc.count)
+				}
+				continue
+			}
+			g := renderSeq(got.Bindings, got.Vars)
+			if !tc.ordered {
+				sort.Strings(g)
+			}
+			if !reflect.DeepEqual(g, want) {
+				t.Fatalf("%q: parallelism %d diverges from serial\nserial:   %v\nparallel: %v",
+					tc.text, par, want, g)
+			}
+		}
+	}
+}
+
+// TestParallelFallbackReasons pins the fallback taxonomy: every serial
+// execution names why it did not parallelise, and parallel executions
+// report an empty reason — on both the Eval and the streaming APIs.
+func TestParallelFallbackReasons(t *testing.T) {
+	const ns = "http://x/"
+	st := rdf.NewStore()
+	for i := 0; i < 100; i++ {
+		st.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("%se%03d", ns, i)),
+			P: rdf.NewIRI(ns + "rank"),
+			O: rdf.NewTypedLiteral(fmt.Sprint(i%9), rdf.XSDInteger),
+		})
+	}
+	sel := fmt.Sprintf("SELECT ?x ?r WHERE { ?x <%srank> ?r }", ns)
+	pathSel := fmt.Sprintf("SELECT ?x ?r WHERE { ?x <%srank>+ ?r }", ns)
+
+	// Default thresholds: 100 matches is below parMinMatches.
+	for _, tc := range []struct {
+		query string
+		opts  Options
+		want  string
+	}{
+		{sel, Options{Parallelism: 1}, "parallelism=1"},
+		{sel, Options{Parallelism: 4}, "driving pattern below parallel threshold"},
+		{pathSel, Options{Parallelism: 4}, "driving path frontier below parallel threshold"},
+		{fmt.Sprintf("ASK { ?x <%srank> ?r }", ns), Options{Parallelism: 4}, "ask query"},
+		{sel + " LIMIT 0", Options{Parallelism: 4}, "limit 0"},
+	} {
+		res, err := EvalOpts(st, tc.query, tc.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ParallelFallback != tc.want {
+			t.Errorf("%q opts %+v: fallback %q, want %q", tc.query, tc.opts, res.ParallelFallback, tc.want)
+		}
+	}
+
+	// Forced thresholds: the same SELECT parallelises, reason empty; the
+	// streaming API reports the same facts.
+	forceParallel(t)
+	qu, err := Parse(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvalQueryOpts(st, qu, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParallelFallback != "" {
+		t.Errorf("eligible query fell back: %q", res.ParallelFallback)
+	}
+	pl, err := Compile(qu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := pl.StreamInfoOpts(st, Options{Parallelism: 4}, func(Solution) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ParallelFallback != "" {
+		t.Errorf("eligible stream fell back: %q", info.ParallelFallback)
+	}
+	info, err = pl.StreamInfoOpts(st, Options{Parallelism: 1}, func(Solution) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ParallelFallback != "parallelism=1" {
+		t.Errorf("serial stream fallback = %q", info.ParallelFallback)
 	}
 }
 

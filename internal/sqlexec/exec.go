@@ -17,6 +17,10 @@ type Result struct {
 	// SkippedSources names sources that were down and skipped under
 	// Options.PartialResults (empty on complete results).
 	SkippedSources []string
+	// ParallelFallback is empty when the SELECT ran on the morsel-driven
+	// parallel path, and otherwise names why it fell back to the serial
+	// pipeline (see StreamInfo.ParallelFallback). Always empty for DML.
+	ParallelFallback string
 }
 
 // Exec parses and executes one SQL statement against db.

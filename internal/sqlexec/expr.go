@@ -30,6 +30,7 @@ package sqlexec
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"crosse/internal/sqlparser"
@@ -658,11 +659,41 @@ func applyScalarFunc(name string, args []sqlval.Value) (sqlval.Value, error) {
 	}
 }
 
+// floatPart is one morsel's compensated partial sum of a float SUM/AVG:
+// the values of driving-scan morsel `morsel` Neumaier-accumulated in
+// arrival order. Both the serial pipeline and the parallel workers produce
+// the same set of partials (each morsel is accumulated by exactly one of
+// them, in the same within-morsel order), and result() folds them in
+// morsel order — a fixed reduction tree independent of worker scheduling —
+// so parallel float aggregation is bit-identical to serial.
+type floatPart struct {
+	morsel    int64
+	sum, comp float64
+}
+
+// neumaierAdd adds x into the compensated accumulator (s, c): s carries the
+// running sum, c the running compensation for the low-order bits s lost.
+func neumaierAdd(s, c, x float64) (float64, float64) {
+	t := s + x
+	if math.Abs(s) >= math.Abs(x) {
+		c += (s - t) + x
+	} else {
+		c += (x - t) + s
+	}
+	return t, c
+}
+
+// distinctVal is one distinct aggregate argument collected by a parallel
+// worker: the value and the arrival stamp of its first occurrence.
+type distinctVal struct {
+	v  sqlval.Value
+	at int64
+}
+
 // aggState accumulates one aggregate over a group.
 type aggState struct {
 	call   *sqlparser.FuncCall
 	count  int64
-	sum    float64
 	sumI   int64
 	isInt  bool
 	first  bool
@@ -671,17 +702,46 @@ type aggState struct {
 	seen   map[string]struct{} // DISTINCT support
 	keyBuf []byte              // scratch for DISTINCT keys
 
+	// Float SUM/AVG accumulates per driving-scan morsel: (psum, pcomp) is
+	// the open partial of morsel pmorsel (-1 = none yet), parts the closed
+	// ones. See floatPart for why.
+	parts       []floatPart
+	pmorsel     int64
+	psum, pcomp float64
+
+	// collect switches a DISTINCT aggregate into the parallel workers'
+	// collect-only mode: addValue records first occurrences into dvals
+	// instead of accumulating, and resolveDistinct replays them in global
+	// first-occurrence order after the cross-worker merge.
+	collect bool
+	dvals   map[string]distinctVal
+
 	// stamp is the arrival position of the value being added; minAt/maxAt
-	// record the stamp that last changed min/max. The serial path leaves
-	// them zero; the parallel grouped merge needs them to reproduce the
-	// serial first-among-equals MIN/MAX tie behaviour across workers.
+	// record the stamp that last changed min/max. The interpreter leaves
+	// stamps zero; the compiled paths set them so that the parallel merge
+	// reproduces the serial first-among-equals MIN/MAX tie behaviour and
+	// the morsel-ordered float reduction.
 	stamp, minAt, maxAt int64
 }
 
 func newAggState(call *sqlparser.FuncCall) *aggState {
-	st := &aggState{call: call, isInt: true, first: true}
+	st := &aggState{call: call, isInt: true, first: true, pmorsel: -1}
 	if call.Distinct {
 		st.seen = map[string]struct{}{}
+	}
+	return st
+}
+
+// newCollectAggState is newAggState for parallel workers: DISTINCT
+// aggregates go into collect mode (per-worker seen-sets cannot be merged
+// into an exact global accumulation; first-occurrence values with stamps
+// can).
+func newCollectAggState(call *sqlparser.FuncCall) *aggState {
+	st := newAggState(call)
+	if call.Distinct {
+		st.collect = true
+		st.seen = nil
+		st.dvals = map[string]distinctVal{}
 	}
 	return st
 }
@@ -707,6 +767,16 @@ func (a *aggState) addValue(v sqlval.Value) error {
 	if v.IsNull() {
 		return nil // aggregates skip NULLs
 	}
+	if a.collect {
+		// Parallel DISTINCT collect mode: record the first occurrence with
+		// its stamp. Within one worker stamps are strictly increasing, so
+		// the first insertion is the worker-local minimum.
+		a.keyBuf = sqlval.AppendKey(a.keyBuf[:0], v)
+		if _, dup := a.dvals[string(a.keyBuf)]; !dup {
+			a.dvals[string(a.keyBuf)] = distinctVal{v: v, at: a.stamp}
+		}
+		return nil
+	}
 	if a.seen != nil {
 		// Allocation-free probe: the string conversion in the map index
 		// does not escape, and only genuinely new values are stored.
@@ -719,16 +789,22 @@ func (a *aggState) addValue(v sqlval.Value) error {
 	a.count++
 	switch a.call.Name {
 	case "SUM", "AVG":
+		var x float64
 		switch v.Type() {
 		case sqlval.TypeInt:
 			a.sumI += v.Int()
-			a.sum += float64(v.Int())
+			x = float64(v.Int())
 		case sqlval.TypeFloat:
 			a.isInt = false
-			a.sum += v.Float()
+			x = v.Float()
 		default:
 			return fmt.Errorf("sqlexec: %s on non-numeric value", a.call.Name)
 		}
+		if m := a.stamp >> 32; m != a.pmorsel {
+			a.closePart()
+			a.pmorsel = m
+		}
+		a.psum, a.pcomp = neumaierAdd(a.psum, a.pcomp, x)
 	case "MIN":
 		if a.first || sqlval.CompareForSort(v, a.min) < 0 {
 			a.min = v
@@ -744,18 +820,38 @@ func (a *aggState) addValue(v sqlval.Value) error {
 	return nil
 }
 
-// mergeableAgg reports whether an aggregate merges exactly from per-worker
-// partials: COUNT is an integer sum, MIN/MAX a stamped comparison. SUM and
-// AVG are excluded — their float accumulation is order-sensitive in the
-// last ulp, so merging partials could differ from the serial left-fold —
-// as are DISTINCT aggregates, whose per-worker seen-sets cannot be
-// reconciled from encoded keys.
-func mergeableAgg(fc *sqlparser.FuncCall) bool {
-	if fc.Distinct {
-		return false
+// closePart freezes the open morsel partial into parts.
+func (a *aggState) closePart() {
+	if a.pmorsel >= 0 {
+		a.parts = append(a.parts, floatPart{morsel: a.pmorsel, sum: a.psum, comp: a.pcomp})
+		a.psum, a.pcomp = 0, 0
+		a.pmorsel = -1
 	}
+}
+
+// sumFloat folds the morsel partials in morsel order — the fixed reduction
+// tree that makes float SUM/AVG independent of which worker accumulated
+// which morsel. Each morsel index occurs at most once across workers (one
+// worker claims each morsel), so the sort is a pure reordering.
+func (a *aggState) sumFloat() float64 {
+	a.closePart()
+	sort.Slice(a.parts, func(i, j int) bool { return a.parts[i].morsel < a.parts[j].morsel })
+	var s, c float64
+	for _, p := range a.parts {
+		s, c = neumaierAdd(s, c, p.sum)
+		s, c = neumaierAdd(s, c, p.comp)
+	}
+	return s + c
+}
+
+// mergeableAgg reports whether an aggregate merges exactly from per-worker
+// partials: COUNT is an integer sum, MIN/MAX a stamped comparison, float
+// SUM/AVG a union of per-morsel compensated partials folded in morsel
+// order, and DISTINCT aggregates a stamp-ordered replay of collected first
+// occurrences.
+func mergeableAgg(fc *sqlparser.FuncCall) bool {
 	switch fc.Name {
-	case "COUNT", "MIN", "MAX":
+	case "COUNT", "MIN", "MAX", "SUM", "AVG":
 		return true
 	}
 	return false
@@ -766,7 +862,23 @@ func mergeableAgg(fc *sqlparser.FuncCall) bool {
 // resolve to the globally first arrival, exactly as the serial
 // accumulation would.
 func (a *aggState) merge(b *aggState) {
+	if a.collect {
+		// Union the distinct first occurrences, keeping the globally
+		// earliest stamp per value (every occurrence is in exactly one
+		// worker's map, so the pairwise minimum is the global one).
+		for k, dv := range b.dvals {
+			if have, ok := a.dvals[k]; !ok || dv.at < have.at {
+				a.dvals[k] = dv
+			}
+		}
+		return
+	}
 	a.count += b.count
+	a.sumI += b.sumI
+	a.isInt = a.isInt && b.isInt
+	a.closePart()
+	b.closePart()
+	a.parts = append(a.parts, b.parts...)
 	if b.first {
 		return // b never saw a non-NULL value
 	}
@@ -784,6 +896,33 @@ func (a *aggState) merge(b *aggState) {
 	}
 }
 
+// resolveDistinct turns a collect-mode DISTINCT aggregate into a resolved
+// one after the cross-worker merge: the collected values replay through
+// the serial accumulation in global first-occurrence order, each carrying
+// its original stamp, so the result (including the morsel each value's sum
+// contribution folds into and MIN/MAX tie arrivals) is exactly what the
+// serial pipeline computed.
+func (a *aggState) resolveDistinct() error {
+	if !a.collect {
+		return nil
+	}
+	vals := make([]distinctVal, 0, len(a.dvals))
+	for _, dv := range a.dvals {
+		vals = append(vals, dv)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].at < vals[j].at })
+	a.collect = false
+	a.dvals = nil
+	a.seen = nil // values are already distinct
+	for _, dv := range vals {
+		a.stamp = dv.at
+		if err := a.addValue(dv.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (a *aggState) result() sqlval.Value {
 	switch a.call.Name {
 	case "COUNT":
@@ -795,12 +934,12 @@ func (a *aggState) result() sqlval.Value {
 		if a.isInt {
 			return sqlval.NewInt(a.sumI)
 		}
-		return sqlval.NewFloat(a.sum)
+		return sqlval.NewFloat(a.sumFloat())
 	case "AVG":
 		if a.count == 0 {
 			return sqlval.Null
 		}
-		return sqlval.NewFloat(a.sum / float64(a.count))
+		return sqlval.NewFloat(a.sumFloat() / float64(a.count))
 	case "MIN":
 		if a.count == 0 {
 			return sqlval.Null

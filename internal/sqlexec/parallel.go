@@ -12,11 +12,15 @@ package sqlexec
 // the parallel output is byte-identical to the serial pipeline's: same
 // rows, same order, same ties, same first error.
 //
-// Shapes that cannot merge exactly fall back to serial: grouped plans
-// with SUM/AVG (float accumulation is order-sensitive in the last ulp) or
-// DISTINCT aggregates, driving relations without an O(1) cardinality
-// (foreign tables), pushed-down equality seeks (tiny by construction),
-// and inputs below parallelMinRows, where fan-out costs more than it wins.
+// Hash-join builds past the threshold are partitioned two-phase parallel
+// builds (parallelBuildHash); float SUM/AVG folds per-morsel compensated
+// partials in morsel order (see aggState); DISTINCT aggregates collect
+// stamped first occurrences and replay them after the merge; and ORDER BY
+// without LIMIT merges per-worker sorted runs through a loser tree. The
+// shapes that still fall back to serial — driving relations without an
+// O(1) cardinality (foreign tables), pushed-down equality seeks (tiny by
+// construction), inputs below parallelMinRows, LIMIT 0 — record why in
+// runShared.fallback, surfaced as StreamInfo.ParallelFallback.
 
 import (
 	"sort"
@@ -38,16 +42,23 @@ var (
 )
 
 // tryParallel runs the plan on the parallel path when it is eligible,
-// reporting done=false to let the serial pipeline take over.
+// reporting done=false to let the serial pipeline take over; every decline
+// records its reason in runShared.fallback for Stats visibility.
 func (r *runner) tryParallel() (done bool, err error) {
 	p := r.p
 	workers := sched.Workers(p.opts.Parallelism)
-	if workers <= 1 || p.limit == 0 {
+	if workers <= 1 {
+		r.shared.fallback = "parallelism=1"
+		return false, nil
+	}
+	if p.limit == 0 {
+		r.shared.fallback = "limit 0"
 		return false, nil
 	}
 	if p.grouped {
 		for _, a := range p.group.aggs {
 			if !mergeableAgg(a.fc) {
+				r.shared.fallback = "non-mergeable aggregate " + a.fc.Name
 				return false, nil
 			}
 		}
@@ -56,7 +67,13 @@ func (r *runner) tryParallel() (done bool, err error) {
 	if r.swapped {
 		driving = p.joins[0].src
 	}
-	if est, ok := scanEstimate(driving); !ok || est < parallelMinRows {
+	est, ok := scanEstimate(driving)
+	if !ok {
+		r.shared.fallback = "driving scan has no O(1) cardinality"
+		return false, nil
+	}
+	if est < parallelMinRows {
+		r.shared.fallback = "driving scan below parallel threshold"
 		return false, nil
 	}
 	return true, r.runParallel(workers, driving)
@@ -84,7 +101,7 @@ func (r *runner) runParallel(workers int, driving scanPlan) error {
 		buildErrs = make([]error, len(p.joins))
 	)
 	r.rights = make([][][]sqlval.Value, len(p.joins))
-	r.hashes = make([]map[string][]int32, len(p.joins))
+	r.hashes = make([]*joinTable, len(p.joins))
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -101,7 +118,7 @@ func (r *runner) runParallel(workers int, driving scanPlan) error {
 					return
 				}
 				r.leftRows = rows
-				r.leftHash = buildHash(rows, p.joins[0].leftSlot-p.scan0.offset)
+				r.leftHash = parallelBuildHash(workers, rows, p.joins[0].leftSlot-p.scan0.offset)
 				return
 			}
 			rows, err := p.materializeSide(r.shared, p.joins[i].src, false)
@@ -112,7 +129,7 @@ func (r *runner) runParallel(workers int, driving scanPlan) error {
 			r.rights[i] = rows
 			switch p.joins[i].kind {
 			case joinHash, joinHashLeft:
-				r.hashes[i] = buildHash(rows, p.joins[i].rightSlot-p.joins[i].src.offset)
+				r.hashes[i] = parallelBuildHash(workers, rows, p.joins[i].rightSlot-p.joins[i].src.offset)
 			}
 		}(i)
 	}
@@ -161,6 +178,63 @@ func (r *runner) runParallel(workers int, driving scanPlan) error {
 	default:
 		return r.mergePlain(res)
 	}
+}
+
+// parallelBuildHash builds the hash index over materialised build rows.
+// Small sides build serially; past the threshold the build runs in two
+// barrier-separated phases over a phased pool: a scatter phase walks the
+// row morsels and partitions each row index by the FNV-1a hash of its
+// encoded join key, then an assemble phase builds each partition's bucket
+// map by visiting the scatter lists in morsel order — so every bucket
+// holds globally ascending row indexes, exactly as the serial single-map
+// build inserts them, with no rehashing and no cross-worker merging. The
+// probe side only ever sees identical bucket contents, which keeps the
+// parallel output byte-identical to serial.
+func parallelBuildHash(workers int, rows [][]sqlval.Value, keyCol int) *joinTable {
+	if workers <= 1 || len(rows) < parallelMinRows {
+		return buildHash(rows, keyCol)
+	}
+	nparts := 1
+	for nparts < workers {
+		nparts <<= 1
+	}
+	mask := uint32(nparts - 1)
+	nm := sched.Morsels(len(rows), parallelMorsel)
+	scatter := make([][][]int32, nm) // [morsel][partition] → row indexes
+	pp := sched.NewPhasedPool(workers)
+	parts := make([]map[string][]int32, nparts)
+	_ = pp.Run(
+		sched.Phase{Morsels: nm, Fn: func(_, m int) error {
+			lo, hi := sched.Bounds(m, parallelMorsel, len(rows))
+			lists := make([][]int32, nparts)
+			var scratch []byte
+			for i := lo; i < hi; i++ {
+				v := rows[i][keyCol]
+				if v.IsNull() {
+					continue // NULL keys never equi-join
+				}
+				scratch = sqlval.AppendJoinKey(scratch[:0], v)
+				pt := hashJoinKey(scratch) & mask
+				lists[pt] = append(lists[pt], int32(i))
+			}
+			scatter[m] = lists
+			return nil
+		}},
+		sched.Phase{Morsels: nparts, Fn: func(_, pt int) error {
+			buckets := make(map[string][]int32)
+			var scratch []byte
+			for m := 0; m < nm; m++ {
+				for _, i := range scatter[m][pt] {
+					scratch = sqlval.AppendJoinKey(scratch[:0], rows[i][keyCol])
+					k := string(scratch)
+					buckets[k] = append(buckets[k], i)
+				}
+			}
+			parts[pt] = buckets
+			return nil
+		}},
+	)
+	return &joinTable{parts: parts, mask: mask}
 }
 
 // materializeSide scans one source into retained rows of the source's
@@ -311,7 +385,7 @@ func (w *parWorker) runMorsel(m int, drive [][]sqlval.Value, limiter *sched.Limi
 				continue
 			}
 			scratch = sqlval.AppendJoinKey(scratch[:0], v)
-			for _, li := range r.leftHash[string(scratch)] {
+			for _, li := range r.leftHash.lookup(scratch) {
 				if cmp, err := sqlval.Compare(v, r.leftRows[li][j.leftSlot]); err != nil || cmp != 0 {
 					continue
 				}
@@ -424,7 +498,7 @@ func (w *parWorker) addGroup(row []sqlval.Value) bool {
 		grp = &groupState{first: w.garena.Copy(row), firstAt: at}
 		grp.aggs = make([]*aggState, len(g.aggs))
 		for i, a := range g.aggs {
-			grp.aggs[i] = newAggState(a.fc)
+			grp.aggs[i] = newCollectAggState(a.fc)
 		}
 		w.groups[string(w.gkey)] = grp
 		w.gorder = append(w.gorder, grp)
@@ -475,12 +549,17 @@ func (r *runner) mergePlain(res []parMorsel) error {
 // the global one), so sorting the union by (keys, stamp) and slicing
 // OFFSET/LIMIT reproduces the serial stable sort, ties included. Under
 // DISTINCT the candidates are first deduplicated in arrival-stamp order —
-// the order the serial sink deduplicates in, before it sorts.
+// the order the serial sink deduplicates in, before it sorts. A full sort
+// (ORDER BY without LIMIT, no DISTINCT) takes the parallel run-merge path
+// instead: see mergeSortedRuns.
 func (r *runner) mergeSorted(ws []*parWorker, res []parMorsel) error {
 	for m := range res {
 		if res[m].err != nil {
 			return res[m].err
 		}
+	}
+	if !r.p.distinct && ws[0].sorter.cap < 0 {
+		return r.mergeSortedRuns(ws)
 	}
 	var all []sortedRow
 	for _, w := range ws {
@@ -506,6 +585,55 @@ func (r *runner) mergeSorted(ws []*parWorker, res []parMorsel) error {
 	}
 	merged := &topKSorter{p: r.p, rows: all, cap: -1}
 	return merged.flush(r.yield)
+}
+
+// mergeSortedRuns is the parallel final sort for ORDER BY without LIMIT:
+// each worker's buffered rows become one run, the runs are sorted
+// concurrently (one phase of a phased pool), and a loser-tree k-way merge
+// streams the globally sorted output — no single-threaded full sort over
+// the union, and no unbounded re-buffering. (keys, stamp) is a strict
+// total order, so run boundaries cannot affect the output: it is the
+// serial stable sort's, byte for byte.
+func (r *runner) mergeSortedRuns(ws []*parWorker) error {
+	p := r.p
+	sorter := ws[0].sorter // any worker's sorter: less only reads the plan
+	runs := make([][]sortedRow, 0, len(ws))
+	for _, w := range ws {
+		if len(w.sorter.rows) > 0 {
+			runs = append(runs, w.sorter.rows)
+		}
+	}
+	pp := sched.NewPhasedPool(len(ws))
+	_ = pp.Run(sched.Phase{Morsels: len(runs), Fn: func(_, m int) error {
+		run := runs[m]
+		sort.Slice(run, func(i, j int) bool { return sorter.less(&run[i], &run[j]) })
+		return nil
+	}})
+	lens := make([]int, len(runs))
+	for i := range runs {
+		lens[i] = len(runs[i])
+	}
+	lt := sched.NewLoserTree(lens, func(ra, ia, rb, ib int) bool {
+		return sorter.less(&runs[ra][ia], &runs[rb][ib])
+	})
+	skip, count := p.offset, 0
+	for {
+		rn, i := lt.Next()
+		if rn < 0 {
+			return nil
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		if p.limit >= 0 && count >= p.limit {
+			return nil
+		}
+		if !r.yield(runs[rn][i].row) {
+			return nil
+		}
+		count++
+	}
 }
 
 // mergeGroups folds the per-worker aggregation maps into one group set.
@@ -546,5 +674,14 @@ func (r *runner) mergeGroups(ws []*parWorker, res []parMorsel) error {
 		order = append(order, g)
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].firstAt < order[j].firstAt })
+	// DISTINCT aggregates were collected, not accumulated: replay the
+	// merged first occurrences in global arrival order now.
+	for _, g := range order {
+		for _, a := range g.aggs {
+			if err := a.resolveDistinct(); err != nil {
+				return err
+			}
+		}
+	}
 	return emitGroups(r, order)
 }

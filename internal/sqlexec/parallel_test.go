@@ -95,6 +95,62 @@ func TestParallelOrderedDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelFallbackReasons pins the fallback contract:
+// Result.ParallelFallback names exactly why a SELECT declined the
+// parallel path, and is empty — the query really fanned out — for the
+// shapes the morsel engine covers, including the ones parallelised after
+// the initial landing (join builds, SUM/AVG groups, full final sorts).
+func TestParallelFallbackReasons(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	db := parityDB(t, rng, 200, 60)
+
+	eval := func(text string, par int) *Result {
+		t.Helper()
+		st, err := sqlparser.Parse(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := EvalSelectOpts(db, st.(*sqlparser.Select), Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		return res
+	}
+
+	// Serial declines at default thresholds: each names its reason.
+	serial := []struct {
+		text string
+		par  int
+		want string
+	}{
+		{`SELECT x.id FROM t1 x`, 1, "parallelism=1"},
+		{`SELECT x.id FROM t1 x LIMIT 0`, 4, "limit 0"},
+		{`SELECT x.id FROM t1 x`, 4, "driving scan below parallel threshold"},
+		{`SELECT 1 + 2`, 4, "fromless select"},
+	}
+	for _, tc := range serial {
+		if got := eval(tc.text, tc.par).ParallelFallback; got != tc.want {
+			t.Errorf("%q at parallelism %d: fallback %q, want %q", tc.text, tc.par, got, tc.want)
+		}
+	}
+
+	// With thresholds forced down, the previously-serial shapes run
+	// parallel: empty fallback end to end.
+	forceParallel(t)
+	parallel := []string{
+		`SELECT COUNT(*) FROM t2 y JOIN t1 x ON y.id = x.id`,     // join build
+		`SELECT x.b, SUM(x.c), AVG(x.c) FROM t1 x GROUP BY x.b`,  // float SUM/AVG merge
+		`SELECT x.b, COUNT(DISTINCT x.a) FROM t1 x GROUP BY x.b`, // DISTINCT aggregate merge
+		`SELECT x.id, x.c FROM t1 x ORDER BY x.c DESC`,           // full final sort
+		`SELECT DISTINCT x.a FROM t1 x`,                          // plain morsel path
+	}
+	for _, text := range parallel {
+		if got := eval(text, 4).ParallelFallback; got != "" {
+			t.Errorf("%q: fell back to serial (%q), want parallel", text, got)
+		}
+	}
+}
+
 // TestParallelErrorMatchesSerial pins error semantics: a row-level
 // evaluation error must surface identically at every parallelism level
 // (same message, and for the unsorted streaming shape the same prefix of

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	sched "crosse/internal/exec"
 	"crosse/internal/sqldb"
 	"crosse/internal/sqlval"
 )
@@ -34,14 +35,15 @@ func (p *SelectPlan) Run() (*Result, error) {
 func (p *SelectPlan) RunContext(ctx context.Context) (*Result, error) {
 	res := &Result{Columns: append([]string(nil), p.headers...)}
 	arena := sqlval.NewRowArena(len(p.headers))
-	skipped, err := p.StreamContext(ctx, func(row []sqlval.Value) bool {
+	info, err := p.StreamInfoContext(ctx, func(row []sqlval.Value) bool {
 		res.Rows = append(res.Rows, arena.Copy(row))
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.SkippedSources = skipped
+	res.SkippedSources = info.SkippedSources
+	res.ParallelFallback = info.ParallelFallback
 	return res, nil
 }
 
@@ -56,10 +58,29 @@ func (p *SelectPlan) Stream(fn func(row []sqlval.Value) bool) error {
 // StreamContext is Stream bounded by ctx (see RunContext); it additionally
 // returns the names of sources skipped under Options.PartialResults.
 func (p *SelectPlan) StreamContext(ctx context.Context, fn func(row []sqlval.Value) bool) ([]string, error) {
+	info, err := p.StreamInfoContext(ctx, fn)
+	return info.SkippedSources, err
+}
+
+// StreamInfo reports per-execution metadata of one plan run.
+type StreamInfo struct {
+	// SkippedSources names sources that were down and skipped under
+	// Options.PartialResults.
+	SkippedSources []string
+	// ParallelFallback is empty when the run took the morsel-driven
+	// parallel path, and otherwise names why it fell back to the serial
+	// pipeline (e.g. "parallelism=1", "driving scan below parallel
+	// threshold").
+	ParallelFallback string
+}
+
+// StreamInfoContext is StreamContext returning full per-run metadata,
+// including why the run fell back to the serial pipeline (if it did).
+func (p *SelectPlan) StreamInfoContext(ctx context.Context, fn func(row []sqlval.Value) bool) (StreamInfo, error) {
 	sh := &runShared{ctx: ctx, partial: p.opts.PartialResults}
 	r := &runner{p: p, yield: fn, shared: sh}
 	err := r.run()
-	return sh.skipped, err
+	return StreamInfo{SkippedSources: sh.skipped, ParallelFallback: sh.fallback}, err
 }
 
 // runShared is the per-execution state shared by the coordinator runner,
@@ -69,6 +90,10 @@ func (p *SelectPlan) StreamContext(ctx context.Context, fn func(row []sqlval.Val
 type runShared struct {
 	ctx     context.Context
 	partial bool
+
+	// fallback names why the run declined the parallel path ("" = ran
+	// parallel). Written by the coordinator before any worker starts.
+	fallback string
 
 	mu      sync.Mutex
 	skipped []string
@@ -127,11 +152,18 @@ type runner struct {
 	// swapped marks the first join running in build-left/stream-right
 	// orientation (chosen from live cardinalities).
 	rights  [][][]sqlval.Value
-	hashes  []map[string][]int32
+	hashes  []*joinTable
 	swapped bool
 	// In swapped mode the materialised LEFT rows and their hash by key.
 	leftRows [][]sqlval.Value
-	leftHash map[string][]int32
+	leftHash *joinTable
+
+	// driving marks the pipeline-driving scan (as opposed to side builds);
+	// drivePos counts its rows pre-filter, so sinks can derive the morsel
+	// index a row would land in on the parallel path — the unit of the
+	// deterministic float-aggregation reduction (see aggState).
+	driving  bool
+	drivePos int64
 
 	err     error
 	stopped bool // fn asked to stop (not an error)
@@ -150,6 +182,7 @@ type rowSink interface {
 func (r *runner) run() error {
 	p := r.p
 	if p.fromless {
+		r.shared.fallback = "fromless select"
 		out := make([]sqlval.Value, len(p.items))
 		for i, it := range p.items {
 			v, err := it.eval(nil)
@@ -211,6 +244,7 @@ func (r *runner) run() error {
 	}
 
 	// Drive the pipeline.
+	r.driving = true
 	if r.swapped {
 		j := p.joins[0]
 		src := j.src
@@ -222,7 +256,7 @@ func (r *runner) run() error {
 				return true
 			}
 			scratch = sqlval.AppendJoinKey(scratch[:0], v)
-			for _, li := range r.leftHash[string(scratch)] {
+			for _, li := range r.leftHash.lookup(scratch) {
 				if cmp, err := sqlval.Compare(v, r.leftRows[li][j.leftSlot]); err != nil || cmp != 0 {
 					continue
 				}
@@ -278,6 +312,9 @@ func scanEstimate(sp scanPlan) (int, bool) {
 func (r *runner) scan(sp scanPlan, next func() bool) {
 	seg := r.row[sp.offset : sp.offset+sp.width]
 	h := func(in []sqlval.Value) bool {
+		if r.driving {
+			r.drivePos++
+		}
 		copy(seg, in)
 		if ok, done := r.applyConjuncts(sp.filters); !ok {
 			return !done
@@ -328,7 +365,7 @@ func (r *runner) buildSwappedLeft() error {
 	p := r.p
 	arena := sqlval.NewRowArena(p.scan0.width)
 	keySlot := p.joins[0].leftSlot
-	r.leftHash = make(map[string][]int32)
+	buckets := make(map[string][]int32)
 	var scratch []byte
 	seg := r.row[:p.scan0.width]
 	r.scan(p.scan0, func() bool {
@@ -339,16 +376,47 @@ func (r *runner) buildSwappedLeft() error {
 		r.leftRows = append(r.leftRows, arena.Copy(seg))
 		scratch = sqlval.AppendJoinKey(scratch[:0], v)
 		k := string(scratch)
-		r.leftHash[k] = append(r.leftHash[k], int32(len(r.leftRows)-1))
+		buckets[k] = append(buckets[k], int32(len(r.leftRows)-1))
 		return true
 	})
+	r.leftHash = &joinTable{parts: []map[string][]int32{buckets}}
 	return r.err
+}
+
+// joinTable is a frozen hash index over materialised build rows: buckets of
+// ascending row indexes keyed by the encoded join key. The serial build
+// produces a single partition; the parallel build (see parallelBuildHash)
+// partitions by key hash so workers can assemble disjoint bucket maps
+// without synchronisation — bucket contents are identical either way, so
+// probes cannot observe which build ran.
+type joinTable struct {
+	parts []map[string][]int32
+	mask  uint32 // len(parts)-1; 0 = single partition
+}
+
+// lookup returns the bucket for an encoded join key.
+func (t *joinTable) lookup(key []byte) []int32 {
+	if t.mask == 0 {
+		return t.parts[0][string(key)]
+	}
+	return t.parts[hashJoinKey(key)&t.mask][string(key)]
+}
+
+// hashJoinKey is FNV-1a over the encoded key bytes — the partitioning hash
+// of the parallel build (independent of Go's randomized map hash).
+func hashJoinKey(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
 }
 
 // buildHash indexes materialised rows by their join-key column (relative
 // to the row, not the joined layout). NULL keys are skipped: they never
 // equi-join.
-func buildHash(rows [][]sqlval.Value, keyCol int) map[string][]int32 {
+func buildHash(rows [][]sqlval.Value, keyCol int) *joinTable {
 	h := make(map[string][]int32, len(rows))
 	var scratch []byte
 	for i, row := range rows {
@@ -360,7 +428,7 @@ func buildHash(rows [][]sqlval.Value, keyCol int) map[string][]int32 {
 		k := string(scratch)
 		h[k] = append(h[k], int32(i))
 	}
-	return h
+	return &joinTable{parts: []map[string][]int32{h}}
 }
 
 // step runs join i (1-based; i > len(joins) hands the row to the sink).
@@ -399,7 +467,7 @@ func (r *runner) step(i int) bool {
 		if !v.IsNull() {
 			var scratch [48]byte
 			keyRel := j.rightSlot - j.src.offset
-			for _, ri := range r.hashes[i-1][string(sqlval.AppendJoinKey(scratch[:0], v))] {
+			for _, ri := range r.hashes[i-1].lookup(sqlval.AppendJoinKey(scratch[:0], v)) {
 				// The bucket may hold Compare-unequal values (the numeric
 				// fold is lossy past 2^53): re-verify the actual equality.
 				if cmp, err := sqlval.Compare(v, rows[ri][keyRel]); err != nil || cmp != 0 {
@@ -585,6 +653,10 @@ func (s *groupedSink) add(row []sqlval.Value) bool {
 		s.groups[string(s.keyScratch)] = grp
 		s.order = append(s.order, grp)
 	}
+	// Stamp values with the driving row's would-be parallel morsel so float
+	// SUM/AVG folds per morsel — the same reduction tree the parallel merge
+	// uses, which is what makes the two paths bit-identical.
+	at := sched.At(int((s.r.drivePos-1)/int64(parallelMorsel)), 0)
 	for i, a := range g.aggs {
 		if a.arg == nil { // COUNT(*)
 			grp.aggs[i].count++
@@ -595,6 +667,7 @@ func (s *groupedSink) add(row []sqlval.Value) bool {
 			s.r.err = err
 			return false
 		}
+		grp.aggs[i].stamp = at
 		if err := grp.aggs[i].addValue(v); err != nil {
 			s.r.err = err
 			return false
